@@ -1,0 +1,351 @@
+//! Automated verification of the paper's qualitative claims.
+//!
+//! The reproduction's acceptance criterion is *shape*, not absolute
+//! milliseconds: who wins, in which direction trends move, where the
+//! paper's stated special cases appear. This module encodes each claim as
+//! a predicate over a compact experiment grid, so
+//! `dloop-experiments verify` gives a PASS/FAIL audit of the whole
+//! reproduction in a few minutes.
+
+use crate::runner::{run_grid, RunSpec};
+use crate::table::Table;
+use dloop_ftl_kit::config::{FtlKind, SsdConfig};
+use dloop_ftl_kit::metrics::RunReport;
+use dloop_nand::TimingConfig;
+use dloop_workloads::WorkloadProfile;
+
+use crate::experiments::ExpOptions;
+
+/// Outcome of one claim check.
+#[derive(Debug, Clone)]
+pub struct ClaimResult {
+    /// Short identifier ("C1", …).
+    pub id: &'static str,
+    /// The paper's claim being checked.
+    pub claim: &'static str,
+    /// Whether the reproduction exhibits it.
+    pub pass: bool,
+    /// Measured evidence.
+    pub detail: String,
+}
+
+/// The compact grid the claims are evaluated on.
+struct Grid {
+    /// `[trace][capacity in {small,large}][ftl]` reports.
+    mrt: Vec<[[f64; 3]; 2]>,
+    sdrpp: Vec<[[f64; 3]; 2]>,
+    names: Vec<&'static str>,
+    write_pcts: Vec<f64>,
+}
+
+fn run_compact_grid(opts: &ExpOptions) -> Grid {
+    let kinds = FtlKind::paper_set();
+    let capacities = [4u32, 64];
+    let profiles: Vec<WorkloadProfile> = WorkloadProfile::all_paper()
+        .into_iter()
+        .map(|p| opts.scaled_profile(p))
+        .collect();
+    let mut specs = Vec::new();
+    for p in &profiles {
+        for &cap in &capacities {
+            for kind in kinds {
+                specs.push(RunSpec {
+                    config: SsdConfig::paper_default()
+                        .with_capacity_gb(opts.scaled_capacity(cap)),
+                    kind,
+                    profile: p.clone(),
+                    max_requests: opts.requests_for(p).min(120_000),
+                    seed: opts.seed,
+                    fill_fraction: opts.fill_fraction,
+                });
+            }
+        }
+    }
+    let reports = run_grid(specs, opts.workers);
+    let mut it = reports.iter();
+    let mut mrt = Vec::new();
+    let mut sdrpp = Vec::new();
+    let mut names = Vec::new();
+    let mut write_pcts = Vec::new();
+    for p in &profiles {
+        names.push(p.name);
+        write_pcts.push(p.write_ratio * 100.0);
+        let mut m = [[0.0; 3]; 2];
+        let mut s = [[0.0; 3]; 2];
+        for (ci, _) in capacities.iter().enumerate() {
+            for ki in 0..3 {
+                let r: &RunReport = it.next().expect("grid underrun");
+                m[ci][ki] = r.mean_response_time_ms();
+                s[ci][ki] = r.ln_sdrpp();
+            }
+        }
+        mrt.push(m);
+        sdrpp.push(s);
+    }
+    Grid {
+        mrt,
+        sdrpp,
+        names,
+        write_pcts,
+    }
+}
+
+/// Run every claim check. Returns the individual results.
+pub fn verify(opts: &ExpOptions) -> Vec<ClaimResult> {
+    let mut results = Vec::new();
+
+    // C1 — §III.A: copy-back saves ~30% over an inter-plane copy at 2 KB.
+    let t = TimingConfig::paper_default();
+    let saving = t.copyback_saving(2048);
+    results.push(ClaimResult {
+        id: "C1",
+        claim: "copy-back saves ~30% over inter-plane copy at 2KB (SIII.A)",
+        pass: (0.28..=0.34).contains(&saving),
+        detail: format!("measured {:.1}%", saving * 100.0),
+    });
+
+    let grid = run_compact_grid(opts);
+    let idx = |k: FtlKind| match k {
+        FtlKind::Dloop => 0usize,
+        FtlKind::Dftl => 1,
+        _ => 2,
+    };
+    let (d, t_, f) = (idx(FtlKind::Dloop), idx(FtlKind::Dftl), 2usize);
+
+    // C2 — Fig. 8: DLOOP <= DFTL on every trace at every capacity.
+    let mut worst = (1.0f64, String::new());
+    for (i, m) in grid.mrt.iter().enumerate() {
+        for (row, cap) in m.iter().zip([4, 64]) {
+            let ratio = row[d] / row[t_];
+            if ratio > worst.0 {
+                worst = (ratio, format!("{} @{}GB: {:.2}x", grid.names[i], cap, ratio));
+            }
+        }
+    }
+    results.push(ClaimResult {
+        id: "C2",
+        claim: "DLOOP beats DFTL on every trace and capacity (Fig. 8)",
+        pass: worst.0 <= 1.0,
+        detail: if worst.1.is_empty() {
+            "DLOOP <= DFTL everywhere".into()
+        } else {
+            format!("worst case {}", worst.1)
+        },
+    });
+
+    // C3 — Fig. 8: DLOOP beats FAST on the write-dominant traces.
+    let mut pass = true;
+    let mut detail = String::new();
+    for (i, m) in grid.mrt.iter().enumerate() {
+        if grid.write_pcts[i] < 50.0 {
+            continue; // the paper's own FAST edge cases are read-dominant
+        }
+        for row in m {
+            if row[d] > row[f] {
+                pass = false;
+                detail = format!("{}: DLOOP {:.3} > FAST {:.3}", grid.names[i], row[d], row[f]);
+            }
+        }
+    }
+    results.push(ClaimResult {
+        id: "C3",
+        claim: "DLOOP beats FAST on write-dominant traces (Fig. 8)",
+        pass,
+        detail: if detail.is_empty() { "holds on F1/TPC-C/Exchange/Build".into() } else { detail },
+    });
+
+    // C4 — Fig. 8: DLOOP's MRT does not grow with capacity.
+    let mut pass = true;
+    let mut detail = String::new();
+    for (i, m) in grid.mrt.iter().enumerate() {
+        if m[1][d] > m[0][d] * 1.05 {
+            pass = false;
+            detail = format!(
+                "{}: 64GB {:.3} ms > 4GB {:.3} ms",
+                grid.names[i], m[1][d], m[0][d]
+            );
+        }
+    }
+    results.push(ClaimResult {
+        id: "C4",
+        claim: "larger SSDs delay GC: MRT non-increasing with capacity (Fig. 8)",
+        pass,
+        detail: if detail.is_empty() { "holds for all five traces".into() } else { detail },
+    });
+
+    // C5 — §V.B: the smallest DLOOP-vs-DFTL gap is on read-dominant
+    // Financial2.
+    let gap = |i: usize| {
+        let m = &grid.mrt[i];
+        // average relative improvement across the two capacities
+        ((m[0][t_] - m[0][d]) / m[0][t_] + (m[1][t_] - m[1][d]) / m[1][t_]) / 2.0
+    };
+    let f2_idx = grid.names.iter().position(|n| *n == "Financial2").unwrap();
+    let f2_gap = gap(f2_idx);
+    let min_other = (0..grid.names.len())
+        .filter(|&i| i != f2_idx)
+        .map(gap)
+        .fold(f64::INFINITY, f64::min);
+    results.push(ClaimResult {
+        id: "C5",
+        claim: "read-dominant Financial2 shows the smallest DLOOP-vs-DFTL gap (SV.B)",
+        pass: f2_gap <= min_other,
+        detail: format!("F2 gap {:.1}% vs next smallest {:.1}%", f2_gap * 100.0, min_other * 100.0),
+    });
+
+    // C6 — Figs. 8-10: DLOOP has the lowest ln(SDRPP) everywhere.
+    let mut pass = true;
+    let mut detail = String::new();
+    for (i, s) in grid.sdrpp.iter().enumerate() {
+        for row in s {
+            if row[d] > row[t_] + 1e-9 || row[d] > row[f] + 1e-9 {
+                pass = false;
+                detail = format!(
+                    "{}: DLOOP {:.2} vs DFTL {:.2} / FAST {:.2}",
+                    grid.names[i], row[d], row[t_], row[f]
+                );
+            }
+        }
+    }
+    results.push(ClaimResult {
+        id: "C6",
+        claim: "DLOOP spreads requests most evenly: lowest ln(SDRPP) (Figs. 8-10)",
+        pass,
+        detail: if detail.is_empty() { "lowest on every trace and capacity".into() } else { detail },
+    });
+
+    // C7 — Fig. 10: FAST improves as extra blocks grow (bigger log region).
+    let profile = opts.scaled_profile(WorkloadProfile::tpcc());
+    let fast_specs: Vec<RunSpec> = [3.0, 10.0]
+        .iter()
+        .map(|&pct| RunSpec {
+            config: SsdConfig::paper_default()
+                .with_capacity_gb(opts.scaled_capacity(8))
+                .with_extra_pct(pct),
+            kind: FtlKind::Fast,
+            profile: profile.clone(),
+            max_requests: opts.requests_for(&profile).min(120_000),
+            seed: opts.seed,
+            fill_fraction: opts.fill_fraction,
+        })
+        .collect();
+    let fast_reports = run_grid(fast_specs, opts.workers);
+    let (fast3, fast10) = (
+        fast_reports[0].mean_response_time_ms(),
+        fast_reports[1].mean_response_time_ms(),
+    );
+    results.push(ClaimResult {
+        id: "C7",
+        claim: "FAST improves with more extra blocks / bigger log region (Fig. 10)",
+        pass: fast10 <= fast3,
+        detail: format!("TPC-C: 3% -> {fast3:.3} ms, 10% -> {fast10:.3} ms"),
+    });
+
+    // C8 — §I/§V.B headline: large average improvements. The 4 GB device
+    // is the GC-stressed point (the paper quotes ~70%/~90% there); the
+    // 64 GB numbers need the full-length traces to pressure FAST's log
+    // region, which the compact grid deliberately truncates.
+    let avg_impr = |cap: usize, base: usize| -> f64 {
+        let mut sum = 0.0;
+        for m in &grid.mrt {
+            sum += (m[cap][base] - m[cap][d]) / m[cap][base];
+        }
+        sum / grid.mrt.len() as f64 * 100.0
+    };
+    let (vs_dftl, vs_fast) = (avg_impr(0, t_), avg_impr(0, f));
+    results.push(ClaimResult {
+        id: "C8",
+        claim: "large average MRT improvement at the GC-stressed capacity (paper: ~70%/~90% at 4GB)",
+        pass: vs_dftl > 20.0 && vs_fast > 50.0,
+        detail: format!("measured {vs_dftl:.1}% vs DFTL, {vs_fast:.1}% vs FAST at 4GB"),
+    });
+
+    // C9 — §II.C motivation: striping across planes raises throughput.
+    let mut seq = opts.scaled_profile(WorkloadProfile::build());
+    seq.write_ratio = 0.9;
+    seq.seq_prob = 0.9;
+    seq.rate_per_sec = 2000.0;
+    let striping_specs: Vec<RunSpec> = [1u32, 8]
+        .iter()
+        .map(|&ppd| {
+            let mut config = SsdConfig::paper_default()
+                .with_capacity_gb(opts.scaled_capacity(8));
+            config.planes_per_die = ppd;
+            RunSpec {
+                config,
+                kind: FtlKind::Dloop,
+                profile: seq.clone(),
+                max_requests: 40_000,
+                seed: opts.seed,
+                fill_fraction: 0.0,
+            }
+        })
+        .collect();
+    let striping_reports = run_grid(striping_specs, opts.workers);
+    let (one, eight) = (
+        striping_reports[0].mean_response_time_ms(),
+        striping_reports[1].mean_response_time_ms(),
+    );
+    results.push(ClaimResult {
+        id: "C9",
+        claim: "plane striping raises sequential throughput substantially (SII.C)",
+        pass: one / eight > 4.0,
+        detail: format!("1 plane/die {one:.2} ms vs 8 planes/die {eight:.2} ms ({:.0}x)", one / eight),
+    });
+
+    results
+}
+
+/// Render the claim results as a table.
+pub fn to_table(results: &[ClaimResult]) -> Table {
+    let mut table = Table::new(
+        "Reproduction claims audit",
+        &["id", "status", "claim", "evidence"],
+    );
+    for r in results {
+        table.row(vec![
+            r.id.to_string(),
+            if r.pass { "PASS".into() } else { "FAIL".into() },
+            r.claim.to_string(),
+            r.detail.clone(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_table_renders_status() {
+        let results = vec![
+            ClaimResult {
+                id: "CX",
+                claim: "test claim",
+                pass: true,
+                detail: "fine".into(),
+            },
+            ClaimResult {
+                id: "CY",
+                claim: "other claim",
+                pass: false,
+                detail: "broken".into(),
+            },
+        ];
+        let t = to_table(&results);
+        let s = t.render();
+        assert!(s.contains("PASS"));
+        assert!(s.contains("FAIL"));
+        assert!(s.contains("broken"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn c1_is_cheap_and_passes() {
+        // The timing-arithmetic claim needs no simulation.
+        let t = dloop_nand::TimingConfig::paper_default();
+        let saving = t.copyback_saving(2048);
+        assert!((0.28..=0.34).contains(&saving));
+    }
+}

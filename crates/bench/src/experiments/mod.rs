@@ -1,0 +1,103 @@
+//! The paper's experiments, one module per table/figure.
+//!
+//! | module | regenerates |
+//! |---|---|
+//! | [`params`] | Table I (simulation parameters) |
+//! | [`traces`] | Table II (trace statistics, from the synthetic generators) |
+//! | [`copyback`] | §III.A copy-back vs inter-plane copy timing |
+//! | [`fig8`] | Fig. 8 — MRT and ln(SDRPP) vs SSD capacity |
+//! | [`fig9`] | Fig. 9 — MRT and ln(SDRPP) vs page size |
+//! | [`fig10`] | Fig. 10 — MRT and ln(SDRPP) vs extra blocks |
+//! | [`headline`] | §I/§V.B headline (57.8 % / 85.5 % improvements at 64 GB) |
+//! | [`ablation`] | design-choice ablations incl. the paper's future work |
+//! | [`striping`] | §II.C motivation: throughput vs plane-level concurrency |
+//! | [`channels`] | §II.B trade-off: channel count vs plane depth |
+//!
+//! Absolute milliseconds differ from the paper (synthetic workloads, scaled
+//! devices); the *shape* — orderings, trends, crossovers — is the target.
+
+pub mod ablation;
+pub mod channels;
+pub mod striping;
+pub mod sweep;
+pub mod copyback;
+pub mod fig10;
+pub mod fig8;
+pub mod fig9;
+pub mod headline;
+pub mod params;
+pub mod traces;
+
+use crate::table::Table;
+use std::path::PathBuf;
+
+/// Options shared by every experiment.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Divide the paper's device capacities (and workload footprints) by
+    /// this factor so runs fit laptop memory/time budgets. 1 = paper size.
+    pub scale: u32,
+    /// Max requests per run. 0 = automatic: the profile's full request
+    /// count divided by `scale`, preserving the paper's writes-to-capacity
+    /// ratio (FAST's log region and the GC pressure both depend on it).
+    pub max_requests: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Host worker threads for the grid.
+    pub workers: usize,
+    /// Where to drop CSVs (None = stdout only).
+    pub out_dir: Option<PathBuf>,
+    /// Pre-fill fraction (device aging) before measurement.
+    pub fill_fraction: f64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            scale: 4,
+            max_requests: 0,
+            seed: 42,
+            workers: crate::runner::default_workers(),
+            out_dir: Some(PathBuf::from("results")),
+            fill_fraction: 0.0,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Nominal paper capacity → simulated capacity under `scale`.
+    pub fn scaled_capacity(&self, nominal_gb: u32) -> u32 {
+        (nominal_gb / self.scale).max(1)
+    }
+
+    /// Scale a workload profile's footprint to match the device scaling.
+    pub fn scaled_profile(
+        &self,
+        mut p: dloop_workloads::WorkloadProfile,
+    ) -> dloop_workloads::WorkloadProfile {
+        p.footprint_bytes = (p.footprint_bytes / self.scale as u64).max(1 << 28);
+        p
+    }
+
+    /// Request cap for one profile under these options.
+    pub fn requests_for(&self, p: &dloop_workloads::WorkloadProfile) -> u64 {
+        if self.max_requests == 0 {
+            (p.total_requests / self.scale as u64).max(10_000)
+        } else {
+            self.max_requests
+        }
+    }
+
+    /// Print tables and persist CSVs.
+    pub fn emit(&self, tables: &[Table], slug_prefix: &str) {
+        for (i, t) in tables.iter().enumerate() {
+            println!("{}", t.render());
+            if let Some(dir) = &self.out_dir {
+                let slug = format!("{slug_prefix}_{i}");
+                if let Err(e) = t.write_csv(dir, &slug) {
+                    eprintln!("warning: could not write {slug}.csv: {e}");
+                }
+            }
+        }
+    }
+}

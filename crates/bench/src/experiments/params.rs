@@ -1,0 +1,82 @@
+//! Table I: simulation parameters.
+
+use crate::table::Table;
+use dloop_ftl_kit::config::SsdConfig;
+
+/// Render Table I from the live default configuration (so the table can
+/// never drift from the code).
+pub fn run() -> Vec<Table> {
+    let c = SsdConfig::paper_default();
+    let g = c.geometry();
+    let t = &c.timing;
+    let mut table = Table::new(
+        "Table I — simulation parameters (fixed) / varied",
+        &["parameter", "value (fixed)", "varied"],
+    );
+    let mut row = |p: &str, v: String, varied: &str| {
+        table.row(vec![p.to_string(), v, varied.to_string()]);
+    };
+    row(
+        "SSD capacity (GB)",
+        c.capacity_gb.to_string(),
+        "4, 8, 16, 32, 64",
+    );
+    row("Page size (KB)", c.page_kb.to_string(), "2, 4, 8, 16");
+    row(
+        "Pages per block",
+        g.pages_per_block.to_string(),
+        "-",
+    );
+    row(
+        "Extra blocks (%)",
+        format!("{:.0}", c.extra_pct),
+        "3, 5, 7, 10",
+    );
+    row(
+        "Block erase latency (us)",
+        format!("{:.0}", t.block_erase.as_micros_f64()),
+        "-",
+    );
+    row(
+        "Page read latency (us)",
+        format!("{:.0}", t.page_read.as_micros_f64()),
+        "-",
+    );
+    row(
+        "Page write latency (us)",
+        format!("{:.0}", t.page_program.as_micros_f64()),
+        "-",
+    );
+    row(
+        "Transfer latency per byte (us)",
+        format!("{:.3}", t.per_byte_transfer.as_micros_f64()),
+        "-",
+    );
+    row(
+        "Channels x packages x chips x dies x planes",
+        format!(
+            "{} x {} x {} x {} x {}",
+            c.channels,
+            c.packages_per_channel,
+            c.chips_per_package,
+            c.dies_per_chip,
+            c.planes_per_die
+        ),
+        "-",
+    );
+    row("GC threshold (free blocks)", c.gc_threshold.to_string(), "-");
+    row("CMT capacity (entries)", c.cmt_capacity.to_string(), "-");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_has_the_paper_rows() {
+        let t = &super::run()[0];
+        let s = t.render();
+        assert!(s.contains("SSD capacity"));
+        assert!(s.contains("4, 8, 16, 32, 64"));
+        assert!(s.contains("0.025"));
+    }
+}

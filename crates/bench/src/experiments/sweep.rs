@@ -1,0 +1,65 @@
+//! Shared machinery for the Fig. 8/9/10 parameter sweeps: each figure is
+//! {5 traces} × {sweep values} × {DLOOP, DFTL, FAST}, reported as one
+//! mean-response-time table and one ln(SDRPP) table.
+
+use super::ExpOptions;
+use crate::runner::{run_grid, RunSpec};
+use crate::table::{f, f2, Table};
+use dloop_ftl_kit::config::{FtlKind, SsdConfig};
+use dloop_workloads::WorkloadProfile;
+
+/// Run one sweep. `points` pairs a display label with the configuration
+/// for that sweep value.
+pub fn sweep(
+    opts: &ExpOptions,
+    title: &str,
+    axis: &str,
+    points: &[(String, SsdConfig)],
+) -> Vec<Table> {
+    let kinds = FtlKind::paper_set();
+    let profiles: Vec<WorkloadProfile> = WorkloadProfile::all_paper()
+        .into_iter()
+        .map(|p| opts.scaled_profile(p))
+        .collect();
+
+    let mut specs = Vec::new();
+    for profile in &profiles {
+        for (_, config) in points {
+            for kind in kinds {
+                specs.push(RunSpec {
+                    config: config.clone(),
+                    kind,
+                    profile: profile.clone(),
+                    max_requests: opts.requests_for(profile),
+                    seed: opts.seed,
+                    fill_fraction: opts.fill_fraction,
+                });
+            }
+        }
+    }
+    let reports = run_grid(specs, opts.workers);
+
+    let header: Vec<&str> = {
+        let mut h = vec!["trace", axis];
+        h.extend(kinds.iter().map(|k| k.name()));
+        h
+    };
+    let mut mrt = Table::new(format!("{title} — mean response time (ms)"), &header);
+    let mut sdrpp = Table::new(format!("{title} — ln(SDRPP)"), &header);
+
+    let mut it = reports.iter();
+    for profile in &profiles {
+        for (label, _) in points {
+            let mut mrt_row = vec![profile.name.to_string(), label.clone()];
+            let mut sd_row = mrt_row.clone();
+            for _ in kinds {
+                let r = it.next().expect("report grid underrun");
+                mrt_row.push(f(r.mean_response_time_ms()));
+                sd_row.push(f2(r.ln_sdrpp()));
+            }
+            mrt.row(mrt_row);
+            sdrpp.row(sd_row);
+        }
+    }
+    vec![mrt, sdrpp]
+}

@@ -1,0 +1,579 @@
+//! The Cached Mapping Table: a segmented-LRU cache of LPN → PPN entries.
+//!
+//! Both DLOOP and DFTL keep the working set of the page-mapping table in a
+//! small SRAM cache and leave the full table on flash (§III.D: "When the
+//! CMT is full, a victim entry will be selected using the segmented least
+//! recently used (LRU) algorithm"). Segmented LRU splits the cache into a
+//! *probationary* and a *protected* segment: new entries enter probation;
+//! a hit promotes an entry to protected; protected overflow demotes its LRU
+//! back to probation; eviction takes the probation LRU first. This guards
+//! the hot mappings against scan pollution — exactly why the paper picks
+//! it for enterprise workloads.
+//!
+//! Dirty entries (mappings changed since they were loaded) must be written
+//! back to their translation page on eviction; the CMT keeps a per-
+//! translation-page dirty index so the FTL can batch-flush all dirty
+//! siblings of the victim with one translation-page rewrite (the classic
+//! DFTL "batch update" optimisation).
+
+use dloop_nand::{Lpn, Ppn};
+use std::collections::{BTreeSet, HashMap};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Probation,
+    Protected,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    lpn: Lpn,
+    ppn: Ppn,
+    dirty: bool,
+    seg: Segment,
+    prev: u32,
+    next: u32,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ListEnds {
+    head: u32, // MRU
+    tail: u32, // LRU
+    len: usize,
+}
+
+/// An entry evicted from the CMT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The logical page whose mapping fell out.
+    pub lpn: Lpn,
+    /// Its physical page at eviction time.
+    pub ppn: Ppn,
+    /// Whether the mapping changed while cached (needs write-back).
+    pub dirty: bool,
+}
+
+/// Segmented-LRU cached mapping table.
+///
+/// ```
+/// use dloop_ftl_kit::cmt::CachedMappingTable;
+///
+/// let mut cmt = CachedMappingTable::new(2, 256);
+/// cmt.insert(1, 100, false);
+/// cmt.insert(2, 200, false);
+/// assert_eq!(cmt.lookup(1), Some(100)); // promoted to protected
+/// // Inserting a third entry evicts the probation LRU (lpn 2).
+/// let evicted = cmt.insert(3, 300, false).unwrap();
+/// assert_eq!(evicted.lpn, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CachedMappingTable {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    index: HashMap<Lpn, u32>,
+    probation: ListEnds,
+    protected: ListEnds,
+    capacity: usize,
+    protected_cap: usize,
+    mappings_per_tpage: u64,
+    dirty_index: HashMap<u64, BTreeSet<Lpn>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CachedMappingTable {
+    /// A CMT holding at most `capacity` entries, of which at most
+    /// `capacity/2` sit in the protected segment; `mappings_per_tpage`
+    /// groups entries by translation page for batched write-back.
+    pub fn new(capacity: usize, mappings_per_tpage: u64) -> Self {
+        assert!(capacity >= 2, "CMT needs at least two entries");
+        assert!(mappings_per_tpage > 0);
+        CachedMappingTable {
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            index: HashMap::with_capacity(capacity),
+            probation: ListEnds {
+                head: NIL,
+                tail: NIL,
+                len: 0,
+            },
+            protected: ListEnds {
+                head: NIL,
+                tail: NIL,
+                len: 0,
+            },
+            capacity,
+            protected_cap: capacity / 2,
+            mappings_per_tpage,
+            dirty_index: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The translation page number covering `lpn`.
+    pub fn tvpn_of(&self, lpn: Lpn) -> u64 {
+        lpn / self.mappings_per_tpage
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// (hits, misses) counters — `lookup` classifies, `peek` does not.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn list(&mut self, seg: Segment) -> &mut ListEnds {
+        match seg {
+            Segment::Probation => &mut self.probation,
+            Segment::Protected => &mut self.protected,
+        }
+    }
+
+    fn detach(&mut self, idx: u32) {
+        let (prev, next, seg) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next, n.seg)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        }
+        let l = self.list(seg);
+        if l.head == idx {
+            l.head = next;
+        }
+        if l.tail == idx {
+            l.tail = prev;
+        }
+        l.len -= 1;
+    }
+
+    fn attach_front(&mut self, idx: u32, seg: Segment) {
+        let old_head = self.list(seg).head;
+        {
+            let n = &mut self.nodes[idx as usize];
+            n.seg = seg;
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = idx;
+        }
+        let l = self.list(seg);
+        l.head = idx;
+        if l.tail == NIL {
+            l.tail = idx;
+        }
+        l.len += 1;
+    }
+
+    fn mark_dirty(&mut self, lpn: Lpn) {
+        let tvpn = self.tvpn_of(lpn);
+        self.dirty_index.entry(tvpn).or_default().insert(lpn);
+    }
+
+    fn unmark_dirty(&mut self, lpn: Lpn) {
+        let tvpn = self.tvpn_of(lpn);
+        if let Some(set) = self.dirty_index.get_mut(&tvpn) {
+            set.remove(&lpn);
+            if set.is_empty() {
+                self.dirty_index.remove(&tvpn);
+            }
+        }
+    }
+
+    /// A referencing lookup: on hit, promote to the protected segment and
+    /// return the mapping. Counts toward hit/miss statistics.
+    pub fn lookup(&mut self, lpn: Lpn) -> Option<Ppn> {
+        let Some(&idx) = self.index.get(&lpn) else {
+            self.misses += 1;
+            return None;
+        };
+        self.hits += 1;
+        self.promote(idx);
+        Some(self.nodes[idx as usize].ppn)
+    }
+
+    fn promote(&mut self, idx: u32) {
+        self.detach(idx);
+        self.attach_front(idx, Segment::Protected);
+        // Protected overflow demotes its LRU into probation.
+        if self.protected.len > self.protected_cap {
+            let demote = self.protected.tail;
+            debug_assert_ne!(demote, NIL);
+            self.detach(demote);
+            self.attach_front(demote, Segment::Probation);
+        }
+    }
+
+    /// Non-referencing read of a cached mapping (no promotion, no stats).
+    pub fn peek(&self, lpn: Lpn) -> Option<(Ppn, bool)> {
+        self.index
+            .get(&lpn)
+            .map(|&i| (self.nodes[i as usize].ppn, self.nodes[i as usize].dirty))
+    }
+
+    /// Update the mapping of an LPN that is already cached (a write hit):
+    /// the entry gets the new PPN, becomes dirty, and is promoted.
+    ///
+    /// Panics if the LPN is not cached — callers must `lookup` first.
+    pub fn update(&mut self, lpn: Lpn, new_ppn: Ppn) {
+        let &idx = self.index.get(&lpn).expect("update of uncached mapping");
+        let node = &mut self.nodes[idx as usize];
+        node.ppn = new_ppn;
+        if !node.dirty {
+            node.dirty = true;
+            self.mark_dirty(lpn);
+        }
+        self.promote(idx);
+    }
+
+    /// Update the mapping of a cached LPN *without* promoting it — used by
+    /// GC when it relocates a page: the mapping changes but the host did
+    /// not reference it, so its recency must not improve.
+    ///
+    /// No-op if the LPN is not cached (GC moves uncached pages too).
+    pub fn update_in_place(&mut self, lpn: Lpn, new_ppn: Ppn) -> bool {
+        let Some(&idx) = self.index.get(&lpn) else {
+            return false;
+        };
+        let node = &mut self.nodes[idx as usize];
+        node.ppn = new_ppn;
+        if !node.dirty {
+            node.dirty = true;
+            self.mark_dirty(lpn);
+        }
+        true
+    }
+
+    /// Insert a mapping that is not currently cached. Returns the entry
+    /// evicted to make room, if any.
+    ///
+    /// Panics if the LPN is already cached.
+    pub fn insert(&mut self, lpn: Lpn, ppn: Ppn, dirty: bool) -> Option<Evicted> {
+        assert!(
+            !self.index.contains_key(&lpn),
+            "insert of already-cached lpn {lpn}"
+        );
+        let evicted = if self.index.len() >= self.capacity {
+            Some(self.evict_one())
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Node {
+                    lpn,
+                    ppn,
+                    dirty,
+                    seg: Segment::Probation,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    lpn,
+                    ppn,
+                    dirty,
+                    seg: Segment::Probation,
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.index.insert(lpn, idx);
+        self.attach_front(idx, Segment::Probation);
+        if dirty {
+            self.mark_dirty(lpn);
+        }
+        evicted
+    }
+
+    fn evict_one(&mut self) -> Evicted {
+        // Probation LRU first; fall back to protected LRU if probation is
+        // empty (possible after heavy promotion).
+        let victim = if self.probation.tail != NIL {
+            self.probation.tail
+        } else {
+            self.protected.tail
+        };
+        debug_assert_ne!(victim, NIL, "evict from empty cache");
+        self.remove_node(victim)
+    }
+
+    fn remove_node(&mut self, idx: u32) -> Evicted {
+        self.detach(idx);
+        let node = &self.nodes[idx as usize];
+        let ev = Evicted {
+            lpn: node.lpn,
+            ppn: node.ppn,
+            dirty: node.dirty,
+        };
+        self.index.remove(&ev.lpn);
+        if ev.dirty {
+            self.unmark_dirty(ev.lpn);
+        }
+        self.free.push(idx);
+        ev
+    }
+
+    /// Remove a specific cached entry (e.g. when GC relocates its
+    /// translation page and the FTL re-materialises mappings).
+    pub fn remove(&mut self, lpn: Lpn) -> Option<Evicted> {
+        let &idx = self.index.get(&lpn)?;
+        Some(self.remove_node(idx))
+    }
+
+    /// Drain and clean every *dirty* cached mapping belonging to
+    /// translation page `tvpn`, returning (lpn, ppn) pairs. The entries
+    /// stay cached but are no longer dirty — the caller is about to write
+    /// them all into the translation page in one batch.
+    pub fn flush_translation_page(&mut self, tvpn: u64) -> Vec<(Lpn, Ppn)> {
+        let Some(set) = self.dirty_index.remove(&tvpn) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(set.len());
+        for lpn in set {
+            let &idx = self.index.get(&lpn).expect("dirty index desync");
+            let node = &mut self.nodes[idx as usize];
+            debug_assert!(node.dirty);
+            node.dirty = false;
+            out.push((lpn, node.ppn));
+        }
+        out
+    }
+
+    /// All dirty entries grouped by translation page — used when shutting
+    /// down a run to account for outstanding state (and in audits).
+    pub fn dirty_tvpns(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.dirty_index.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Audit internal consistency: index ↔ lists ↔ dirty-index agreement.
+    pub fn check(&self) -> Result<(), String> {
+        if self.probation.len + self.protected.len != self.index.len() {
+            return Err("segment lengths disagree with index".into());
+        }
+        if self.index.len() > self.capacity {
+            return Err("over capacity".into());
+        }
+        let mut seen = 0usize;
+        for (ends, seg) in [
+            (self.probation, Segment::Probation),
+            (self.protected, Segment::Protected),
+        ] {
+            let mut idx = ends.head;
+            let mut prev = NIL;
+            while idx != NIL {
+                let n = &self.nodes[idx as usize];
+                if n.seg != seg {
+                    return Err("node in wrong segment".into());
+                }
+                if n.prev != prev {
+                    return Err("broken prev link".into());
+                }
+                if self.index.get(&n.lpn) != Some(&idx) {
+                    return Err("index desync".into());
+                }
+                let dirty_indexed = self
+                    .dirty_index
+                    .get(&self.tvpn_of(n.lpn))
+                    .is_some_and(|s| s.contains(&n.lpn));
+                if n.dirty != dirty_indexed {
+                    return Err(format!("dirty index desync for lpn {}", n.lpn));
+                }
+                prev = idx;
+                idx = n.next;
+                seen += 1;
+            }
+            if ends.tail != prev {
+                return Err("tail mismatch".into());
+            }
+        }
+        if seen != self.index.len() {
+            return Err("orphan index entries".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmt(cap: usize) -> CachedMappingTable {
+        CachedMappingTable::new(cap, 256)
+    }
+
+    #[test]
+    fn insert_lookup_round_trip() {
+        let mut c = cmt(4);
+        assert_eq!(c.insert(10, 100, false), None);
+        assert_eq!(c.lookup(10), Some(100));
+        assert_eq!(c.lookup(11), None);
+        assert_eq!(c.hit_stats(), (1, 1));
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn eviction_takes_probation_lru() {
+        let mut c = cmt(3);
+        c.insert(1, 11, false);
+        c.insert(2, 22, false);
+        c.insert(3, 33, false);
+        // Hit 1 so it is protected; inserting 4 must evict 2 (probation LRU).
+        c.lookup(1);
+        let ev = c.insert(4, 44, false).unwrap();
+        assert_eq!(ev.lpn, 2);
+        assert_eq!(c.len(), 3);
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn protected_overflow_demotes() {
+        let mut c = cmt(4); // protected cap = 2
+        for lpn in 0..4 {
+            c.insert(lpn, lpn * 10, false);
+        }
+        // Promote three entries; the first promoted gets demoted back.
+        c.lookup(0);
+        c.lookup(1);
+        c.lookup(2);
+        c.check().unwrap();
+        // Eviction order should now prefer probation (3, then demoted 0).
+        let ev = c.insert(9, 90, false).unwrap();
+        assert_eq!(ev.lpn, 3);
+        let ev = c.insert(10, 100, false).unwrap();
+        assert_eq!(ev.lpn, 0);
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn update_sets_dirty_and_new_ppn() {
+        let mut c = cmt(4);
+        c.insert(5, 50, false);
+        c.update(5, 51);
+        assert_eq!(c.peek(5), Some((51, true)));
+        assert_eq!(c.dirty_tvpns(), vec![0]);
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn dirty_eviction_reports_dirty() {
+        let mut c = cmt(2);
+        c.insert(1, 10, true);
+        c.insert(2, 20, false);
+        let ev = c.insert(3, 30, false).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(ev.lpn, 1);
+        // Its dirty-index entry is gone.
+        assert!(c.dirty_tvpns().is_empty());
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn flush_translation_page_batches_siblings() {
+        let mut c = cmt(8);
+        // LPNs 0,1,2 share tvpn 0 (256 mappings per page); 300 is tvpn 1.
+        c.insert(0, 100, true);
+        c.insert(1, 101, true);
+        c.insert(2, 102, false);
+        c.insert(300, 103, true);
+        let flushed = c.flush_translation_page(0);
+        assert_eq!(flushed, vec![(0, 100), (1, 101)]);
+        // Entries stay cached, now clean.
+        assert_eq!(c.peek(0), Some((100, false)));
+        assert_eq!(c.dirty_tvpns(), vec![1]);
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn remove_specific_entry() {
+        let mut c = cmt(4);
+        c.insert(1, 10, true);
+        let ev = c.remove(1).unwrap();
+        assert_eq!((ev.lpn, ev.ppn, ev.dirty), (1, 10, true));
+        assert!(c.is_empty());
+        assert!(c.remove(1).is_none());
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn eviction_falls_back_to_protected() {
+        let mut c = cmt(2); // protected cap = 1
+        c.insert(1, 10, false);
+        c.insert(2, 20, false);
+        c.lookup(1);
+        c.lookup(2); // 2 promoted, 1 demoted -> probation: [1], protected: [2]
+        let ev = c.insert(3, 30, false).unwrap();
+        assert_eq!(ev.lpn, 1);
+        // Now probation holds 3, protected holds 2. Promote 3 as well:
+        c.lookup(3); // protected cap 1 -> demotes 2.
+        let ev = c.insert(4, 40, false).unwrap();
+        assert_eq!(ev.lpn, 2);
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn update_in_place_does_not_promote() {
+        let mut c = cmt(3);
+        c.insert(1, 10, false);
+        c.insert(2, 20, false);
+        c.insert(3, 30, false);
+        // GC relocates lpn 1's page; recency must not change, so the next
+        // eviction still takes lpn 1 (probation LRU).
+        assert!(c.update_in_place(1, 11));
+        assert_eq!(c.peek(1), Some((11, true)));
+        let ev = c.insert(4, 40, false).unwrap();
+        assert_eq!(ev.lpn, 1);
+        assert!(ev.dirty);
+        // Uncached lpn is a no-op.
+        assert!(!c.update_in_place(99, 1));
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        let mut c = cmt(16);
+        for i in 0..1000u64 {
+            let lpn = (i * 7) % 64;
+            if c.peek(lpn).is_some() {
+                if i % 3 == 0 {
+                    c.update(lpn, i);
+                } else {
+                    c.lookup(lpn);
+                }
+            } else {
+                c.insert(lpn, i, i % 2 == 0);
+            }
+            if i % 37 == 0 {
+                c.flush_translation_page(0);
+            }
+            c.check().unwrap();
+        }
+        assert!(c.len() <= 16);
+    }
+}

@@ -1,0 +1,472 @@
+//! The demand-paged mapping engine shared by DLOOP and DFTL.
+//!
+//! Both schemes keep the authoritative page-mapping table in flash as
+//! translation pages, cache hot entries in the [`CachedMappingTable`], and
+//! find translation pages through the [`Gtd`]. The protocol (paper Fig. 6,
+//! inherited from DFTL):
+//!
+//! 1. On a CMT miss, evict a segmented-LRU victim; if it is dirty, its
+//!    translation page is read, updated, and re-written to a new flash
+//!    location (batching every dirty sibling of the same translation page).
+//! 2. The missing entry's translation page is then read and the entry
+//!    loaded into the CMT.
+//! 3. Host writes update the cached entry (dirty); GC moves update it in
+//!    place without promotion and batch-rewrite affected translation pages.
+//!
+//! The *placement* of a freshly written translation page is the one thing
+//! the schemes disagree on (DLOOP spreads by `tvpn % planes`, DFTL clusters
+//! from plane 0), so it is supplied as a closure: `place(ctx, tvpn) -> Ppn`
+//! must program a page somewhere, record it in the page directory, push the
+//! corresponding [`FlashStep::Write`], and return the new PPN.
+
+use crate::cmt::CachedMappingTable;
+use crate::ftl::{FlashStep, FtlContext};
+use crate::gtd::Gtd;
+use dloop_nand::{Geometry, Lpn, Ppn};
+
+/// Sentinel for "no physical page mapped".
+pub const UNMAPPED: Ppn = Ppn::MAX;
+
+/// Counters the engine maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DemandCounters {
+    /// Translation pages read from flash.
+    pub translation_reads: u64,
+    /// Translation pages written to flash.
+    pub translation_writes: u64,
+    /// CMT evictions that required a write-back.
+    pub dirty_evictions: u64,
+    /// GC mapping updates deferred into the pending buffer.
+    pub deferred_updates: u64,
+}
+
+/// Authoritative mapping table + demand-caching traffic generator.
+///
+/// GC-driven mapping changes are not persisted one translation page per
+/// victim: updates for uncached mappings accumulate in a small SRAM
+/// *pending buffer* (per translation page) and are flushed in batch when
+/// the buffer exceeds its budget or when the page is rewritten anyway
+/// (dirty CMT eviction). This is the standard lazy-update optimisation of
+/// demand-mapping FTLs — without it, schemes whose GC victims span many
+/// translation pages pay one read-modify-write per page per victim and
+/// the translation stream dwarfs the host stream.
+#[derive(Debug)]
+pub struct DemandMap {
+    map: Vec<Ppn>,
+    cmt: CachedMappingTable,
+    gtd: Gtd,
+    pending: std::collections::BTreeMap<u64, u32>,
+    pending_total: u64,
+    pub(crate) pending_budget: u64,
+    /// Engine counters.
+    pub counters: DemandCounters,
+}
+
+impl DemandMap {
+    /// Build for a geometry with a CMT of `cmt_capacity` entries.
+    pub fn new(geometry: &Geometry, cmt_capacity: usize) -> Self {
+        DemandMap {
+            map: vec![UNMAPPED; geometry.user_pages() as usize],
+            cmt: CachedMappingTable::new(cmt_capacity, geometry.mappings_per_translation_page()),
+            gtd: Gtd::new(geometry),
+            pending: std::collections::BTreeMap::new(),
+            pending_total: 0,
+            pending_budget: cmt_capacity as u64,
+            counters: DemandCounters::default(),
+        }
+    }
+
+    /// The authoritative mapping for `lpn` (no traffic, no cache effects).
+    pub fn mapped(&self, lpn: Lpn) -> Option<Ppn> {
+        let p = self.map[lpn as usize];
+        (p != UNMAPPED).then_some(p)
+    }
+
+    /// The translation page covering `lpn`.
+    pub fn tvpn_of(&self, lpn: Lpn) -> u64 {
+        self.gtd.tvpn_of(lpn)
+    }
+
+    /// CMT hit/miss statistics.
+    pub fn cmt_stats(&self) -> (u64, u64) {
+        self.cmt.hit_stats()
+    }
+
+    /// Shared view of the GTD (audits).
+    pub fn gtd(&self) -> &Gtd {
+        &self.gtd
+    }
+
+    /// Shared view of the CMT (audits).
+    pub fn cmt(&self) -> &CachedMappingTable {
+        &self.cmt
+    }
+
+    /// Make sure `lpn`'s mapping entry is cached, generating the miss
+    /// traffic of paper Fig. 6 lines 4-14. Returns the mapping.
+    pub fn ensure_cached(
+        &mut self,
+        lpn: Lpn,
+        ctx: &mut FtlContext<'_>,
+        place: &mut dyn FnMut(&mut FtlContext<'_>, u64) -> Ppn,
+    ) -> Option<Ppn> {
+        if self.cmt.lookup(lpn).is_some() {
+            return self.mapped(lpn);
+        }
+        // Miss: insert (evicting if full), write back a dirty victim.
+        let authoritative = self.map[lpn as usize];
+        let evicted = self.cmt.insert(lpn, authoritative, false);
+        if let Some(ev) = evicted {
+            if ev.dirty {
+                self.counters.dirty_evictions += 1;
+                let victim_tvpn = self.gtd.tvpn_of(ev.lpn);
+                self.rewrite_translation_page(victim_tvpn, ctx, place);
+            }
+        }
+        // Load the requested entry's translation page (if materialised).
+        let tvpn = self.gtd.tvpn_of(lpn);
+        if let Some(tp) = self.gtd.lookup(tvpn) {
+            ctx.push(FlashStep::Read {
+                plane: ctx.flash.geometry().plane_of_ppn(tp),
+            });
+            self.counters.translation_reads += 1;
+        }
+        self.mapped(lpn)
+    }
+
+    /// Commit a host write: `lpn` now lives at `new_ppn`. The entry must be
+    /// cached (callers run [`Self::ensure_cached`] first).
+    pub fn commit_write(&mut self, lpn: Lpn, new_ppn: Ppn) {
+        self.map[lpn as usize] = new_ppn;
+        self.cmt.update(lpn, new_ppn);
+    }
+
+    /// Record a GC data-page move: authoritative map changes; the cached
+    /// entry (if any) is updated without promotion (persisted later by its
+    /// dirty eviction), otherwise the update lands in the pending buffer
+    /// for a batched flush.
+    pub fn gc_move(&mut self, lpn: Lpn, new_ppn: Ppn) {
+        self.map[lpn as usize] = new_ppn;
+        if !self.cmt.update_in_place(lpn, new_ppn) {
+            let tvpn = self.gtd.tvpn_of(lpn);
+            *self.pending.entry(tvpn).or_insert(0) += 1;
+            self.pending_total += 1;
+            self.counters.deferred_updates += 1;
+        }
+    }
+
+    /// Deferred (not yet persisted) mapping updates for `tvpn`.
+    pub fn pending_count(&self, tvpn: u64) -> u32 {
+        self.pending.get(&tvpn).copied().unwrap_or(0)
+    }
+
+    /// Total deferred updates across all translation pages.
+    pub fn pending_total(&self) -> u64 {
+        self.pending_total
+    }
+
+    /// Flush pending updates while the buffer exceeds its SRAM budget,
+    /// largest translation page first (best amortisation per write). At
+    /// most `max_flushes` pages are written per call: the budget is a soft
+    /// SRAM bound, and an uncapped flush inside a GC pass could consume
+    /// more free pages than the pass reclaims.
+    pub fn flush_pending_over_budget(
+        &mut self,
+        ctx: &mut FtlContext<'_>,
+        can_place: &mut dyn FnMut(&FtlContext<'_>, u64) -> bool,
+        place: &mut dyn FnMut(&mut FtlContext<'_>, u64) -> Ppn,
+    ) {
+        let mut flushes = 0;
+        while self.pending_total > self.pending_budget && flushes < 8 {
+            flushes += 1;
+            // Deterministic: highest count wins, lowest tvpn breaks ties —
+            // among pages whose destination can absorb a write right now
+            // (`can_place` keeps the flush away from planes that are
+            // themselves waiting for GC).
+            let Some((&tvpn, _)) = self
+                .pending
+                .iter()
+                .filter(|(&tvpn, _)| can_place(ctx, tvpn))
+                .max_by_key(|(&tvpn, &c)| (c, std::cmp::Reverse(tvpn)))
+            else {
+                break;
+            };
+            self.rewrite_translation_page(tvpn, ctx, place);
+        }
+    }
+
+    /// Record a GC move of translation page `tvpn` itself to `new_ppn`.
+    pub fn gc_move_translation(&mut self, tvpn: u64, new_ppn: Ppn) {
+        let old = self.gtd.update(tvpn, new_ppn);
+        debug_assert!(old.is_some(), "GC moved a translation page the GTD never placed");
+    }
+
+    /// Read-modify-write translation page `tvpn`: read the current copy
+    /// (when one exists), write an up-to-date copy via `place`, invalidate
+    /// the old copy, update the GTD, and clean every dirty CMT sibling
+    /// (the batch update). Generates the corresponding chain steps.
+    pub fn rewrite_translation_page(
+        &mut self,
+        tvpn: u64,
+        ctx: &mut FtlContext<'_>,
+        place: &mut dyn FnMut(&mut FtlContext<'_>, u64) -> Ppn,
+    ) {
+        let old = self.gtd.lookup(tvpn);
+        if let Some(old_ppn) = old {
+            ctx.push(FlashStep::Read {
+                plane: ctx.flash.geometry().plane_of_ppn(old_ppn),
+            });
+            self.counters.translation_reads += 1;
+        }
+        let new_ppn = place(ctx, tvpn);
+        self.counters.translation_writes += 1;
+        if let Some(old_ppn) = old {
+            ctx.flash
+                .invalidate(old_ppn)
+                .expect("stale GTD entry: old translation page not valid");
+            ctx.dir.clear(old_ppn);
+        }
+        self.gtd.update(tvpn, new_ppn);
+        // All dirty siblings and pending GC updates are persisted by this
+        // write.
+        let _ = self.cmt.flush_translation_page(tvpn);
+        if let Some(c) = self.pending.remove(&tvpn) {
+            self.pending_total -= c as u64;
+        }
+    }
+
+    /// Whether translation page `tvpn` currently lives at `ppn` (GC asks
+    /// before moving a translation page).
+    pub fn translation_at(&self, tvpn: u64, ppn: Ppn) -> bool {
+        self.gtd.lookup(tvpn) == Some(ppn)
+    }
+
+    /// Iterate every mapped (lpn, ppn) pair — O(LPN space), audits only.
+    pub fn iter_mapped(&self) -> impl Iterator<Item = (Lpn, Ppn)> + '_ {
+        self.map
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p != UNMAPPED)
+            .map(|(l, &p)| (l as Lpn, p))
+    }
+
+    /// Number of mapped LPNs — O(LPN space), audits only.
+    pub fn mapped_count(&self) -> u64 {
+        self.map.iter().filter(|&&p| p != UNMAPPED).count() as u64
+    }
+
+    /// Audit: cached entries agree with the authoritative map; GTD entries
+    /// are internally consistent.
+    pub fn check(&self) -> Result<(), String> {
+        self.cmt.check()?;
+        // Every cached entry must equal the authoritative mapping (we keep
+        // them in lock-step; dirtiness only describes the on-flash copy).
+        // Sampling the dirty set suffices for the cheap audit; integration
+        // tests do full scans.
+        for tvpn in self.cmt.dirty_tvpns() {
+            if tvpn as usize >= self.gtd.len() {
+                return Err(format!("dirty tvpn {tvpn} out of GTD range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dir::PageDirectory;
+    use crate::ftl::OpChain;
+    use dloop_nand::{BlockAddr, FlashState};
+
+    /// Harness: a tiny flash plus a trivial plane-0 sequential placer.
+    struct Rig {
+        flash: FlashState,
+        dir: PageDirectory,
+        chain: OpChain,
+        gc_chain: OpChain,
+        scan_chain: OpChain,
+        dm: DemandMap,
+        active: Option<BlockAddr>,
+    }
+
+    impl Rig {
+        fn new(cmt_cap: usize) -> Self {
+            let g = dloop_nand::Geometry::build_with_hierarchy(1, 2, 5.0, 2, 1, 1, 1, 2);
+            Rig {
+                flash: FlashState::new(g.clone()),
+                dir: PageDirectory::new(&g),
+                chain: OpChain::new(),
+                gc_chain: OpChain::new(),
+                scan_chain: OpChain::new(),
+                dm: DemandMap::new(&g, cmt_cap),
+                active: None,
+            }
+        }
+
+        /// Run `f` with a context and the standard test placer.
+        fn run<R>(&mut self, f: impl FnOnce(&mut DemandMap, &mut FtlContext<'_>, &mut dyn FnMut(&mut FtlContext<'_>, u64) -> Ppn) -> R) -> R {
+            let mut ctx = FtlContext {
+                flash: &mut self.flash,
+                dir: &mut self.dir,
+                host_chain: &mut self.chain,
+                gc_chain: &mut self.gc_chain,
+                scan_chain: &mut self.scan_chain,
+                phase: crate::ftl::Phase::Host,
+            };
+            let active = &mut self.active;
+            let mut place = move |ctx: &mut FtlContext<'_>, tvpn: u64| -> Ppn {
+                let need_new = match *active {
+                    None => true,
+                    Some(b) => ctx.flash.plane(b.plane).block(b.index).is_full(),
+                };
+                if need_new {
+                    let idx = ctx.flash.allocate_free_block(0).unwrap();
+                    *active = Some(BlockAddr { plane: 0, index: idx });
+                }
+                let addr = ctx.flash.program_next(active.unwrap()).unwrap();
+                let ppn = ctx.flash.geometry().ppn_of(addr);
+                ctx.dir.set_translation(ppn, tvpn);
+                ctx.push(FlashStep::Write { plane: 0 });
+                ppn
+            };
+            f(&mut self.dm, &mut ctx, &mut place)
+        }
+    }
+
+    #[test]
+    fn miss_on_cold_unmapped_lpn_generates_no_reads() {
+        let mut rig = Rig::new(4);
+        let got = rig.run(|dm, ctx, place| dm.ensure_cached(7, ctx, place));
+        assert_eq!(got, None);
+        assert!(rig.chain.is_empty());
+        assert_eq!(rig.dm.counters.translation_reads, 0);
+    }
+
+    #[test]
+    fn write_then_reload_generates_read() {
+        let mut rig = Rig::new(4);
+        rig.run(|dm, ctx, place| {
+            dm.ensure_cached(7, ctx, place);
+            dm.commit_write(7, 42);
+            // Force the dirty entry out by rewriting its page directly.
+            dm.rewrite_translation_page(dm.tvpn_of(7), ctx, place);
+        });
+        assert_eq!(rig.dm.counters.translation_writes, 1);
+        assert_eq!(rig.dm.mapped(7), Some(42));
+        // Drop it from the CMT and re-ensure: the materialised page is read.
+        rig.dm.cmt.remove(7);
+        rig.chain.clear();
+        rig.run(|dm, ctx, place| dm.ensure_cached(7, ctx, place));
+        assert_eq!(rig.dm.counters.translation_reads, 1);
+        assert_eq!(rig.chain.len(), 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_batched() {
+        let mut rig = Rig::new(2);
+        rig.run(|dm, ctx, place| {
+            // Fill the CMT with two dirty entries on the same tvpn (0).
+            dm.ensure_cached(1, ctx, place);
+            dm.commit_write(1, 100);
+            dm.ensure_cached(2, ctx, place);
+            dm.commit_write(2, 200);
+            // Third insert evicts lpn 1 (probation LRU), which is dirty ->
+            // one translation-page write that also cleans lpn 2.
+            dm.ensure_cached(3, ctx, place);
+        });
+        assert_eq!(rig.dm.counters.dirty_evictions, 1);
+        assert_eq!(rig.dm.counters.translation_writes, 1);
+        assert!(rig.dm.cmt.dirty_tvpns().is_empty(), "siblings must be clean");
+    }
+
+    #[test]
+    fn rewrite_invalidates_old_copy() {
+        let mut rig = Rig::new(4);
+        rig.run(|dm, ctx, place| {
+            dm.ensure_cached(1, ctx, place);
+            dm.commit_write(1, 5);
+            dm.rewrite_translation_page(0, ctx, place);
+            dm.rewrite_translation_page(0, ctx, place);
+        });
+        // Two writes, second one read the first.
+        assert_eq!(rig.dm.counters.translation_writes, 2);
+        assert_eq!(rig.dm.counters.translation_reads, 1);
+        // Exactly one valid translation page remains.
+        assert_eq!(rig.flash.total_valid_pages(), 1);
+        rig.flash.check().unwrap();
+    }
+
+    #[test]
+    fn gc_move_of_uncached_mapping_defers() {
+        let mut rig = Rig::new(4);
+        rig.run(|dm, ctx, place| {
+            dm.ensure_cached(1, ctx, place);
+            dm.commit_write(1, 5);
+            // Persist and drop from the CMT so the mapping is uncached.
+            dm.rewrite_translation_page(0, ctx, place);
+        });
+        rig.dm.cmt.remove(1);
+        rig.dm.gc_move(1, 6);
+        assert_eq!(rig.dm.mapped(1), Some(6));
+        assert_eq!(rig.dm.pending_count(0), 1);
+        assert_eq!(rig.dm.pending_total(), 1);
+        assert_eq!(rig.dm.counters.deferred_updates, 1);
+        // A rewrite clears the pending debt.
+        rig.run(|dm, ctx, place| dm.rewrite_translation_page(0, ctx, place));
+        assert_eq!(rig.dm.pending_total(), 0);
+    }
+
+    #[test]
+    fn flush_respects_budget_and_filter() {
+        let mut rig = Rig::new(4);
+        // Shrink the budget for the test.
+        rig.dm.pending_budget = 2;
+        rig.run(|dm, ctx, place| {
+            // Materialise three translation pages.
+            for lpn in [0u64, 256, 512] {
+                dm.ensure_cached(lpn, ctx, place);
+                dm.commit_write(lpn, lpn + 1);
+                dm.rewrite_translation_page(dm.tvpn_of(lpn), ctx, place);
+            }
+        });
+        for lpn in [0u64, 256, 512] {
+            rig.dm.cmt.remove(lpn);
+        }
+        // Defer updates: tvpn 1 gets two, tvpns 0 and 2 one each.
+        rig.dm.gc_move(0, 100);
+        rig.dm.gc_move(256, 101);
+        rig.dm.gc_move(257, 102);
+        rig.dm.gc_move(512, 103);
+        assert_eq!(rig.dm.pending_total(), 4);
+
+        // Flush with a filter that forbids tvpn 1: the flush must drain
+        // other pages and stop (never violating the filter).
+        rig.run(|dm, ctx, place| {
+            let mut deny_one = |_: &FtlContext<'_>, tvpn: u64| tvpn != 1;
+            dm.flush_pending_over_budget(ctx, &mut deny_one, place);
+        });
+        assert_eq!(rig.dm.pending_count(1), 2, "filtered page left alone");
+        assert!(rig.dm.pending_total() <= 2 || rig.dm.pending_count(1) == 2);
+
+        // Unfiltered flush drains to within budget (largest first).
+        rig.run(|dm, ctx, place| {
+            let mut allow = |_: &FtlContext<'_>, _: u64| true;
+            dm.flush_pending_over_budget(ctx, &mut allow, place);
+        });
+        assert!(rig.dm.pending_total() <= 2);
+    }
+
+    #[test]
+    fn gc_move_updates_map_without_promotion() {
+        let mut rig = Rig::new(4);
+        rig.run(|dm, ctx, place| {
+            dm.ensure_cached(9, ctx, place);
+            dm.commit_write(9, 50);
+        });
+        rig.dm.gc_move(9, 51);
+        assert_eq!(rig.dm.mapped(9), Some(51));
+        assert_eq!(rig.dm.cmt.peek(9), Some((51, true)));
+        rig.dm.check().unwrap();
+    }
+}

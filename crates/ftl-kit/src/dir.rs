@@ -1,0 +1,122 @@
+//! Reverse page directory: what does each valid physical page hold?
+//!
+//! Garbage collection picks victim *blocks* and must relocate their valid
+//! *pages*; to update the right mapping structure it has to know whether a
+//! page holds host data (keyed by LPN) or a translation page (keyed by its
+//! virtual translation-page number). [`PageDirectory`] maintains that
+//! reverse map densely, packed into one `u64` per physical page.
+
+use dloop_nand::{Geometry, Lpn, Ppn};
+
+/// What a physical page currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageOwner {
+    /// Nothing live.
+    None,
+    /// Host data for this logical page.
+    Data(Lpn),
+    /// The translation page with this virtual translation-page number.
+    Translation(u64),
+}
+
+const TAG_NONE: u64 = 0;
+const TAG_DATA: u64 = 1 << 62;
+const TAG_TRANS: u64 = 2 << 62;
+const TAG_MASK: u64 = 3 << 62;
+const VAL_MASK: u64 = !TAG_MASK;
+
+/// Dense reverse map PPN → owner.
+#[derive(Debug, Clone)]
+pub struct PageDirectory {
+    slots: Vec<u64>,
+}
+
+impl PageDirectory {
+    /// An empty directory covering the whole physical page space.
+    pub fn new(geometry: &Geometry) -> Self {
+        PageDirectory {
+            slots: vec![TAG_NONE; geometry.total_physical_pages() as usize],
+        }
+    }
+
+    /// Record that `ppn` now holds data for `lpn`.
+    pub fn set_data(&mut self, ppn: Ppn, lpn: Lpn) {
+        debug_assert!(lpn <= VAL_MASK);
+        self.slots[ppn as usize] = TAG_DATA | lpn;
+    }
+
+    /// Record that `ppn` now holds translation page `tvpn`.
+    pub fn set_translation(&mut self, ppn: Ppn, tvpn: u64) {
+        debug_assert!(tvpn <= VAL_MASK);
+        self.slots[ppn as usize] = TAG_TRANS | tvpn;
+    }
+
+    /// Record that `ppn` no longer holds anything live.
+    pub fn clear(&mut self, ppn: Ppn) {
+        self.slots[ppn as usize] = TAG_NONE;
+    }
+
+    /// Current owner of `ppn`.
+    pub fn owner(&self, ppn: Ppn) -> PageOwner {
+        let s = self.slots[ppn as usize];
+        match s & TAG_MASK {
+            TAG_DATA => PageOwner::Data(s & VAL_MASK),
+            TAG_TRANS => PageOwner::Translation(s & VAL_MASK),
+            _ => PageOwner::None,
+        }
+    }
+
+    /// Number of live (owned) pages — O(n), intended for audits only.
+    pub fn live_count(&self) -> u64 {
+        self.slots.iter().filter(|&&s| s & TAG_MASK != 0).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> PageDirectory {
+        PageDirectory::new(&Geometry::build_with_hierarchy(1, 2, 5.0, 2, 1, 1, 1, 2))
+    }
+
+    #[test]
+    fn starts_empty() {
+        let d = dir();
+        assert_eq!(d.owner(0), PageOwner::None);
+        assert_eq!(d.live_count(), 0);
+    }
+
+    #[test]
+    fn data_round_trip() {
+        let mut d = dir();
+        d.set_data(7, 123_456);
+        assert_eq!(d.owner(7), PageOwner::Data(123_456));
+        assert_eq!(d.live_count(), 1);
+        d.clear(7);
+        assert_eq!(d.owner(7), PageOwner::None);
+    }
+
+    #[test]
+    fn translation_round_trip() {
+        let mut d = dir();
+        d.set_translation(9, 42);
+        assert_eq!(d.owner(9), PageOwner::Translation(42));
+    }
+
+    #[test]
+    fn overwrite_replaces_owner() {
+        let mut d = dir();
+        d.set_data(3, 10);
+        d.set_translation(3, 20);
+        assert_eq!(d.owner(3), PageOwner::Translation(20));
+        assert_eq!(d.live_count(), 1);
+    }
+
+    #[test]
+    fn lpn_zero_is_distinguishable_from_empty() {
+        let mut d = dir();
+        d.set_data(0, 0);
+        assert_eq!(d.owner(0), PageOwner::Data(0));
+    }
+}

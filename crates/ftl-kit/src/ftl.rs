@@ -1,0 +1,237 @@
+//! The FTL abstraction: how a translation layer turns one page-level host
+//! operation into a chain of timed flash operations.
+//!
+//! An FTL mutates the flash *state* eagerly (mappings, block contents, GC)
+//! while appending the corresponding *timed steps* to an [`OpChain`]. The
+//! device controller then plays the chain against the hardware model:
+//! steps of one chain run back-to-back (translation lookup before data
+//! access, GC before the write it makes room for), while chains of
+//! different host operations interleave freely across planes and channels.
+//! This mirrors the paper's simulator, where address translation decides
+//! up-front whether a copy can use the copy-back path and the timing
+//! advances accordingly (§IV.B).
+
+use crate::dir::PageDirectory;
+use dloop_nand::{FlashState, Lpn, PlaneId, Ppn};
+
+/// One timed flash operation within a chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashStep {
+    /// Page read on `plane` (array + bus out).
+    Read {
+        /// Target plane.
+        plane: PlaneId,
+    },
+    /// Page program on `plane` (bus in + array).
+    Write {
+        /// Target plane.
+        plane: PlaneId,
+    },
+    /// Block erase on `plane`.
+    Erase {
+        /// Target plane.
+        plane: PlaneId,
+    },
+    /// Intra-plane copy-back on `plane` — no bus traffic.
+    CopyBack {
+        /// Target plane.
+        plane: PlaneId,
+    },
+    /// Traditional inter-plane copy.
+    InterPlaneCopy {
+        /// Source plane.
+        src: PlaneId,
+        /// Destination plane.
+        dst: PlaneId,
+    },
+}
+
+impl FlashStep {
+    /// Planes this step loads (both ends of an inter-plane copy).
+    pub fn planes(&self) -> (PlaneId, Option<PlaneId>) {
+        match *self {
+            FlashStep::Read { plane }
+            | FlashStep::Write { plane }
+            | FlashStep::Erase { plane }
+            | FlashStep::CopyBack { plane } => (plane, None),
+            FlashStep::InterPlaneCopy { src, dst } => (src, Some(dst)),
+        }
+    }
+}
+
+/// The ordered steps serving one page-level host operation.
+#[derive(Debug, Clone, Default)]
+pub struct OpChain {
+    steps: Vec<FlashStep>,
+}
+
+impl OpChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        OpChain { steps: Vec::new() }
+    }
+
+    /// Append a step.
+    pub fn push(&mut self, step: FlashStep) {
+        self.steps.push(step);
+    }
+
+    /// The steps in execution order.
+    pub fn steps(&self) -> &[FlashStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the chain is empty (e.g. a read of a never-written LPN —
+    /// served from the controller without touching flash).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Drop all steps, keeping the allocation (chains are reused per op).
+    pub fn clear(&mut self) {
+        self.steps.clear();
+    }
+}
+
+/// Cross-FTL event counters (each FTL fills in what applies to it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FtlCounters {
+    /// Garbage collections invoked.
+    pub gc_invocations: u64,
+    /// Valid pages moved by intra-plane copy-back.
+    pub copyback_moves: u64,
+    /// Valid pages moved over the external bus.
+    pub external_moves: u64,
+    /// Free pages deliberately wasted to honour the same-parity policy.
+    pub parity_skips: u64,
+    /// Translation pages read from flash (CMT misses).
+    pub translation_reads: u64,
+    /// Translation pages written to flash (dirty evictions, GC updates).
+    pub translation_writes: u64,
+    /// Hybrid-FTL merge counts.
+    pub full_merges: u64,
+    /// Partial merges.
+    pub partial_merges: u64,
+    /// Switch merges.
+    pub switch_merges: u64,
+}
+
+/// Which chain a pushed step belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Work the host request waits for (translation lookups, the data
+    /// read/program itself).
+    Host,
+    /// Reclamation caused by this operation (GC on the written plane,
+    /// merges, erases, GC-driven translation rewrites). In the default
+    /// synchronous mode the triggering request pays for it, as in the
+    /// paper's simulator.
+    Gc,
+    /// Housekeeping for *other* planes (the pre-operation threshold scan).
+    /// It occupies planes and buses — delaying subsequent operations — but
+    /// never gates the current request: the paper charges a request only
+    /// for the collection its own write provoked.
+    Scan,
+}
+
+/// Mutable context handed to the FTL for one page operation.
+pub struct FtlContext<'a> {
+    /// The flash array state (mappings of blocks/pages, pools).
+    pub flash: &'a mut FlashState,
+    /// The reverse page directory (ppn → owner).
+    pub dir: &'a mut PageDirectory,
+    /// Steps the host response waits for.
+    pub host_chain: &'a mut OpChain,
+    /// Reclamation caused by this operation.
+    pub gc_chain: &'a mut OpChain,
+    /// Housekeeping for unrelated planes.
+    pub scan_chain: &'a mut OpChain,
+    /// Where [`FtlContext::push`] routes.
+    pub phase: Phase,
+}
+
+impl FtlContext<'_> {
+    /// Append a step to the chain selected by the current phase.
+    pub fn push(&mut self, step: FlashStep) {
+        match self.phase {
+            Phase::Host => self.host_chain.push(step),
+            Phase::Gc => self.gc_chain.push(step),
+            Phase::Scan => self.scan_chain.push(step),
+        }
+    }
+
+    /// Run `f` with the phase forced to [`Phase::Gc`], restoring the
+    /// previous phase afterwards.
+    pub fn in_gc_phase<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let prev = self.phase;
+        self.phase = Phase::Gc;
+        let r = f(self);
+        self.phase = prev;
+        r
+    }
+
+    /// Run `f` with the phase forced to [`Phase::Scan`].
+    pub fn in_scan_phase<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let prev = self.phase;
+        self.phase = Phase::Scan;
+        let r = f(self);
+        self.phase = prev;
+        r
+    }
+}
+
+/// A flash translation layer.
+pub trait Ftl {
+    /// Short scheme name ("DLOOP", "DFTL", "FAST", …).
+    fn name(&self) -> &'static str;
+
+    /// Serve a one-page host read of `lpn`.
+    fn read(&mut self, lpn: Lpn, ctx: &mut FtlContext<'_>);
+
+    /// Serve a one-page host write (or update) of `lpn`.
+    fn write(&mut self, lpn: Lpn, ctx: &mut FtlContext<'_>);
+
+    /// The physical page currently mapped to `lpn`, if any — for tests and
+    /// audits; must not generate flash traffic.
+    fn mapped_ppn(&self, lpn: Lpn) -> Option<Ppn>;
+
+    /// Scheme-level counters.
+    fn counters(&self) -> FtlCounters;
+
+    /// Deep consistency audit against the flash state and directory.
+    fn audit(&self, flash: &FlashState, dir: &PageDirectory) -> Result<(), String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_accumulates_in_order() {
+        let mut c = OpChain::new();
+        assert!(c.is_empty());
+        c.push(FlashStep::Read { plane: 1 });
+        c.push(FlashStep::Write { plane: 2 });
+        assert_eq!(c.len(), 2);
+        assert_eq!(
+            c.steps(),
+            &[FlashStep::Read { plane: 1 }, FlashStep::Write { plane: 2 }]
+        );
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn step_planes() {
+        assert_eq!(FlashStep::CopyBack { plane: 3 }.planes(), (3, None));
+        assert_eq!(
+            FlashStep::InterPlaneCopy { src: 1, dst: 4 }.planes(),
+            (1, Some(4))
+        );
+    }
+}

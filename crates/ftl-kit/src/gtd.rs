@@ -1,0 +1,102 @@
+//! The Global Translation Directory.
+//!
+//! DFTL (and DLOOP, which inherits the demand-caching machinery) stores the
+//! full page-mapping table in flash as *translation pages*; the GTD is the
+//! small SRAM directory saying where each translation page currently lives
+//! (§III.D: "DLOOP consults the GTD to find the victim entry's
+//! corresponding translation page on flash SSD … The corresponding GTD
+//! entry is also updated to reflect the change").
+//!
+//! A translation page covers `page_size / 8` consecutive LPN mappings
+//! (256 for a 2 KB page). The directory itself always fits in SRAM: one
+//! slot per translation page.
+
+use dloop_nand::{Geometry, Lpn, Ppn};
+
+/// SRAM directory: virtual translation page number → flash location.
+#[derive(Debug, Clone)]
+pub struct Gtd {
+    slots: Vec<Option<Ppn>>,
+    mappings_per_tpage: u64,
+}
+
+impl Gtd {
+    /// An empty directory for `geometry` — no translation page has been
+    /// materialised yet.
+    pub fn new(geometry: &Geometry) -> Self {
+        Gtd {
+            slots: vec![None; geometry.translation_page_count() as usize],
+            mappings_per_tpage: geometry.mappings_per_translation_page(),
+        }
+    }
+
+    /// Number of translation pages the LPN space needs.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the directory is empty (zero-capacity device).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Mappings per translation page.
+    pub fn mappings_per_tpage(&self) -> u64 {
+        self.mappings_per_tpage
+    }
+
+    /// The translation page covering `lpn`.
+    pub fn tvpn_of(&self, lpn: Lpn) -> u64 {
+        lpn / self.mappings_per_tpage
+    }
+
+    /// Where translation page `tvpn` lives, if it has been written.
+    pub fn lookup(&self, tvpn: u64) -> Option<Ppn> {
+        self.slots[tvpn as usize]
+    }
+
+    /// Record a new location for `tvpn`, returning the superseded one.
+    pub fn update(&mut self, tvpn: u64, ppn: Ppn) -> Option<Ppn> {
+        self.slots[tvpn as usize].replace(ppn)
+    }
+
+    /// Translation pages currently materialised on flash.
+    pub fn materialised(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gtd() -> Gtd {
+        Gtd::new(&Geometry::paper_default())
+    }
+
+    #[test]
+    fn sized_by_geometry() {
+        let g = Geometry::paper_default();
+        let d = gtd();
+        assert_eq!(d.len() as u64, g.translation_page_count());
+        assert_eq!(d.mappings_per_tpage(), 256);
+    }
+
+    #[test]
+    fn tvpn_grouping() {
+        let d = gtd();
+        assert_eq!(d.tvpn_of(0), 0);
+        assert_eq!(d.tvpn_of(255), 0);
+        assert_eq!(d.tvpn_of(256), 1);
+    }
+
+    #[test]
+    fn update_returns_old_location() {
+        let mut d = gtd();
+        assert_eq!(d.lookup(3), None);
+        assert_eq!(d.update(3, 777), None);
+        assert_eq!(d.lookup(3), Some(777));
+        assert_eq!(d.update(3, 888), Some(777));
+        assert_eq!(d.materialised(), 1);
+    }
+}

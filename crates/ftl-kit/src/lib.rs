@@ -1,0 +1,34 @@
+//! # dloop-ftl-kit
+//!
+//! The FTL framework shared by the DLOOP reproduction's translation layers:
+//!
+//! * [`request`] — page-aligned host request model and splitting.
+//! * [`ftl`] — the [`ftl::Ftl`] trait and the timed [`ftl::OpChain`]
+//!   abstraction connecting FTL decisions to hardware timing.
+//! * [`cmt`] — the segmented-LRU Cached Mapping Table (§III.D).
+//! * [`demand`] — the demand-paged mapping engine (CMT+GTD protocol).
+//! * [`gtd`] — the Global Translation Directory.
+//! * [`dir`] — the reverse page directory (ppn → owner) used by GC.
+//! * [`device`] — the SSD controller: trace replay, dispatch, audits.
+//! * [`metrics`] — [`metrics::RunReport`]: mean response time, SDRPP, WAF…
+//! * [`config`] — Table-I parameters as a value ([`config::SsdConfig`]).
+
+pub mod cmt;
+pub mod demand;
+pub mod config;
+pub mod device;
+pub mod dir;
+pub mod ftl;
+pub mod gtd;
+pub mod metrics;
+pub mod request;
+
+pub use cmt::{CachedMappingTable, Evicted};
+pub use demand::{DemandCounters, DemandMap, UNMAPPED};
+pub use config::{FtlKind, SsdConfig};
+pub use device::SsdDevice;
+pub use dir::{PageDirectory, PageOwner};
+pub use ftl::{FlashStep, Ftl, FtlContext, FtlCounters, OpChain};
+pub use gtd::Gtd;
+pub use metrics::RunReport;
+pub use request::{HostOp, HostRequest};

@@ -1,0 +1,226 @@
+//! Per-run metrics: the paper's two reported statistics plus
+//! observability extras.
+//!
+//! * **Mean response time** — "average response time of all requests
+//!   submitted to a flash SSD" (§V.A), where a request's response time is
+//!   the completion of its last page operation minus its arrival.
+//! * **SDRPP** — "the standard deviation of number of requests that each
+//!   plane receives during a simulation experiment. A lower SDRPP
+//!   indicates that requests are distributed more evenly across planes,
+//!   which leads to a better wear-leveling." Plotted on a natural-log
+//!   scale in the paper, so [`RunReport::ln_sdrpp`] matches the figures.
+
+use crate::ftl::FtlCounters;
+use dloop_nand::OpCounters;
+use dloop_simkit::stats::std_dev_of_counts;
+use dloop_simkit::{Histogram, OnlineStats, SimTime};
+
+/// Everything measured over one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scheme name ("DLOOP", "DFTL", …).
+    pub ftl_name: &'static str,
+    /// Host requests completed.
+    pub requests_completed: u64,
+    /// Host page reads served.
+    pub pages_read: u64,
+    /// Host page writes served.
+    pub pages_written: u64,
+    /// Response-time distribution, in milliseconds.
+    pub response_ms: OnlineStats,
+    /// Log-spaced response-time histogram, in microseconds.
+    pub response_hist_us: Histogram,
+    /// Page-level operations dispatched to each plane.
+    pub plane_request_counts: Vec<u64>,
+    /// Hardware operation counters.
+    pub hw: OpCounters,
+    /// FTL scheme counters.
+    pub ftl: FtlCounters,
+    /// Total block erases.
+    pub total_erases: u64,
+    /// Total page programs (host + translation + GC).
+    pub total_programs: u64,
+    /// Total parity-skipped pages.
+    pub total_skips: u64,
+    /// Wear summary: (min, mean, max) erase count across blocks.
+    pub wear: (u32, f64, u32),
+    /// Simulated completion time of the last operation.
+    pub sim_end: SimTime,
+    /// Per-plane busy nanoseconds (array occupancy).
+    pub plane_busy_ns: Vec<u64>,
+    /// Per-channel busy nanoseconds (bus occupancy).
+    pub channel_busy_ns: Vec<u64>,
+    /// Per page-op queueing delay before the first flash step began.
+    pub wait_ms: OnlineStats,
+    /// Per page-op service span (first step start to host completion).
+    pub service_ms: OnlineStats,
+    /// Synchronous-GC blocking charged to triggering operations.
+    pub gc_block_ms: OnlineStats,
+}
+
+impl RunReport {
+    /// Mean response time in milliseconds — the paper's headline metric.
+    pub fn mean_response_time_ms(&self) -> f64 {
+        self.response_ms.mean()
+    }
+
+    /// Standard deviation of per-plane request counts.
+    pub fn sdrpp(&self) -> f64 {
+        std_dev_of_counts(&self.plane_request_counts)
+    }
+
+    /// ln(SDRPP), as plotted in Figs. 8-10 ("plotted on log scale (base e)
+    /// because their values are huge"). Zero deviation maps to 0.
+    pub fn ln_sdrpp(&self) -> f64 {
+        let sd = self.sdrpp();
+        if sd <= 1.0 {
+            0.0
+        } else {
+            sd.ln()
+        }
+    }
+
+    /// Write amplification factor: physical programs per host page write.
+    pub fn waf(&self) -> f64 {
+        if self.pages_written == 0 {
+            0.0
+        } else {
+            self.total_programs as f64 / self.pages_written as f64
+        }
+    }
+
+    /// Response-time percentile in milliseconds (approximate).
+    pub fn response_percentile_ms(&self, q: f64) -> f64 {
+        self.response_hist_us.quantile(q) / 1000.0
+    }
+
+    /// Total energy of the run's flash operations under an energy model,
+    /// in millijoules.
+    pub fn energy_mj(
+        &self,
+        energy: &dloop_nand::EnergyConfig,
+        timing: &dloop_nand::TimingConfig,
+        page_size: u32,
+    ) -> f64 {
+        energy.total_mj(timing, page_size, &self.hw)
+    }
+
+    /// Mean plane utilisation over the run.
+    pub fn mean_plane_utilisation(&self) -> f64 {
+        let t = self.sim_end.as_nanos().max(1) as f64;
+        if self.plane_busy_ns.is_empty() {
+            return 0.0;
+        }
+        self.plane_busy_ns.iter().map(|&b| b as f64 / t).sum::<f64>()
+            / self.plane_busy_ns.len() as f64
+    }
+
+    /// Highest single-plane utilisation over the run.
+    pub fn max_plane_utilisation(&self) -> f64 {
+        let t = self.sim_end.as_nanos().max(1) as f64;
+        self.plane_busy_ns
+            .iter()
+            .map(|&b| b as f64 / t)
+            .fold(0.0, f64::max)
+    }
+
+    /// Highest single-channel utilisation over the run.
+    pub fn max_channel_utilisation(&self) -> f64 {
+        let t = self.sim_end.as_nanos().max(1) as f64;
+        self.channel_busy_ns
+            .iter()
+            .map(|&b| b as f64 / t)
+            .fold(0.0, f64::max)
+    }
+
+    /// Fraction of GC page moves served by copy-back.
+    pub fn copyback_fraction(&self) -> f64 {
+        let total = self.ftl.copyback_moves + self.ftl.external_moves;
+        if total == 0 {
+            0.0
+        } else {
+            self.ftl.copyback_moves as f64 / total as f64
+        }
+    }
+
+    /// One human-readable summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<9} reqs={:<8} MRT={:>9.4}ms p99={:>9.3}ms lnSDRPP={:>6.2} WAF={:>5.2} GCs={:<6} cb%={:>5.1} erases={}",
+            self.ftl_name,
+            self.requests_completed,
+            self.mean_response_time_ms(),
+            self.response_percentile_ms(0.99),
+            self.ln_sdrpp(),
+            self.waf(),
+            self.ftl.gc_invocations,
+            self.copyback_fraction() * 100.0,
+            self.total_erases,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        let mut response_ms = OnlineStats::new();
+        let mut hist = Histogram::new(1.0, 32);
+        for ms in [0.1, 0.2, 0.3] {
+            response_ms.push(ms);
+            hist.record(ms * 1000.0);
+        }
+        RunReport {
+            ftl_name: "TEST",
+            requests_completed: 3,
+            pages_read: 1,
+            pages_written: 2,
+            response_ms,
+            response_hist_us: hist,
+            plane_request_counts: vec![10, 20, 30, 40],
+            hw: OpCounters::default(),
+            ftl: FtlCounters {
+                copyback_moves: 3,
+                external_moves: 1,
+                ..FtlCounters::default()
+            },
+            total_erases: 5,
+            total_programs: 6,
+            total_skips: 0,
+            wear: (0, 0.5, 2),
+            sim_end: SimTime::from_millis(9),
+            plane_busy_ns: vec![1_000_000; 4],
+            channel_busy_ns: vec![500_000; 2],
+            wait_ms: OnlineStats::new(),
+            service_ms: OnlineStats::new(),
+            gc_block_ms: OnlineStats::new(),
+        }
+    }
+
+    #[test]
+    fn mrt_is_mean_of_samples() {
+        let r = report();
+        assert!((r.mean_response_time_ms() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sdrpp_matches_hand_calculation() {
+        let r = report();
+        // counts 10,20,30,40: mean 25, pop var 125.
+        assert!((r.sdrpp() - 125f64.sqrt()).abs() < 1e-9);
+        assert!((r.ln_sdrpp() - 125f64.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waf_and_copyback_fraction() {
+        let r = report();
+        assert!((r.waf() - 3.0).abs() < 1e-12);
+        assert!((r.copyback_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_scheme() {
+        assert!(report().summary().contains("TEST"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Model-based property test: the segmented-LRU Cached Mapping Table must
+//! behave like a reference cache — same hit/miss classification, same
+//! contents — under arbitrary operation sequences, while never exceeding
+//! capacity and always passing its structural audit.
+
+use dloop_ftl_kit::cmt::CachedMappingTable;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum CmtOp {
+    Lookup(u64),
+    Insert(u64, u64, bool),
+    Update(u64, u64),
+    UpdateInPlace(u64, u64),
+    Remove(u64),
+    Flush(u64),
+}
+
+fn op() -> impl Strategy<Value = CmtOp> {
+    prop_oneof![
+        3 => (0u64..128).prop_map(CmtOp::Lookup),
+        3 => (0u64..128, 0u64..10_000, any::<bool>())
+            .prop_map(|(l, p, d)| CmtOp::Insert(l, p, d)),
+        2 => (0u64..128, 0u64..10_000).prop_map(|(l, p)| CmtOp::Update(l, p)),
+        1 => (0u64..128, 0u64..10_000).prop_map(|(l, p)| CmtOp::UpdateInPlace(l, p)),
+        1 => (0u64..128).prop_map(CmtOp::Remove),
+        1 => (0u64..4).prop_map(CmtOp::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cmt_matches_reference_model(
+        cap in 2usize..24,
+        ops in proptest::collection::vec(op(), 1..250),
+    ) {
+        let mut cmt = CachedMappingTable::new(cap, 32);
+        // The model tracks membership and values only (eviction ORDER is
+        // the CMT's own business; capacity and coherence are the law).
+        let mut model: HashMap<u64, (u64, bool)> = HashMap::new();
+
+        for o in ops {
+            match o {
+                CmtOp::Lookup(l) => {
+                    let got = cmt.lookup(l);
+                    let want = model.get(&l).map(|&(p, _)| p);
+                    prop_assert_eq!(got, want, "lookup({}) diverged", l);
+                }
+                CmtOp::Insert(l, p, d) => {
+                    if model.contains_key(&l) { continue; }
+                    let evicted = cmt.insert(l, p, d);
+                    model.insert(l, (p, d));
+                    if let Some(ev) = evicted {
+                        let (mp, md) = model.remove(&ev.lpn)
+                            .expect("evicted something the model lacks");
+                        prop_assert_eq!(ev.ppn, mp);
+                        prop_assert_eq!(ev.dirty, md);
+                    }
+                }
+                CmtOp::Update(l, p) => {
+                    if !model.contains_key(&l) { continue; }
+                    cmt.update(l, p);
+                    model.insert(l, (p, true));
+                }
+                CmtOp::UpdateInPlace(l, p) => {
+                    let did = cmt.update_in_place(l, p);
+                    prop_assert_eq!(did, model.contains_key(&l));
+                    if did {
+                        model.insert(l, (p, true));
+                    }
+                }
+                CmtOp::Remove(l) => {
+                    let got = cmt.remove(l);
+                    let want = model.remove(&l);
+                    prop_assert_eq!(got.map(|e| (e.ppn, e.dirty)), want);
+                }
+                CmtOp::Flush(tvpn) => {
+                    let flushed = cmt.flush_translation_page(tvpn);
+                    for (l, p) in flushed {
+                        let entry = model.get_mut(&l).expect("flushed unknown entry");
+                        prop_assert_eq!(entry.0, p);
+                        prop_assert!(entry.1, "flushed a clean entry");
+                        entry.1 = false;
+                    }
+                }
+            }
+            prop_assert!(cmt.len() <= cap);
+            prop_assert_eq!(cmt.len(), model.len());
+            cmt.check().map_err(TestCaseError::fail)?;
+        }
+
+        // Final coherence sweep.
+        for (&l, &(p, d)) in &model {
+            prop_assert_eq!(cmt.peek(l), Some((p, d)));
+        }
+    }
+}

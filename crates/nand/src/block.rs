@@ -1,0 +1,274 @@
+//! A single NAND block: page states, the sequential write pointer, and the
+//! erase counter.
+//!
+//! NAND constraints modelled here:
+//! * pages within a block are programmed strictly sequentially (the paper:
+//!   "The pages can only be written sequentially in the current free
+//!   block");
+//! * a programmed page cannot be reprogrammed until the whole block is
+//!   erased (erase-before-write);
+//! * a free page may be deliberately *skipped* (marked invalid without a
+//!   program) — DLOOP does this to satisfy the copy-back same-parity rule.
+
+/// Lifecycle state of one physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PageState {
+    /// Erased, never programmed since the last erase.
+    Free = 0,
+    /// Holds live data.
+    Valid = 1,
+    /// Held data that has been superseded (or was skipped for parity).
+    Invalid = 2,
+}
+
+/// One physical block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    states: Box<[PageState]>,
+    /// Next programmable page offset; `== len` when the block is full.
+    write_ptr: u32,
+    valid: u32,
+    erase_count: u32,
+}
+
+impl Block {
+    /// A freshly erased block with `pages` pages.
+    pub fn new(pages: u32) -> Self {
+        Block {
+            states: vec![PageState::Free; pages as usize].into_boxed_slice(),
+            write_ptr: 0,
+            valid: 0,
+            erase_count: 0,
+        }
+    }
+
+    /// Pages per block.
+    pub fn len(&self) -> u32 {
+        self.states.len() as u32
+    }
+
+    /// A block always has pages; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// True when no page has been programmed or skipped since erase.
+    pub fn is_pristine(&self) -> bool {
+        self.write_ptr == 0
+    }
+
+    /// True when the write pointer has reached the end.
+    pub fn is_full(&self) -> bool {
+        self.write_ptr == self.len()
+    }
+
+    /// Offset the next program will land on (`None` if full).
+    pub fn next_free_page(&self) -> Option<u32> {
+        (!self.is_full()).then_some(self.write_ptr)
+    }
+
+    /// Remaining programmable pages.
+    pub fn free_pages(&self) -> u32 {
+        self.len() - self.write_ptr
+    }
+
+    /// Live pages.
+    pub fn valid_pages(&self) -> u32 {
+        self.valid
+    }
+
+    /// Dead pages (programmed-then-superseded plus parity-skipped).
+    pub fn invalid_pages(&self) -> u32 {
+        self.write_ptr - self.valid
+    }
+
+    /// Times this block has been erased (wear).
+    pub fn erase_count(&self) -> u32 {
+        self.erase_count
+    }
+
+    /// State of page `offset`.
+    pub fn state(&self, offset: u32) -> PageState {
+        self.states[offset as usize]
+    }
+
+    /// Offsets of all valid pages, in ascending order.
+    pub fn valid_offsets(&self) -> impl Iterator<Item = u32> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == PageState::Valid)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Program the next sequential page, returning its offset.
+    pub fn program_next(&mut self) -> Option<u32> {
+        let off = self.next_free_page()?;
+        self.states[off as usize] = PageState::Valid;
+        self.write_ptr += 1;
+        self.valid += 1;
+        Some(off)
+    }
+
+    /// Mark the next sequential free page invalid *without* programming it
+    /// (the parity-waste move of §III.C / Fig. 5b). Returns the skipped
+    /// offset.
+    pub fn skip_next(&mut self) -> Option<u32> {
+        let off = self.next_free_page()?;
+        self.states[off as usize] = PageState::Invalid;
+        self.write_ptr += 1;
+        Some(off)
+    }
+
+    /// Invalidate a previously valid page. Returns false if the page was
+    /// not valid (caller turns that into an error).
+    pub fn invalidate(&mut self, offset: u32) -> bool {
+        let s = &mut self.states[offset as usize];
+        if *s != PageState::Valid {
+            return false;
+        }
+        *s = PageState::Invalid;
+        self.valid -= 1;
+        true
+    }
+
+    /// Erase the block: all pages become free, the write pointer rewinds,
+    /// wear increments. Any remaining valid pages are destroyed — callers
+    /// must have relocated them (GC asserts this).
+    pub fn erase(&mut self) {
+        for s in self.states.iter_mut() {
+            *s = PageState::Free;
+        }
+        self.write_ptr = 0;
+        self.valid = 0;
+        self.erase_count += 1;
+    }
+
+    /// Internal consistency check: counters must match the state array.
+    pub fn check(&self) -> Result<(), String> {
+        let valid = self
+            .states
+            .iter()
+            .filter(|s| **s == PageState::Valid)
+            .count() as u32;
+        let free = self
+            .states
+            .iter()
+            .filter(|s| **s == PageState::Free)
+            .count() as u32;
+        if valid != self.valid {
+            return Err(format!("valid count {} != actual {}", self.valid, valid));
+        }
+        if free != self.len() - self.write_ptr {
+            return Err(format!(
+                "write_ptr {} inconsistent with {} free pages",
+                self.write_ptr, free
+            ));
+        }
+        // Sequential programming: no free page may precede the write ptr.
+        for (i, s) in self.states.iter().enumerate() {
+            let before_ptr = (i as u32) < self.write_ptr;
+            if before_ptr && *s == PageState::Free {
+                return Err(format!("free page {i} before write_ptr {}", self.write_ptr));
+            }
+            if !before_ptr && *s != PageState::Free {
+                return Err(format!(
+                    "non-free page {i} at/after write_ptr {}",
+                    self.write_ptr
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_block_is_pristine() {
+        let b = Block::new(64);
+        assert!(b.is_pristine());
+        assert!(!b.is_full());
+        assert_eq!(b.free_pages(), 64);
+        assert_eq!(b.valid_pages(), 0);
+        assert_eq!(b.invalid_pages(), 0);
+        assert_eq!(b.next_free_page(), Some(0));
+        b.check().unwrap();
+    }
+
+    #[test]
+    fn sequential_programming() {
+        let mut b = Block::new(4);
+        assert_eq!(b.program_next(), Some(0));
+        assert_eq!(b.program_next(), Some(1));
+        assert_eq!(b.program_next(), Some(2));
+        assert_eq!(b.program_next(), Some(3));
+        assert!(b.is_full());
+        assert_eq!(b.program_next(), None);
+        assert_eq!(b.valid_pages(), 4);
+        b.check().unwrap();
+    }
+
+    #[test]
+    fn skip_marks_invalid_without_valid_count() {
+        let mut b = Block::new(4);
+        assert_eq!(b.skip_next(), Some(0));
+        assert_eq!(b.state(0), PageState::Invalid);
+        assert_eq!(b.valid_pages(), 0);
+        assert_eq!(b.invalid_pages(), 1);
+        assert_eq!(b.program_next(), Some(1));
+        b.check().unwrap();
+    }
+
+    #[test]
+    fn invalidate_transitions() {
+        let mut b = Block::new(4);
+        b.program_next();
+        assert!(b.invalidate(0));
+        assert_eq!(b.state(0), PageState::Invalid);
+        // Double invalidate is rejected.
+        assert!(!b.invalidate(0));
+        // Invalidate of a free page is rejected.
+        assert!(!b.invalidate(2));
+        b.check().unwrap();
+    }
+
+    #[test]
+    fn erase_resets_and_counts_wear() {
+        let mut b = Block::new(4);
+        b.program_next();
+        b.program_next();
+        b.invalidate(0);
+        b.erase();
+        assert!(b.is_pristine());
+        assert_eq!(b.erase_count(), 1);
+        assert_eq!(b.valid_pages(), 0);
+        b.erase();
+        assert_eq!(b.erase_count(), 2);
+        b.check().unwrap();
+    }
+
+    #[test]
+    fn valid_offsets_iterates_live_pages() {
+        let mut b = Block::new(6);
+        for _ in 0..5 {
+            b.program_next();
+        }
+        b.invalidate(1);
+        b.invalidate(3);
+        let got: Vec<_> = b.valid_offsets().collect();
+        assert_eq!(got, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn check_catches_corruption() {
+        let mut b = Block::new(4);
+        b.program_next();
+        // Simulate corruption through direct state poking.
+        b.valid = 2;
+        assert!(b.check().is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for flash-state mutations.
+//!
+//! An FTL driving the state through an invalid transition (programming a
+//! full block, double-invalidating a page, erasing an already-free block…)
+//! is a logic bug in the FTL, not an I/O error — these errors exist so that
+//! tests and audits can observe the violation instead of corrupting state.
+
+use crate::geometry::{BlockAddr, PageAddr, Ppn};
+use std::fmt;
+
+/// Things an FTL can do wrong against the flash state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NandError {
+    /// Programming past the end of a block.
+    BlockFull(BlockAddr),
+    /// Invalidate on a page that is not valid.
+    NotValid(PageAddr),
+    /// Read of a page that holds no valid data.
+    ReadInvalid(Ppn),
+    /// Erase of a block that is already in the free pool.
+    EraseFreeBlock(BlockAddr),
+    /// Free-pool underflow: an allocation was requested from an empty pool.
+    NoFreeBlock {
+        /// Plane whose pool ran dry.
+        plane: u32,
+    },
+    /// Skip (parity-waste) on a page that is not free.
+    SkipNonFree(PageAddr),
+    /// An address outside the configured geometry.
+    OutOfRange(Ppn),
+}
+
+impl fmt::Display for NandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NandError::BlockFull(b) => {
+                write!(f, "program on full block {}:{}", b.plane, b.index)
+            }
+            NandError::NotValid(p) => write!(
+                f,
+                "invalidate on non-valid page {}:{}:{}",
+                p.plane, p.block, p.page
+            ),
+            NandError::ReadInvalid(ppn) => write!(f, "read of invalid ppn {ppn}"),
+            NandError::EraseFreeBlock(b) => {
+                write!(f, "erase of free-pool block {}:{}", b.plane, b.index)
+            }
+            NandError::NoFreeBlock { plane } => {
+                write!(f, "free-block pool underflow on plane {plane}")
+            }
+            NandError::SkipNonFree(p) => write!(
+                f,
+                "parity skip on non-free page {}:{}:{}",
+                p.plane, p.block, p.page
+            ),
+            NandError::OutOfRange(ppn) => write!(f, "ppn {ppn} outside geometry"),
+        }
+    }
+}
+
+impl std::error::Error for NandError {}

@@ -1,0 +1,39 @@
+//! # dloop-nand
+//!
+//! A NAND flash SSD hardware model — the reproduction's substitute for the
+//! FlashSim hardware module that the DLOOP paper extends (§IV).
+//!
+//! The model has two halves:
+//!
+//! * **State** ([`state::FlashState`], [`plane::PlaneState`],
+//!   [`block::Block`]) — which page holds what, write pointers, free-block
+//!   pools, erase counters. All NAND rules (sequential in-block programming,
+//!   erase-before-write, pool hygiene) are enforced here with checked
+//!   transitions and audit routines.
+//! * **Timing** ([`hardware::HardwareModel`], [`timing::TimingConfig`]) —
+//!   when operations start and finish under contention for channels,
+//!   planes, and optionally dies. Includes the advanced commands the paper
+//!   relies on: **intra-plane copy-back** (no bus traffic), with
+//!   multi-plane parallelism arising naturally from independent plane
+//!   timelines, and an optional die-serialisation mode for ablations.
+//!
+//! [`geometry::Geometry`] ties the two together with the full
+//! channel/package/chip/die/plane/block/page hierarchy of the paper's
+//! Fig. 1 and the address arithmetic (PPN ↔ page address, LPN → plane).
+
+pub mod block;
+pub mod energy;
+pub mod error;
+pub mod geometry;
+pub mod hardware;
+pub mod plane;
+pub mod state;
+pub mod timing;
+
+pub use block::PageState;
+pub use energy::EnergyConfig;
+pub use error::NandError;
+pub use geometry::{BlockAddr, ChannelId, DieId, Geometry, Lpn, PageAddr, PlaneId, Ppn};
+pub use hardware::{Completion, HardwareModel, OpCounters};
+pub use state::FlashState;
+pub use timing::TimingConfig;

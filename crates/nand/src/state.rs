@@ -1,0 +1,352 @@
+//! Whole-device flash state: every plane's blocks and pools behind one
+//! checked, PPN-level API.
+//!
+//! All FTLs mutate flash exclusively through [`FlashState`], so the NAND
+//! invariants (sequential programming, erase-before-write, pool
+//! consistency) are enforced — and property-tested — in exactly one place.
+
+use crate::block::PageState;
+use crate::error::NandError;
+use crate::geometry::{BlockAddr, Geometry, PageAddr, PlaneId, Ppn};
+use crate::plane::PlaneState;
+
+/// Mutable state of the whole flash array.
+#[derive(Debug, Clone)]
+pub struct FlashState {
+    geometry: Geometry,
+    planes: Vec<PlaneState>,
+    programs: u64,
+    skips: u64,
+    erases: u64,
+    /// Erase cycles a block survives before wearing out (None = infinite).
+    erase_limit: Option<u32>,
+    retired: u64,
+}
+
+impl FlashState {
+    /// A fully erased device of the given geometry.
+    pub fn new(geometry: Geometry) -> Self {
+        let planes = (0..geometry.total_planes())
+            .map(|_| PlaneState::new(geometry.blocks_per_plane, geometry.pages_per_block))
+            .collect();
+        FlashState {
+            geometry,
+            planes,
+            programs: 0,
+            skips: 0,
+            erases: 0,
+            erase_limit: None,
+            retired: 0,
+        }
+    }
+
+    /// A device whose blocks wear out after `limit` erase cycles — the
+    /// finite-erasure-cycles limitation of §I. Worn blocks are retired
+    /// (bad-block management) instead of returning to the free pool.
+    pub fn with_endurance(geometry: Geometry, limit: u32) -> Self {
+        let mut fs = Self::new(geometry);
+        fs.erase_limit = Some(limit);
+        fs
+    }
+
+    /// Blocks permanently retired due to wear-out.
+    pub fn retired_blocks(&self) -> u64 {
+        self.retired
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Shared access to a plane.
+    pub fn plane(&self, plane: PlaneId) -> &PlaneState {
+        &self.planes[plane as usize]
+    }
+
+    /// Mutable access to a plane (tests and FTL internals).
+    pub fn plane_mut(&mut self, plane: PlaneId) -> &mut PlaneState {
+        &mut self.planes[plane as usize]
+    }
+
+    /// State of the page at `ppn`.
+    pub fn page_state(&self, ppn: Ppn) -> PageState {
+        let a = self.geometry.addr_of(ppn);
+        self.planes[a.plane as usize].block(a.block).state(a.page)
+    }
+
+    /// Program the next sequential page of `block`, returning the page
+    /// address written.
+    pub fn program_next(&mut self, block: BlockAddr) -> Result<PageAddr, NandError> {
+        let b = self.planes[block.plane as usize].block_mut(block.index);
+        let off = b.program_next().ok_or(NandError::BlockFull(block))?;
+        self.programs += 1;
+        Ok(PageAddr {
+            plane: block.plane,
+            block: block.index,
+            page: off,
+        })
+    }
+
+    /// Skip (invalidate-without-programming) the next sequential page of
+    /// `block` — DLOOP's parity-waste move. Returns the wasted address.
+    pub fn skip_next(&mut self, block: BlockAddr) -> Result<PageAddr, NandError> {
+        let b = self.planes[block.plane as usize].block_mut(block.index);
+        let off = b.skip_next().ok_or(NandError::BlockFull(block))?;
+        self.skips += 1;
+        Ok(PageAddr {
+            plane: block.plane,
+            block: block.index,
+            page: off,
+        })
+    }
+
+    /// Invalidate the valid page at `ppn` (out-of-place update).
+    pub fn invalidate(&mut self, ppn: Ppn) -> Result<(), NandError> {
+        let a = self.geometry.addr_of(ppn);
+        let ok = self.planes[a.plane as usize]
+            .block_mut(a.block)
+            .invalidate(a.page);
+        if ok {
+            Ok(())
+        } else {
+            Err(NandError::NotValid(a))
+        }
+    }
+
+    /// Verify a read hits live data (simulation carries no payloads, but
+    /// reading a stale page is an FTL mapping bug we want to catch).
+    pub fn read_check(&self, ppn: Ppn) -> Result<(), NandError> {
+        if ppn >= self.geometry.total_physical_pages() {
+            return Err(NandError::OutOfRange(ppn));
+        }
+        if self.page_state(ppn) == PageState::Valid {
+            Ok(())
+        } else {
+            Err(NandError::ReadInvalid(ppn))
+        }
+    }
+
+    /// Erase `block` and return it to its plane's free pool. The block must
+    /// contain no valid pages (GC must have relocated them).
+    pub fn erase_and_pool(&mut self, block: BlockAddr) -> Result<(), NandError> {
+        let plane = &mut self.planes[block.plane as usize];
+        if plane.in_free_pool(block.index) {
+            return Err(NandError::EraseFreeBlock(block));
+        }
+        let b = plane.block_mut(block.index);
+        assert_eq!(
+            b.valid_pages(),
+            0,
+            "erasing block {}:{} with live data",
+            block.plane,
+            block.index
+        );
+        b.erase();
+        self.erases += 1;
+        let worn = self
+            .erase_limit
+            .is_some_and(|lim| plane.block(block.index).erase_count() >= lim);
+        if worn {
+            plane.retire(block.index);
+            self.retired += 1;
+        } else {
+            plane.return_free_block(block.index);
+        }
+        Ok(())
+    }
+
+    /// Pop a free block from `plane`'s pool.
+    pub fn allocate_free_block(&mut self, plane: PlaneId) -> Result<u32, NandError> {
+        self.planes[plane as usize]
+            .allocate_free_block()
+            .ok_or(NandError::NoFreeBlock { plane })
+    }
+
+    /// Free-pool size of `plane`.
+    pub fn free_blocks(&self, plane: PlaneId) -> u32 {
+        self.planes[plane as usize].free_pool_len()
+    }
+
+    /// Total page programs performed (data + translation + GC).
+    pub fn total_programs(&self) -> u64 {
+        self.programs
+    }
+
+    /// Total parity-skip pages wasted.
+    pub fn total_skips(&self) -> u64 {
+        self.skips
+    }
+
+    /// Total block erases performed.
+    pub fn total_erases(&self) -> u64 {
+        self.erases
+    }
+
+    /// Wear summary across all blocks: (min, mean, max) erase counts.
+    pub fn wear_summary(&self) -> (u32, f64, u32) {
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for p in &self.planes {
+            for (_, b) in p.blocks() {
+                min = min.min(b.erase_count());
+                max = max.max(b.erase_count());
+                sum += b.erase_count() as u64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            (0, 0.0, 0)
+        } else {
+            (min, sum as f64 / n as f64, max)
+        }
+    }
+
+    /// Total valid pages on the device.
+    pub fn total_valid_pages(&self) -> u64 {
+        self.planes.iter().map(|p| p.valid_pages()).sum()
+    }
+
+    /// Audit every plane.
+    pub fn check(&self) -> Result<(), String> {
+        for (i, p) in self.planes.iter().enumerate() {
+            p.check().map_err(|e| format!("plane {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FlashState {
+        // 2 channels x 1 x 1 x 1 die x 2 planes = 4 planes.
+        FlashState::new(Geometry::build_with_hierarchy(1, 2, 5.0, 2, 1, 1, 1, 2))
+    }
+
+    #[test]
+    fn program_invalidate_erase_cycle() {
+        let mut fs = small();
+        let blk_idx = fs.allocate_free_block(0).unwrap();
+        let blk = BlockAddr {
+            plane: 0,
+            index: blk_idx,
+        };
+        let addr = fs.program_next(blk).unwrap();
+        let ppn = fs.geometry().ppn_of(addr);
+        fs.read_check(ppn).unwrap();
+        fs.invalidate(ppn).unwrap();
+        assert!(matches!(
+            fs.read_check(ppn),
+            Err(NandError::ReadInvalid(_))
+        ));
+        fs.erase_and_pool(blk).unwrap();
+        assert_eq!(fs.total_erases(), 1);
+        fs.check().unwrap();
+    }
+
+    #[test]
+    fn double_invalidate_is_error() {
+        let mut fs = small();
+        let blk = BlockAddr {
+            plane: 1,
+            index: fs.allocate_free_block(1).unwrap(),
+        };
+        let addr = fs.program_next(blk).unwrap();
+        let ppn = fs.geometry().ppn_of(addr);
+        fs.invalidate(ppn).unwrap();
+        assert!(fs.invalidate(ppn).is_err());
+    }
+
+    #[test]
+    fn program_full_block_is_error() {
+        let mut fs = small();
+        let blk = BlockAddr {
+            plane: 0,
+            index: fs.allocate_free_block(0).unwrap(),
+        };
+        for _ in 0..fs.geometry().pages_per_block {
+            fs.program_next(blk).unwrap();
+        }
+        assert!(matches!(
+            fs.program_next(blk),
+            Err(NandError::BlockFull(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "live data")]
+    fn erase_with_valid_pages_panics() {
+        let mut fs = small();
+        let blk = BlockAddr {
+            plane: 0,
+            index: fs.allocate_free_block(0).unwrap(),
+        };
+        fs.program_next(blk).unwrap();
+        let _ = fs.erase_and_pool(blk);
+    }
+
+    #[test]
+    fn erase_pooled_block_is_error() {
+        let mut fs = small();
+        assert!(matches!(
+            fs.erase_and_pool(BlockAddr { plane: 0, index: 2 }),
+            Err(NandError::EraseFreeBlock(_))
+        ));
+    }
+
+    #[test]
+    fn pool_underflow_is_error() {
+        let mut fs = small();
+        let n = fs.geometry().blocks_per_plane;
+        for _ in 0..n {
+            fs.allocate_free_block(0).unwrap();
+        }
+        assert!(matches!(
+            fs.allocate_free_block(0),
+            Err(NandError::NoFreeBlock { plane: 0 })
+        ));
+    }
+
+    #[test]
+    fn skip_counts_separately() {
+        let mut fs = small();
+        let blk = BlockAddr {
+            plane: 0,
+            index: fs.allocate_free_block(0).unwrap(),
+        };
+        fs.skip_next(blk).unwrap();
+        fs.program_next(blk).unwrap();
+        assert_eq!(fs.total_skips(), 1);
+        assert_eq!(fs.total_programs(), 1);
+        // The skipped page is at offset 0, the programmed one at 1.
+        assert_eq!(
+            fs.plane(0).block(blk.index).state(0),
+            PageState::Invalid
+        );
+        assert_eq!(fs.plane(0).block(blk.index).state(1), PageState::Valid);
+    }
+
+    #[test]
+    fn wear_summary_tracks_erases() {
+        let mut fs = small();
+        let blk = BlockAddr {
+            plane: 0,
+            index: fs.allocate_free_block(0).unwrap(),
+        };
+        for _ in 0..3 {
+            let a = fs.program_next(blk).unwrap();
+            fs.invalidate(fs.geometry().ppn_of(a)).unwrap();
+            fs.erase_and_pool(blk).unwrap();
+            // Re-allocate the same block: pool is FIFO so drain to it.
+            while fs.allocate_free_block(0).unwrap() != blk.index {}
+        }
+        let (min, mean, max) = fs.wear_summary();
+        assert_eq!(min, 0);
+        assert_eq!(max, 3);
+        assert!(mean > 0.0);
+    }
+}

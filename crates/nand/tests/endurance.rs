@@ -1,0 +1,69 @@
+//! Endurance and bad-block retirement behaviour.
+
+use dloop_nand::{BlockAddr, FlashState, Geometry};
+
+fn tiny() -> Geometry {
+    let mut g = Geometry::build_with_hierarchy(1, 2, 5.0, 2, 1, 1, 1, 2);
+    g.data_blocks_per_plane = 4;
+    g.blocks_per_plane = 6;
+    g
+}
+
+fn cycle(fs: &mut FlashState, blk: BlockAddr) {
+    let addr = fs.program_next(blk).unwrap();
+    fs.invalidate(fs.geometry().ppn_of(addr)).unwrap();
+    fs.erase_and_pool(blk).unwrap();
+}
+
+#[test]
+fn block_retires_at_limit() {
+    let mut fs = FlashState::with_endurance(tiny(), 3);
+    let idx = fs.allocate_free_block(0).unwrap();
+    let blk = BlockAddr { plane: 0, index: idx };
+    // Two cycles: still serviceable (pool regains it each time).
+    for _ in 0..2 {
+        cycle(&mut fs, blk);
+        assert!(fs.plane(0).in_free_pool(idx));
+        // Re-allocate the same block (FIFO drain).
+        while fs.allocate_free_block(0).unwrap() != idx {}
+    }
+    // Third erase hits the limit: retired, not pooled.
+    cycle(&mut fs, blk);
+    assert!(!fs.plane(0).in_free_pool(idx));
+    assert!(fs.plane(0).is_retired(idx));
+    assert_eq!(fs.retired_blocks(), 1);
+    assert_eq!(fs.plane(0).retired_blocks(), 1);
+    fs.check().unwrap();
+}
+
+#[test]
+fn infinite_endurance_never_retires() {
+    let mut fs = FlashState::new(tiny());
+    let idx = fs.allocate_free_block(0).unwrap();
+    let blk = BlockAddr { plane: 0, index: idx };
+    for _ in 0..50 {
+        cycle(&mut fs, blk);
+        while fs.allocate_free_block(0).unwrap() != idx {}
+    }
+    assert_eq!(fs.retired_blocks(), 0);
+    assert_eq!(fs.plane(0).block(idx).erase_count(), 50);
+}
+
+#[test]
+fn retired_blocks_shrink_the_pool_permanently() {
+    let mut fs = FlashState::with_endurance(tiny(), 1);
+    let total = fs.geometry().blocks_per_plane;
+    // Wear out two blocks on plane 1.
+    for _ in 0..2 {
+        let idx = fs.allocate_free_block(1).unwrap();
+        cycle(&mut fs, BlockAddr { plane: 1, index: idx });
+    }
+    assert_eq!(fs.retired_blocks(), 2);
+    // The pool can only ever hold the remaining blocks.
+    let mut remaining = 0;
+    while fs.allocate_free_block(1).is_ok() {
+        remaining += 1;
+    }
+    assert_eq!(remaining, total - 2);
+    fs.check().unwrap();
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the NAND state machine: arbitrary sequences of
+//! program/skip/invalidate/erase operations can never violate the flash
+//! invariants, and the checked API rejects every illegal transition.
+
+use dloop_nand::{BlockAddr, FlashState, Geometry, NandError, PageState};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Allocate { plane: u8 },
+    Program { slot: u8 },
+    Skip { slot: u8 },
+    Invalidate { slot: u8, page: u8 },
+    EraseIfDead { slot: u8 },
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        1 => (0u8..4).prop_map(|plane| Action::Allocate { plane }),
+        4 => (0u8..8).prop_map(|slot| Action::Program { slot }),
+        1 => (0u8..8).prop_map(|slot| Action::Skip { slot }),
+        3 => (0u8..8, 0u8..64).prop_map(|(slot, page)| Action::Invalidate { slot, page }),
+        1 => (0u8..8).prop_map(|slot| Action::EraseIfDead { slot }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn arbitrary_action_sequences_preserve_invariants(
+        actions in proptest::collection::vec(action(), 1..300),
+    ) {
+        let mut g = Geometry::build_with_hierarchy(1, 2, 5.0, 2, 1, 1, 1, 2);
+        // Keep the state tiny so the per-step full audit stays cheap.
+        g.data_blocks_per_plane = 8;
+        g.blocks_per_plane = 10;
+        let mut fs = FlashState::new(g.clone());
+        // Slots: blocks we've allocated, across planes.
+        let mut slots: Vec<BlockAddr> = Vec::new();
+        let mut expected_valid = 0u64;
+
+        for (step, a) in actions.into_iter().enumerate() {
+            match a {
+                Action::Allocate { plane } => {
+                    let plane = plane as u32 % g.total_planes();
+                    if let Ok(idx) = fs.allocate_free_block(plane) {
+                        slots.push(BlockAddr { plane, index: idx });
+                    }
+                }
+                Action::Program { slot } => {
+                    if slots.is_empty() { continue; }
+                    let blk = slots[slot as usize % slots.len()];
+                    match fs.program_next(blk) {
+                        Ok(addr) => {
+                            expected_valid += 1;
+                            prop_assert_eq!(
+                                fs.page_state(g.ppn_of(addr)),
+                                PageState::Valid
+                            );
+                        }
+                        Err(NandError::BlockFull(_)) => {
+                            prop_assert!(fs.plane(blk.plane).block(blk.index).is_full());
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Action::Skip { slot } => {
+                    if slots.is_empty() { continue; }
+                    let blk = slots[slot as usize % slots.len()];
+                    match fs.skip_next(blk) {
+                        Ok(_) | Err(NandError::BlockFull(_)) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Action::Invalidate { slot, page } => {
+                    if slots.is_empty() { continue; }
+                    let blk = slots[slot as usize % slots.len()];
+                    let addr = dloop_nand::PageAddr {
+                        plane: blk.plane,
+                        block: blk.index,
+                        page: page as u32 % g.pages_per_block,
+                    };
+                    let ppn = g.ppn_of(addr);
+                    let was_valid = fs.page_state(ppn) == PageState::Valid;
+                    match fs.invalidate(ppn) {
+                        Ok(()) => {
+                            prop_assert!(was_valid, "invalidate succeeded on non-valid page");
+                            expected_valid -= 1;
+                        }
+                        Err(NandError::NotValid(_)) => prop_assert!(!was_valid),
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Action::EraseIfDead { slot } => {
+                    if slots.is_empty() { continue; }
+                    let i = slot as usize % slots.len();
+                    let blk = slots[i];
+                    if fs.plane(blk.plane).block(blk.index).valid_pages() == 0
+                        && !fs.plane(blk.plane).in_free_pool(blk.index)
+                    {
+                        fs.erase_and_pool(blk).unwrap();
+                        slots.remove(i);
+                    }
+                }
+            }
+            if step % 16 == 0 {
+                fs.check().map_err(TestCaseError::fail)?;
+            }
+        }
+        fs.check().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(fs.total_valid_pages(), expected_valid);
+    }
+
+    #[test]
+    fn geometry_round_trip(
+        capacity in 1u32..8,
+        page_kb in prop_oneof![Just(2u32), Just(4), Just(8), Just(16)],
+        extra in 0.0f64..12.0,
+        ppn_frac in 0.0f64..1.0,
+    ) {
+        let g = Geometry::build(capacity, page_kb, extra);
+        let ppn = (g.total_physical_pages() as f64 * ppn_frac) as u64
+            % g.total_physical_pages();
+        let addr = g.addr_of(ppn);
+        prop_assert_eq!(g.ppn_of(addr), ppn);
+        prop_assert!(addr.plane < g.total_planes());
+        prop_assert!(addr.block < g.blocks_per_plane);
+        prop_assert!(addr.page < g.pages_per_block);
+        prop_assert_eq!(g.plane_of_ppn(ppn), addr.plane);
+    }
+}

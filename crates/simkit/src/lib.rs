@@ -1,0 +1,38 @@
+//! # dloop-simkit
+//!
+//! A small, deterministic, event-driven simulation kernel.
+//!
+//! This crate is the reproduction's substitute for DiskSim 3.0: it provides
+//! the pieces of DiskSim the DLOOP paper actually relies on — a simulated
+//! clock, an ordered event queue, per-run statistics, and a reproducible
+//! random number generator — without the hard-disk machinery that the flash
+//! extension bypasses.
+//!
+//! Everything in this crate is single-threaded and fully deterministic:
+//! running the same simulation with the same seed twice produces bit-identical
+//! results. Parallelism in the *simulated* SSD (planes, channels, dies) is
+//! modelled by resource timelines in `dloop-nand`, not by host threads;
+//! host-level parallelism is only used by the experiment harness, which runs
+//! independent simulations on independent worker threads.
+//!
+//! ## Modules
+//!
+//! * [`time`] — fixed-point simulated time ([`SimTime`], [`SimDuration`]).
+//! * [`events`] — a monotonic event queue with stable FIFO tie-breaking.
+//! * [`stats`] — online mean/variance, histograms and percentile estimation.
+//! * [`rng`] — a tiny, seedable PCG-style PRNG (keeps the simulator free of
+//!   external API churn; `rand` is only used by workload generators).
+//! * [`queue`] — the pending-operation priority list used to model FlashSim's
+//!   channel-interleaving scheduler.
+
+pub mod events;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use events::{EventQueue, ScheduledEvent};
+pub use queue::PendingQueue;
+pub use rng::SimRng;
+pub use stats::{Histogram, OnlineStats};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,97 @@
+//! `trace-tool` — inspect, convert, and generate I/O traces.
+//!
+//! ```text
+//! trace-tool stats <file> [spc|disksim]
+//! trace-tool convert <in> <spc|disksim> <out.spc>
+//! trace-tool generate <financial1|financial2|tpcc|exchange|build> <out.spc> [requests] [seed]
+//! ```
+
+use dloop_workloads::spc::write_spc;
+use dloop_workloads::{parse_disksim, parse_spc, Trace, WorkloadProfile};
+use std::process::ExitCode;
+
+const PAGE: u32 = 2048;
+
+fn load(path: &str, format: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    match format {
+        "spc" => parse_spc(&text, path, PAGE, None).map_err(|e| e.to_string()),
+        "disksim" => parse_disksim(&text, path, PAGE, None).map_err(|e| e.to_string()),
+        other => Err(format!("unknown format {other:?} (expected spc|disksim)")),
+    }
+}
+
+fn profile(name: &str) -> Result<WorkloadProfile, String> {
+    Ok(match name {
+        "financial1" => WorkloadProfile::financial1(),
+        "financial2" => WorkloadProfile::financial2(),
+        "tpcc" => WorkloadProfile::tpcc(),
+        "exchange" => WorkloadProfile::exchange(),
+        "build" => WorkloadProfile::build(),
+        other => return Err(format!("unknown profile {other:?}")),
+    })
+}
+
+fn print_stats(trace: &Trace) {
+    let s = trace.stats(PAGE);
+    println!("trace      : {}", trace.name);
+    println!("requests   : {}", trace.len());
+    println!("writes     : {} ({:.1}%)", s.writes, s.write_pct);
+    println!("reads      : {}", s.reads);
+    println!("avg size   : {:.2} KB", s.avg_size_kb);
+    println!("rate       : {:.1} req/s", s.rate_per_sec);
+    println!("duration   : {:.1} s", s.duration.as_secs_f64());
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("stats") => {
+            let path = args.get(1).ok_or("stats needs a file")?;
+            let format = args.get(2).map(String::as_str).unwrap_or("spc");
+            print_stats(&load(path, format)?);
+            Ok(())
+        }
+        Some("convert") => {
+            let [_, input, format, output] = &args[..] else {
+                return Err("convert <in> <spc|disksim> <out.spc>".into());
+            };
+            let trace = load(input, format)?;
+            std::fs::write(output, write_spc(&trace, PAGE))
+                .map_err(|e| format!("write {output}: {e}"))?;
+            println!("wrote {} requests to {output}", trace.len());
+            Ok(())
+        }
+        Some("generate") => {
+            let name = args.get(1).ok_or("generate needs a profile")?;
+            let output = args.get(2).ok_or("generate needs an output path")?;
+            let requests: u64 = args
+                .get(3)
+                .map(|s| s.parse().map_err(|_| "bad request count"))
+                .transpose()?
+                .unwrap_or(100_000);
+            let seed: u64 = args
+                .get(4)
+                .map(|s| s.parse().map_err(|_| "bad seed"))
+                .transpose()?
+                .unwrap_or(42);
+            let trace = profile(name)?.generate_scaled(seed, PAGE, requests);
+            std::fs::write(output, write_spc(&trace, PAGE))
+                .map_err(|e| format!("write {output}: {e}"))?;
+            print_stats(&trace);
+            println!("wrote {output}");
+            Ok(())
+        }
+        _ => Err("usage: trace-tool <stats|convert|generate> ...".into()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The trace container: an ordered sequence of host requests plus summary
+//! statistics (the rows of the paper's Table II).
+
+use dloop_ftl_kit::request::{HostOp, HostRequest};
+use dloop_simkit::SimDuration;
+
+/// A named request trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Trace name (e.g. "Financial1").
+    pub name: String,
+    /// Requests in non-decreasing arrival order.
+    pub requests: Vec<HostRequest>,
+}
+
+/// Summary statistics in the shape of the paper's Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of write requests.
+    pub writes: u64,
+    /// Number of read requests.
+    pub reads: u64,
+    /// Write percentage.
+    pub write_pct: f64,
+    /// Mean request size in KB (pages × page size).
+    pub avg_size_kb: f64,
+    /// Mean arrival rate in requests/second.
+    pub rate_per_sec: f64,
+    /// Trace duration.
+    pub duration: SimDuration,
+}
+
+impl Trace {
+    /// Build a trace, asserting arrival monotonicity.
+    pub fn new(name: impl Into<String>, requests: Vec<HostRequest>) -> Self {
+        debug_assert!(
+            requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "trace arrivals must be sorted"
+        );
+        Trace {
+            name: name.into(),
+            requests,
+        }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Table-II-style statistics, given the page size the trace was
+    /// aligned to.
+    pub fn stats(&self, page_size: u32) -> TraceStats {
+        let mut writes = 0u64;
+        let mut reads = 0u64;
+        let mut pages = 0u64;
+        for r in &self.requests {
+            match r.op {
+                HostOp::Write => writes += 1,
+                HostOp::Read => reads += 1,
+            }
+            pages += r.pages as u64;
+        }
+        let total = writes + reads;
+        let duration = match (self.requests.first(), self.requests.last()) {
+            (Some(a), Some(b)) => b.arrival.saturating_since(a.arrival),
+            _ => SimDuration::ZERO,
+        };
+        let secs = duration.as_secs_f64();
+        TraceStats {
+            writes,
+            reads,
+            write_pct: if total == 0 {
+                0.0
+            } else {
+                writes as f64 / total as f64 * 100.0
+            },
+            avg_size_kb: if total == 0 {
+                0.0
+            } else {
+                pages as f64 * page_size as f64 / total as f64 / 1024.0
+            },
+            rate_per_sec: if secs > 0.0 { total as f64 / secs } else { 0.0 },
+            duration,
+        }
+    }
+
+    /// Keep only the first `n` requests (harness scaling).
+    pub fn truncated(mut self, n: usize) -> Self {
+        self.requests.truncate(n);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dloop_simkit::SimTime;
+
+    fn req(at_ms: u64, op: HostOp, pages: u32) -> HostRequest {
+        HostRequest {
+            arrival: SimTime::from_millis(at_ms),
+            lpn: 0,
+            pages,
+            op,
+        }
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let t = Trace::new(
+            "t",
+            vec![
+                req(0, HostOp::Write, 2),
+                req(500, HostOp::Read, 1),
+                req(1000, HostOp::Write, 3),
+            ],
+        );
+        let s = t.stats(2048);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.reads, 1);
+        assert!((s.write_pct - 66.666).abs() < 0.01);
+        // 6 pages * 2 KB / 3 requests = 4 KB average.
+        assert!((s.avg_size_kb - 4.0).abs() < 1e-9);
+        // 3 requests over 1 second.
+        assert!((s.rate_per_sec - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_sane() {
+        let t = Trace::new("e", vec![]);
+        let s = t.stats(2048);
+        assert_eq!(s.writes + s.reads, 0);
+        assert_eq!(s.rate_per_sec, 0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn truncation() {
+        let t = Trace::new(
+            "t",
+            (0..10)
+                .map(|i| req(i * 10, HostOp::Write, 1))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(t.truncated(4).len(), 4);
+    }
+}

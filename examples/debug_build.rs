@@ -1,0 +1,27 @@
+use dloop::DloopFtl;
+use dloop_baselines::DftlFtl;
+use dloop_ftl_kit::config::SsdConfig;
+use dloop_ftl_kit::device::SsdDevice;
+use dloop_ftl_kit::ftl::Ftl;
+use dloop_workloads::WorkloadProfile;
+
+fn main() {
+    let config = SsdConfig::paper_default().with_capacity_gb(1);
+    let mut p = WorkloadProfile::build();
+    p.footprint_bytes /= 4;
+    let trace = p.generate_scaled(42, 2048, 150_000);
+    let ftls: Vec<(&str, Box<dyn Ftl>)> = vec![
+        ("DLOOP", Box::new(DloopFtl::new(&config))),
+        ("DFTL", Box::new(DftlFtl::new(&config))),
+    ];
+    for (name, ftl) in ftls {
+        let mut d = SsdDevice::new(config.clone(), ftl);
+        let r = d.run_trace(&trace.requests);
+        println!("{name:6} MRT={:10.3}ms WAF={:.2} GCs={} erases={} cb={} ext={} skips={} tr={} tw={} putil={:.2}/{:.2} cutil={:.2} live={} phys={}",
+            r.mean_response_time_ms(), r.waf(), r.ftl.gc_invocations, r.total_erases,
+            r.ftl.copyback_moves, r.ftl.external_moves, r.ftl.parity_skips,
+            r.ftl.translation_reads, r.ftl.translation_writes,
+            r.mean_plane_utilisation(), r.max_plane_utilisation(), r.max_channel_utilisation(),
+            d.flash().total_valid_pages(), d.flash().geometry().total_physical_pages());
+    }
+}

@@ -1,0 +1,69 @@
+//! Device lifetime under finite erase cycles: hammer a tiny SSD with
+//! updates until blocks start wearing out, and compare how evenly DLOOP
+//! and DFTL spread the damage (the paper's implicit wear-leveling claim).
+//!
+//! ```text
+//! cargo run --release --example endurance
+//! ```
+
+use dloop_repro::baselines::DftlFtl;
+use dloop_repro::dloop_ftl::DloopFtl;
+use dloop_repro::prelude::*;
+use dloop_repro::simkit::SimRng;
+
+fn main() {
+    let mut config = SsdConfig::micro_gc_test();
+    config.blocks_per_plane_override = Some((24, 4));
+    config.erase_limit = Some(60);
+
+    let ftls: Vec<(&str, Box<dyn Ftl>)> = vec![
+        ("DLOOP", Box::new(DloopFtl::new(&config))),
+        ("DFTL", Box::new(DftlFtl::new(&config))),
+    ];
+    println!(
+        "{:<7} {:>9} {:>9} {:>12} {:>14}",
+        "FTL", "phases", "retired", "wear min/max", "host GB written"
+    );
+    for (name, ftl) in ftls {
+        let mut device = SsdDevice::new(config.clone(), ftl);
+        let user = device.flash().geometry().user_pages();
+        let mut rng = SimRng::new(3);
+        let mut t = 0u64;
+        let mut phases = 0;
+        let mut written_pages = 0u64;
+        // Update-hammer until 10% of blocks have retired (or 40 phases).
+        while device.flash().retired_blocks()
+            < (device.flash().geometry().blocks_per_plane as u64
+                * device.flash().geometry().total_planes() as u64)
+                / 10
+            && phases < 40
+        {
+            let reqs: Vec<_> = (0..20_000u64)
+                .map(|_| {
+                    t += 100;
+                    HostRequest {
+                        arrival: SimTime::from_micros(t),
+                        lpn: rng.below(user / 2),
+                        pages: 1,
+                        op: HostOp::Write,
+                    }
+                })
+                .collect();
+            written_pages += reqs.len() as u64;
+            device.run_trace(&reqs);
+            phases += 1;
+        }
+        let report = device.run_trace(&[]);
+        let (wmin, _, wmax) = report.wear;
+        println!(
+            "{:<7} {:>9} {:>9} {:>9}/{:<4} {:>12.3}",
+            name,
+            phases,
+            device.flash().retired_blocks(),
+            wmin,
+            wmax,
+            written_pages as f64 * 2048.0 / (1u64 << 30) as f64,
+        );
+        device.audit().expect("consistent at end of life");
+    }
+}

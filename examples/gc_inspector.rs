@@ -1,0 +1,79 @@
+//! Watch garbage collection evolve: age a device with updates and print
+//! the GC economics (victim quality, copy-back share, parity waste, wear)
+//! after each phase.
+//!
+//! ```text
+//! cargo run --release --example gc_inspector
+//! ```
+
+use dloop_repro::dloop_ftl::DloopFtl;
+use dloop_repro::prelude::*;
+use dloop_repro::simkit::SimRng;
+use dloop_repro::workloads::synth::sequential_fill;
+
+fn main() {
+    let mut config = SsdConfig::paper_default().with_capacity_gb(1);
+    config.extra_pct = 5.0;
+    let mut device = SsdDevice::new(config.clone(), Box::new(DloopFtl::new(&config)));
+    let user = device.flash().geometry().user_pages();
+
+    // Phase 0: sequential fill of 85% of the logical space (aging).
+    let fill = sequential_fill(user, 0.85, 64);
+    device.warm_up(&fill.requests);
+    println!("aged: {} pages live", device.flash().total_valid_pages());
+
+    // Phases 1..: bursts of skewed random updates; watch GC economics.
+    let mut rng = SimRng::new(7);
+    let mut t_us = 0u64;
+    println!(
+        "\n{:>5} {:>9} {:>7} {:>9} {:>9} {:>7} {:>7} {:>12}",
+        "phase", "MRT ms", "GCs", "cb moves", "ext", "skips", "WAF", "wear min/max"
+    );
+    let mut last = (0u64, 0u64, 0u64, 0u64);
+    for phase in 1..=8 {
+        let reqs: Vec<_> = (0..30_000u64)
+            .map(|_| {
+                t_us += 400;
+                let lpn = if rng.chance(0.8) {
+                    rng.below(user / 10) // hot tenth
+                } else {
+                    rng.below(user)
+                };
+                HostRequest {
+                    arrival: SimTime::from_micros(t_us),
+                    lpn,
+                    pages: 1,
+                    op: HostOp::Write,
+                }
+            })
+            .collect();
+        let report = device.run_trace(&reqs);
+        let delta = (
+            report.ftl.gc_invocations - last.0,
+            report.ftl.copyback_moves - last.1,
+            report.ftl.external_moves - last.2,
+            report.ftl.parity_skips - last.3,
+        );
+        last = (
+            report.ftl.gc_invocations,
+            report.ftl.copyback_moves,
+            report.ftl.external_moves,
+            report.ftl.parity_skips,
+        );
+        let (wmin, _, wmax) = report.wear;
+        println!(
+            "{:>5} {:>9.4} {:>7} {:>9} {:>9} {:>7} {:>7.2} {:>7}/{}",
+            phase,
+            report.mean_response_time_ms(),
+            delta.0,
+            delta.1,
+            delta.2,
+            delta.3,
+            report.waf(),
+            wmin,
+            wmax
+        );
+    }
+    device.audit().expect("consistent");
+    println!("\naudit: ok");
+}

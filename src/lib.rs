@@ -1,0 +1,58 @@
+//! # dloop-repro
+//!
+//! Umbrella crate for the reproduction of *DLOOP: A Flash Translation Layer
+//! Exploiting Plane-Level Parallelism* (Abdurrab, Xie, Wang — IPDPS 2013).
+//!
+//! This crate re-exports the whole workspace under one root so examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! * [`simkit`] — deterministic event-driven simulation kernel.
+//! * [`nand`] — NAND flash SSD hardware model (geometry, timing, state,
+//!   resource contention, advanced commands incl. intra-plane copy-back).
+//! * [`ftl_kit`] — FTL framework: `Ftl` trait, cached mapping table, global
+//!   translation directory, the SSD device controller, and metrics.
+//! * [`dloop`] — the paper's contribution: the DLOOP FTL.
+//! * [`baselines`] — DFTL, FAST and an ideal page-mapping FTL.
+//! * [`workloads`] — synthetic enterprise workload generators (Table II)
+//!   and trace-file parsers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dloop_repro::prelude::*;
+//!
+//! // A small SSD running the paper's FTL.
+//! let config = SsdConfig::tiny_test();
+//! let ftl = DloopFtl::new(&config);
+//! let mut device = SsdDevice::new(config.clone(), Box::new(ftl));
+//!
+//! // A 16-page sequential write stripes across every plane.
+//! let report = device.run_trace(&[HostRequest {
+//!     arrival: SimTime::ZERO,
+//!     lpn: 0,
+//!     pages: 16,
+//!     op: HostOp::Write,
+//! }]);
+//! assert_eq!(report.pages_written, 16);
+//! println!("mean response time: {:.3} ms", report.mean_response_time_ms());
+//! ```
+
+pub use dloop as dloop_ftl;
+pub use dloop_baselines as baselines;
+pub use dloop_ftl_kit as ftl_kit;
+pub use dloop_nand as nand;
+pub use dloop_simkit as simkit;
+pub use dloop_workloads as workloads;
+
+/// Convenience re-exports covering the common experiment surface.
+pub mod prelude {
+    pub use dloop::{DloopConfig, DloopFtl, HotPlaneDloopFtl};
+    pub use dloop_ftl_kit::config::{FtlKind, SsdConfig};
+    pub use dloop_ftl_kit::device::SsdDevice;
+    pub use dloop_ftl_kit::ftl::Ftl;
+    pub use dloop_ftl_kit::metrics::RunReport;
+    pub use dloop_ftl_kit::request::{HostOp, HostRequest};
+    pub use dloop_nand::geometry::Geometry;
+    pub use dloop_nand::timing::TimingConfig;
+    pub use dloop_simkit::{SimDuration, SimTime};
+}

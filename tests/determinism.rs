@@ -1,0 +1,89 @@
+//! Reproducibility: equal seeds and configurations produce bit-identical
+//! results — across every FTL, the workload generators, and the parallel
+//! experiment machinery. The paper's comparisons are only meaningful if a
+//! scheme's numbers do not wobble between runs.
+
+use dloop_repro::baselines::{DftlFtl, FastFtl, IdealPageMapFtl};
+use dloop_repro::dloop_ftl::{DloopFtl, HotPlaneDloopFtl};
+use dloop_repro::ftl_kit::config::{FtlKind, SsdConfig};
+use dloop_repro::ftl_kit::device::SsdDevice;
+use dloop_repro::ftl_kit::ftl::Ftl;
+use dloop_repro::ftl_kit::metrics::RunReport;
+use dloop_repro::workloads::WorkloadProfile;
+
+fn build(kind: FtlKind, config: &SsdConfig) -> Box<dyn Ftl> {
+    match kind {
+        FtlKind::Dloop => Box::new(DloopFtl::new(config)),
+        FtlKind::DloopHot => Box::new(HotPlaneDloopFtl::new(config)),
+        FtlKind::Dftl => Box::new(DftlFtl::new(config)),
+        FtlKind::Fast => Box::new(FastFtl::new(config)),
+        FtlKind::IdealPageMap => Box::new(IdealPageMapFtl::new(config)),
+    }
+}
+
+fn run_once(kind: FtlKind, seed: u64) -> RunReport {
+    let config = SsdConfig::micro_gc_test();
+    let mut profile = WorkloadProfile::financial1();
+    profile.footprint_bytes = 1 << 28;
+    let trace = profile.generate_scaled(seed, config.geometry().page_size, 4000);
+    let mut device = SsdDevice::new(config.clone(), build(kind, &config));
+    device.run_trace(&trace.requests)
+}
+
+fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64, String, Vec<u64>) {
+    (
+        r.total_programs,
+        r.total_erases,
+        r.total_skips,
+        r.sim_end.as_nanos(),
+        format!("{:?}", r.ftl),
+        r.plane_request_counts.clone(),
+    )
+}
+
+#[test]
+fn identical_seeds_are_bit_identical_for_every_ftl() {
+    for kind in [
+        FtlKind::Dloop,
+        FtlKind::DloopHot,
+        FtlKind::Dftl,
+        FtlKind::Fast,
+        FtlKind::IdealPageMap,
+    ] {
+        let a = run_once(kind, 42);
+        let b = run_once(kind, 42);
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{kind:?}");
+        assert_eq!(
+            a.mean_response_time_ms().to_bits(),
+            b.mean_response_time_ms().to_bits(),
+            "{kind:?}: MRT must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_once(FtlKind::Dloop, 1);
+    let b = run_once(FtlKind::Dloop, 2);
+    assert_ne!(
+        a.mean_response_time_ms().to_bits(),
+        b.mean_response_time_ms().to_bits()
+    );
+}
+
+#[test]
+fn workload_generation_is_pure() {
+    for profile in WorkloadProfile::all_paper() {
+        let t1 = profile.generate_scaled(9, 2048, 3000);
+        let t2 = profile.generate_scaled(9, 2048, 3000);
+        assert_eq!(t1.requests, t2.requests, "{}", profile.name);
+    }
+}
+
+#[test]
+fn truncation_is_a_prefix() {
+    let p = WorkloadProfile::tpcc();
+    let long = p.generate_scaled(5, 2048, 4000);
+    let short = p.generate_scaled(5, 2048, 1000);
+    assert_eq!(&long.requests[..1000], &short.requests[..]);
+}

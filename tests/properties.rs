@@ -1,0 +1,216 @@
+//! Property-based tests (proptest) over the core invariants.
+//!
+//! The central property: for *any* request stream, every FTL maintains a
+//! consistent device — page states, directory ownership, mapping tables
+//! and free pools all agree — and the mapping behaves like a simple model
+//! dictionary.
+
+use dloop_repro::baselines::{DftlFtl, FastFtl, IdealPageMapFtl};
+use dloop_repro::dloop_ftl::{DloopFtl, HotPlaneDloopFtl};
+use dloop_repro::ftl_kit::config::{FtlKind, SsdConfig};
+use dloop_repro::ftl_kit::device::SsdDevice;
+use dloop_repro::ftl_kit::ftl::Ftl;
+use dloop_repro::ftl_kit::request::{HostOp, HostRequest};
+use dloop_repro::nand::PageState;
+use dloop_repro::simkit::SimTime;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn build(kind: FtlKind, config: &SsdConfig) -> Box<dyn Ftl> {
+    match kind {
+        FtlKind::Dloop => Box::new(DloopFtl::new(config)),
+        FtlKind::DloopHot => Box::new(HotPlaneDloopFtl::new(config)),
+        FtlKind::Dftl => Box::new(DftlFtl::new(config)),
+        FtlKind::Fast => Box::new(FastFtl::new(config)),
+        FtlKind::IdealPageMap => Box::new(IdealPageMapFtl::new(config)),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { lpn: u64, pages: u8 },
+    Read { lpn: u64, pages: u8 },
+}
+
+fn op_strategy(space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..space, 1u8..5).prop_map(|(lpn, pages)| Op::Write { lpn, pages }),
+        1 => (0..space, 1u8..5).prop_map(|(lpn, pages)| Op::Read { lpn, pages }),
+    ]
+}
+
+/// Drive a device with an op list; return it with the model dictionary.
+fn drive(kind: FtlKind, ops: &[Op]) -> (SsdDevice, BTreeMap<u64, bool>) {
+    let config = SsdConfig::micro_gc_test();
+    let mut device = SsdDevice::new(config.clone(), build(kind, &config));
+    let user = device.flash().geometry().user_pages();
+    let mut model: BTreeMap<u64, bool> = BTreeMap::new();
+    let mut reqs = Vec::with_capacity(ops.len());
+    let mut t = 0u64;
+    for op in ops {
+        t += 150;
+        match *op {
+            Op::Write { lpn, pages } => {
+                for k in 0..pages as u64 {
+                    model.insert((lpn + k) % user, true);
+                }
+                reqs.push(HostRequest {
+                    arrival: SimTime::from_micros(t),
+                    lpn,
+                    pages: pages as u32,
+                    op: HostOp::Write,
+                });
+            }
+            Op::Read { lpn, pages } => {
+                reqs.push(HostRequest {
+                    arrival: SimTime::from_micros(t),
+                    lpn,
+                    pages: pages as u32,
+                    op: HostOp::Read,
+                });
+            }
+        }
+    }
+    device.run_trace(&reqs);
+    (device, model)
+}
+
+fn check_against_model(kind: FtlKind, device: &SsdDevice, model: &BTreeMap<u64, bool>) {
+    device
+        .audit()
+        .unwrap_or_else(|e| panic!("{kind:?}: audit failed: {e}"));
+    // Non-FAST schemes expose the mapping directly: it must exactly match
+    // the model's written set and point at valid pages.
+    if kind != FtlKind::Fast {
+        let user = device.flash().geometry().user_pages();
+        for lpn in 0..user {
+            let mapped = device.ftl().mapped_ppn(lpn);
+            let written = model.get(&lpn).copied().unwrap_or(false);
+            assert_eq!(
+                mapped.is_some(),
+                written,
+                "{kind:?}: mapping presence mismatch at lpn {lpn}"
+            );
+            if let Some(ppn) = mapped {
+                assert_eq!(
+                    device.flash().page_state(ppn),
+                    PageState::Valid,
+                    "{kind:?}: lpn {lpn} maps to dead page"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Any request stream leaves any FTL in a fully consistent state that
+    /// agrees with a model dictionary.
+    #[test]
+    fn any_stream_keeps_every_ftl_consistent(
+        ops in proptest::collection::vec(op_strategy(3000), 1..400),
+    ) {
+        for kind in [
+            FtlKind::Dloop,
+            FtlKind::Dftl,
+            FtlKind::Fast,
+            FtlKind::IdealPageMap,
+        ] {
+            let (device, model) = drive(kind, &ops);
+            check_against_model(kind, &device, &model);
+        }
+    }
+
+    /// Write-heavy streams with a small working set (GC torture).
+    #[test]
+    fn gc_torture_stays_consistent(
+        ops in proptest::collection::vec(op_strategy(600), 200..700),
+    ) {
+        for kind in [FtlKind::Dloop, FtlKind::DloopHot, FtlKind::Dftl, FtlKind::Fast] {
+            let (device, model) = drive(kind, &ops);
+            check_against_model(kind, &device, &model);
+        }
+    }
+
+    /// DLOOP's Equation-1 invariant holds for arbitrary streams: every
+    /// mapped data page lives on plane `lpn % planes`.
+    #[test]
+    fn dloop_plane_invariant(
+        ops in proptest::collection::vec(op_strategy(2000), 1..400),
+    ) {
+        let (device, model) = drive(FtlKind::Dloop, &ops);
+        let g = device.flash().geometry().clone();
+        let planes = g.total_planes() as u64;
+        for (&lpn, _) in model.iter() {
+            if let Some(ppn) = device.ftl().mapped_ppn(lpn) {
+                prop_assert_eq!(g.plane_of_ppn(ppn) as u64, lpn % planes);
+            }
+        }
+    }
+
+    /// Response times are finite, non-negative, and the report's request
+    /// accounting matches the input.
+    #[test]
+    fn report_accounting_is_exact(
+        ops in proptest::collection::vec(op_strategy(2000), 1..200),
+    ) {
+        let config = SsdConfig::micro_gc_test();
+        let mut device = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
+        let mut reqs = Vec::new();
+        let mut pages_w = 0u64;
+        let mut pages_r = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            let (lpn, pages, kind) = match *op {
+                Op::Write { lpn, pages } => (lpn, pages, HostOp::Write),
+                Op::Read { lpn, pages } => (lpn, pages, HostOp::Read),
+            };
+            match kind {
+                HostOp::Write => pages_w += pages as u64,
+                HostOp::Read => pages_r += pages as u64,
+            }
+            reqs.push(HostRequest {
+                arrival: SimTime::from_micros(i as u64 * 100),
+                lpn,
+                pages: pages as u32,
+                op: kind,
+            });
+        }
+        let report = device.run_trace(&reqs);
+        prop_assert_eq!(report.requests_completed, ops.len() as u64);
+        prop_assert_eq!(report.pages_written, pages_w);
+        prop_assert_eq!(report.pages_read, pages_r);
+        prop_assert!(report.mean_response_time_ms().is_finite());
+        prop_assert!(report.mean_response_time_ms() >= 0.0);
+        prop_assert!(report.sim_end.as_nanos() < u64::MAX / 2);
+    }
+
+    /// Valid-page conservation: total live pages equal distinct written
+    /// LPNs plus live translation pages, for the demand-mapped schemes.
+    #[test]
+    fn live_page_conservation(
+        ops in proptest::collection::vec(op_strategy(1500), 1..300),
+    ) {
+        for kind in [FtlKind::Dloop, FtlKind::Dftl] {
+            let (device, model) = drive(kind, &ops);
+            let live = device.flash().total_valid_pages();
+            let data_live = model.len() as u64;
+            // Translation pages are the only other live content.
+            prop_assert!(
+                live >= data_live,
+                "{:?}: live {} < data {}",
+                kind, live, data_live
+            );
+            // Bounded by data + all possible translation pages.
+            let max_tpages = device.flash().geometry().translation_page_count();
+            prop_assert!(
+                live <= data_live + max_tpages,
+                "{:?}: live {} > data {} + tpages {}",
+                kind, live, data_live, max_tpages
+            );
+        }
+    }
+}
