@@ -256,7 +256,9 @@ impl DftlFtl {
         ctx.push(FlashStep::Erase {
             plane: victim.plane,
         });
-        ctx.flash.erase_and_pool(victim).expect("victim erase failed");
+        ctx.flash
+            .erase_and_pool(victim)
+            .expect("victim erase failed");
 
         // Keep the deferred-update buffer within budget (only while some
         // plane can still absorb a write without emergency reclaim).
@@ -265,9 +267,9 @@ impl DftlFtl {
         let data_active = self.data_active;
         let mut can_place = |ctx: &FtlContext<'_>, _tvpn: u64| {
             alloc.borrow().total_free(ctx.flash) > 0
-                || trans_active.borrow().is_some_and(|b| {
-                    !ctx.flash.plane(b.plane).block(b.index).is_full()
-                })
+                || trans_active
+                    .borrow()
+                    .is_some_and(|b| !ctx.flash.plane(b.plane).block(b.index).is_full())
         };
         let mut place = |ctx: &mut FtlContext<'_>, tvpn: u64| {
             Self::place_translation_page(
@@ -278,7 +280,8 @@ impl DftlFtl {
                 tvpn,
             )
         };
-        self.dm.flush_pending_over_budget(ctx, &mut can_place, &mut place);
+        self.dm
+            .flush_pending_over_budget(ctx, &mut can_place, &mut place);
         true
     }
 
@@ -476,7 +479,11 @@ mod tests {
             let ppn = rig.ftl.mapped_ppn(lpn).unwrap();
             planes.insert(rig.flash.geometry().plane_of_ppn(ppn));
         }
-        assert_eq!(planes.len(), 1, "one active block serialises a block's worth");
+        assert_eq!(
+            planes.len(),
+            1,
+            "one active block serialises a block's worth"
+        );
     }
 
     #[test]

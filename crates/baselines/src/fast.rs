@@ -91,10 +91,7 @@ impl FastFtl {
     }
 
     fn split(&self, lpn: Lpn) -> (u64, u32) {
-        (
-            lpn / self.ppb() as u64,
-            (lpn % self.ppb() as u64) as u32,
-        )
+        (lpn / self.ppb() as u64, (lpn % self.ppb() as u64) as u32)
     }
 
     /// Every block the allocator's emergency path must not erase.
@@ -138,7 +135,9 @@ impl FastFtl {
     /// been installed in the log map — must not clobber the new entry.
     fn invalidate_stale(&mut self, lpn: Lpn, old_ppn: Ppn, ctx: &mut FtlContext<'_>) {
         debug_assert_ne!(self.log_map.get(&lpn), Some(&old_ppn));
-        ctx.flash.invalidate(old_ppn).expect("stale version not valid");
+        ctx.flash
+            .invalidate(old_ppn)
+            .expect("stale version not valid");
         ctx.dir.clear(old_ppn);
         self.mark_sw_dirty_if_hit(old_ppn);
     }
@@ -154,12 +153,7 @@ impl FastFtl {
     }
 
     /// Program the next page of `block` for `lpn` and push the write step.
-    fn program_log_page(
-        &mut self,
-        block: BlockAddr,
-        lpn: Lpn,
-        ctx: &mut FtlContext<'_>,
-    ) -> Ppn {
+    fn program_log_page(&mut self, block: BlockAddr, lpn: Lpn, ctx: &mut FtlContext<'_>) -> Ppn {
         let addr = ctx.flash.program_next(block).expect("log block full");
         let ppn = self.geometry.ppn_of(addr);
         ctx.dir.set_data(ppn, lpn);
@@ -251,12 +245,11 @@ impl FastFtl {
         }
         // The old data block now holds no live pages.
         if let Some(old) = self.data_map[lbn as usize] {
-            debug_assert_eq!(
-                ctx.flash.plane(old.plane).block(old.index).valid_pages(),
-                0
-            );
+            debug_assert_eq!(ctx.flash.plane(old.plane).block(old.index).valid_pages(), 0);
             ctx.push(FlashStep::Erase { plane: old.plane });
-            ctx.flash.erase_and_pool(old).expect("old data erase failed");
+            ctx.flash
+                .erase_and_pool(old)
+                .expect("old data erase failed");
         }
         self.data_map[lbn as usize] = Some(dest);
         // If the SW block belonged to this LBN it is now fully invalid.
@@ -379,7 +372,9 @@ impl FastFtl {
                 "old data block still live after switch"
             );
             ctx.push(FlashStep::Erase { plane: old.plane });
-            ctx.flash.erase_and_pool(old).expect("old data erase failed");
+            ctx.flash
+                .erase_and_pool(old)
+                .expect("old data erase failed");
         }
         self.data_map[sw.lbn as usize] = Some(sw.block);
     }
@@ -513,14 +508,10 @@ impl Ftl for FastFtl {
                     page: off,
                 });
                 if dir.owner(ppn) != PageOwner::Data(lpn) {
-                    return Err(format!(
-                        "data block {lbn} page {off} owner mismatch"
-                    ));
+                    return Err(format!("data block {lbn} page {off} owner mismatch"));
                 }
                 if self.log_map.contains_key(&lpn) {
-                    return Err(format!(
-                        "lpn {lpn} valid in data block but shadowed by log"
-                    ));
+                    return Err(format!("lpn {lpn} valid in data block but shadowed by log"));
                 }
                 live += 1;
             }
@@ -641,7 +632,10 @@ mod tests {
         assert_eq!(c.switch_merges + c.partial_merges + c.full_merges, 0);
         // They are page-mapped in the log.
         for lpn in [5u64, 130, 7, 200, 9] {
-            assert!(rig.ftl.mapped_ppn(lpn).is_some(), "lpn {lpn} not in log map");
+            assert!(
+                rig.ftl.mapped_ppn(lpn).is_some(),
+                "lpn {lpn} not in log map"
+            );
         }
         rig.ftl.audit(&rig.flash, &rig.dir).unwrap();
     }

@@ -99,7 +99,8 @@ impl IdealPageMapFtl {
             .valid_offsets()
             .collect();
         // Parity-aware move ordering (see dloop::gc).
-        let mut queues: [std::collections::VecDeque<u32>; 2] = [Default::default(), Default::default()];
+        let mut queues: [std::collections::VecDeque<u32>; 2] =
+            [Default::default(), Default::default()];
         for off in offsets {
             queues[(off & 1) as usize].push_back(off);
         }
@@ -141,7 +142,8 @@ impl IdealPageMapFtl {
             } else {
                 self.counters.copyback_moves += 1;
                 ctx.push(FlashStep::CopyBack { plane });
-                self.alloc.place_with_parity(plane, BlockClass::Data, off & 1, ctx.flash)
+                self.alloc
+                    .place_with_parity(plane, BlockClass::Data, off & 1, ctx.flash)
             };
             let new_ppn = self.geometry.ppn_of(new_addr);
             self.map[lpn as usize] = new_ppn;
@@ -168,7 +170,9 @@ impl Ftl for IdealPageMapFtl {
     fn read(&mut self, lpn: Lpn, ctx: &mut FtlContext<'_>) {
         let ppn = self.map[lpn as usize];
         if ppn != UNMAPPED {
-            ctx.flash.read_check(ppn).expect("mapping points at dead page");
+            ctx.flash
+                .read_check(ppn)
+                .expect("mapping points at dead page");
             ctx.push(FlashStep::Read {
                 plane: self.geometry.plane_of_ppn(ppn),
             });

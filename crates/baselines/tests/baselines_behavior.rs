@@ -164,7 +164,10 @@ mod fast {
             "expected switch merges, got {:?}",
             rep.ftl
         );
-        assert_eq!(rep.ftl.full_merges, 0, "sequential load must not full-merge");
+        assert_eq!(
+            rep.ftl.full_merges, 0,
+            "sequential load must not full-merge"
+        );
         d.audit().unwrap();
     }
 

@@ -2,61 +2,56 @@
 //! the simulator itself executes (wall time per simulated flash op), and
 //! the relative cost of each operation type's bookkeeping.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dloop_nand::{Geometry, HardwareModel, TimingConfig};
+use dloop_simkit::bench::{black_box, Bench};
 use dloop_simkit::SimTime;
 
-fn bench_ops(c: &mut Criterion) {
+fn main() {
     let geometry = Geometry::paper_default();
-    let mut group = c.benchmark_group("hardware_ops");
+    let mut bench = Bench::new("hardware_ops");
 
-    group.bench_function("exec_read", |b| {
+    {
         let mut hw = HardwareModel::new(&geometry, TimingConfig::paper_default(), false);
         let mut t = SimTime::ZERO;
         let mut plane = 0;
-        b.iter(|| {
+        bench.case("exec_read", || {
             let c = hw.exec_read(black_box(plane), t);
             plane = (plane + 1) % geometry.total_planes();
             t = c.start;
         });
-    });
+    }
 
-    group.bench_function("exec_write", |b| {
+    {
         let mut hw = HardwareModel::new(&geometry, TimingConfig::paper_default(), false);
         let mut t = SimTime::ZERO;
         let mut plane = 0;
-        b.iter(|| {
+        bench.case("exec_write", || {
             let c = hw.exec_write(black_box(plane), t);
             plane = (plane + 1) % geometry.total_planes();
             t = c.start;
         });
-    });
+    }
 
-    group.bench_function("exec_copyback", |b| {
+    {
         let mut hw = HardwareModel::new(&geometry, TimingConfig::paper_default(), false);
         let mut t = SimTime::ZERO;
         let mut plane = 0;
-        b.iter(|| {
+        bench.case("exec_copyback", || {
             let c = hw.exec_copyback(black_box(plane), t);
             plane = (plane + 1) % geometry.total_planes();
             t = c.start;
         });
-    });
+    }
 
-    group.bench_function("exec_interplane_copy", |b| {
+    {
         let mut hw = HardwareModel::new(&geometry, TimingConfig::paper_default(), false);
         let mut t = SimTime::ZERO;
         let mut plane = 0;
-        b.iter(|| {
+        bench.case("exec_interplane_copy", || {
             let dst = (plane + 1) % geometry.total_planes();
             let c = hw.exec_interplane_copy(black_box(plane), dst, t);
             plane = dst;
             t = c.start;
         });
-    });
-
-    group.finish();
+    }
 }
-
-criterion_group!(benches, bench_ops);
-criterion_main!(benches);

@@ -1,37 +1,31 @@
 //! Simulator throughput: wall-clock requests/second each FTL sustains —
 //! the practical limit on how big an experiment grid can get.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dloop_bench::build_ftl;
 use dloop_ftl_kit::config::{FtlKind, SsdConfig};
 use dloop_ftl_kit::device::SsdDevice;
+use dloop_simkit::bench::Bench;
 use dloop_workloads::WorkloadProfile;
 
-fn bench_throughput(c: &mut Criterion) {
+fn main() {
     const N: u64 = 20_000;
     let config = SsdConfig::paper_default().with_capacity_gb(1);
     let mut profile = WorkloadProfile::financial1();
     profile.footprint_bytes = 1 << 30;
     let trace = profile.generate_scaled(7, config.geometry().page_size, N);
 
-    let mut group = c.benchmark_group("ftl_throughput");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(N));
+    let mut bench = Bench::new("ftl_throughput")
+        .samples(10)
+        .throughput_elements(N);
     for kind in [
         FtlKind::Dloop,
         FtlKind::Dftl,
         FtlKind::Fast,
         FtlKind::IdealPageMap,
     ] {
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                let mut device = SsdDevice::new(config.clone(), build_ftl(kind, &config));
-                device.run_trace(&trace.requests).requests_completed
-            })
+        bench.case(kind.name(), || {
+            let mut device = SsdDevice::new(config.clone(), build_ftl(kind, &config));
+            device.run_trace(&trace.requests).requests_completed
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_throughput);
-criterion_main!(benches);

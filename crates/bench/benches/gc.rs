@@ -2,11 +2,11 @@
 //! bursts for each reclamation style (copy-back vs external vs DFTL's
 //! global greedy).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dloop_bench::{build_ftl, RunSpec};
 use dloop_ftl_kit::config::{FtlKind, SsdConfig};
 use dloop_ftl_kit::device::SsdDevice;
 use dloop_ftl_kit::request::{HostOp, HostRequest};
+use dloop_simkit::bench::Bench;
 use dloop_simkit::{SimRng, SimTime};
 use dloop_workloads::synth::sequential_fill;
 
@@ -29,52 +29,29 @@ fn gc_burst(kind: FtlKind, copyback: bool) -> u64 {
     report.total_erases
 }
 
-fn bench_gc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gc_burst_4k_updates");
-    group.sample_size(10);
-    group.bench_function("dloop_copyback", |b| {
-        b.iter_batched(|| (), |_| gc_burst(FtlKind::Dloop, true), BatchSize::PerIteration)
-    });
-    group.bench_function("dloop_external", |b| {
-        b.iter_batched(|| (), |_| gc_burst(FtlKind::Dloop, false), BatchSize::PerIteration)
-    });
-    group.bench_function("dftl_global", |b| {
-        b.iter_batched(|| (), |_| gc_burst(FtlKind::Dftl, true), BatchSize::PerIteration)
-    });
-    group.bench_function("ideal_pagemap", |b| {
-        b.iter_batched(
-            || (),
-            |_| gc_burst(FtlKind::IdealPageMap, true),
-            BatchSize::PerIteration,
-        )
-    });
-    group.finish();
-}
+fn main() {
+    let mut bench = Bench::new("gc_burst_4k_updates").samples(10);
+    bench.case("dloop_copyback", || gc_burst(FtlKind::Dloop, true));
+    bench.case("dloop_external", || gc_burst(FtlKind::Dloop, false));
+    bench.case("dftl_global", || gc_burst(FtlKind::Dftl, true));
+    bench.case("ideal_pagemap", || gc_burst(FtlKind::IdealPageMap, true));
 
-fn bench_runspec(c: &mut Criterion) {
     // End-to-end RunSpec execution (what the figure harness does per cell).
-    let mut group = c.benchmark_group("runspec");
-    group.sample_size(10);
-    group.bench_function("financial1_10k", |b| {
-        b.iter(|| {
-            RunSpec {
-                config: SsdConfig::micro_gc_test(),
-                kind: FtlKind::Dloop,
-                profile: {
-                    let mut p = dloop_workloads::WorkloadProfile::financial1();
-                    p.footprint_bytes = 1 << 28;
-                    p
-                },
-                max_requests: 10_000,
-                seed: 1,
-                fill_fraction: 0.0,
-            }
-            .run()
-            .requests_completed
-        })
+    let mut bench = Bench::new("runspec").samples(10);
+    bench.case("financial1_10k", || {
+        RunSpec {
+            config: SsdConfig::micro_gc_test(),
+            kind: FtlKind::Dloop,
+            profile: {
+                let mut p = dloop_workloads::WorkloadProfile::financial1();
+                p.footprint_bytes = 1 << 28;
+                p
+            },
+            max_requests: 10_000,
+            seed: 1,
+            fill_fraction: 0.0,
+        }
+        .run()
+        .requests_completed
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_gc, bench_runspec);
-criterion_main!(benches);

@@ -1,28 +1,23 @@
 //! Workload-generator throughput: requests generated per second for each
 //! Table II profile and the Zipf sampler itself.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dloop_simkit::bench::{black_box, Bench};
 use dloop_simkit::SimRng;
 use dloop_workloads::{WorkloadProfile, Zipf};
 
-fn bench_profiles(c: &mut Criterion) {
+fn main() {
     const N: u64 = 50_000;
-    let mut group = c.benchmark_group("generate_50k");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(N));
+    let mut bench = Bench::new("generate_50k")
+        .samples(10)
+        .throughput_elements(N);
     for profile in WorkloadProfile::all_paper() {
-        group.bench_function(profile.name, |b| {
-            b.iter(|| profile.generate_scaled(black_box(3), 2048, N).len())
+        bench.case(profile.name, || {
+            profile.generate_scaled(black_box(3), 2048, N).len()
         });
     }
-    group.finish();
-}
 
-fn bench_zipf(c: &mut Criterion) {
+    let mut bench = Bench::new("zipf");
     let z = Zipf::new(1 << 20, 0.99);
     let mut rng = SimRng::new(9);
-    c.bench_function("zipf_sample", |b| b.iter(|| z.sample(&mut rng)));
+    bench.case("zipf_sample", || z.sample(&mut rng));
 }
-
-criterion_group!(benches, bench_profiles, bench_zipf);
-criterion_main!(benches);

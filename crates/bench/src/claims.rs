@@ -50,8 +50,7 @@ fn run_compact_grid(opts: &ExpOptions) -> Grid {
         for &cap in &capacities {
             for kind in kinds {
                 specs.push(RunSpec {
-                    config: SsdConfig::paper_default()
-                        .with_capacity_gb(opts.scaled_capacity(cap)),
+                    config: SsdConfig::paper_default().with_capacity_gb(opts.scaled_capacity(cap)),
                     kind,
                     profile: p.clone(),
                     max_requests: opts.requests_for(p).min(120_000),
@@ -118,7 +117,10 @@ pub fn verify(opts: &ExpOptions) -> Vec<ClaimResult> {
         for (row, cap) in m.iter().zip([4, 64]) {
             let ratio = row[d] / row[t_];
             if ratio > worst.0 {
-                worst = (ratio, format!("{} @{}GB: {:.2}x", grid.names[i], cap, ratio));
+                worst = (
+                    ratio,
+                    format!("{} @{}GB: {:.2}x", grid.names[i], cap, ratio),
+                );
             }
         }
     }
@@ -143,7 +145,10 @@ pub fn verify(opts: &ExpOptions) -> Vec<ClaimResult> {
         for row in m {
             if row[d] > row[f] {
                 pass = false;
-                detail = format!("{}: DLOOP {:.3} > FAST {:.3}", grid.names[i], row[d], row[f]);
+                detail = format!(
+                    "{}: DLOOP {:.3} > FAST {:.3}",
+                    grid.names[i], row[d], row[f]
+                );
             }
         }
     }
@@ -151,7 +156,11 @@ pub fn verify(opts: &ExpOptions) -> Vec<ClaimResult> {
         id: "C3",
         claim: "DLOOP beats FAST on write-dominant traces (Fig. 8)",
         pass,
-        detail: if detail.is_empty() { "holds on F1/TPC-C/Exchange/Build".into() } else { detail },
+        detail: if detail.is_empty() {
+            "holds on F1/TPC-C/Exchange/Build".into()
+        } else {
+            detail
+        },
     });
 
     // C4 — Fig. 8: DLOOP's MRT does not grow with capacity.
@@ -170,7 +179,11 @@ pub fn verify(opts: &ExpOptions) -> Vec<ClaimResult> {
         id: "C4",
         claim: "larger SSDs delay GC: MRT non-increasing with capacity (Fig. 8)",
         pass,
-        detail: if detail.is_empty() { "holds for all five traces".into() } else { detail },
+        detail: if detail.is_empty() {
+            "holds for all five traces".into()
+        } else {
+            detail
+        },
     });
 
     // C5 — §V.B: the smallest DLOOP-vs-DFTL gap is on read-dominant
@@ -190,7 +203,11 @@ pub fn verify(opts: &ExpOptions) -> Vec<ClaimResult> {
         id: "C5",
         claim: "read-dominant Financial2 shows the smallest DLOOP-vs-DFTL gap (SV.B)",
         pass: f2_gap <= min_other,
-        detail: format!("F2 gap {:.1}% vs next smallest {:.1}%", f2_gap * 100.0, min_other * 100.0),
+        detail: format!(
+            "F2 gap {:.1}% vs next smallest {:.1}%",
+            f2_gap * 100.0,
+            min_other * 100.0
+        ),
     });
 
     // C6 — Figs. 8-10: DLOOP has the lowest ln(SDRPP) everywhere.
@@ -211,7 +228,11 @@ pub fn verify(opts: &ExpOptions) -> Vec<ClaimResult> {
         id: "C6",
         claim: "DLOOP spreads requests most evenly: lowest ln(SDRPP) (Figs. 8-10)",
         pass,
-        detail: if detail.is_empty() { "lowest on every trace and capacity".into() } else { detail },
+        detail: if detail.is_empty() {
+            "lowest on every trace and capacity".into()
+        } else {
+            detail
+        },
     });
 
     // C7 — Fig. 10: FAST improves as extra blocks grow (bigger log region).
@@ -255,7 +276,8 @@ pub fn verify(opts: &ExpOptions) -> Vec<ClaimResult> {
     let (vs_dftl, vs_fast) = (avg_impr(0, t_), avg_impr(0, f));
     results.push(ClaimResult {
         id: "C8",
-        claim: "large average MRT improvement at the GC-stressed capacity (paper: ~70%/~90% at 4GB)",
+        claim:
+            "large average MRT improvement at the GC-stressed capacity (paper: ~70%/~90% at 4GB)",
         pass: vs_dftl > 20.0 && vs_fast > 50.0,
         detail: format!("measured {vs_dftl:.1}% vs DFTL, {vs_fast:.1}% vs FAST at 4GB"),
     });
@@ -268,8 +290,7 @@ pub fn verify(opts: &ExpOptions) -> Vec<ClaimResult> {
     let striping_specs: Vec<RunSpec> = [1u32, 8]
         .iter()
         .map(|&ppd| {
-            let mut config = SsdConfig::paper_default()
-                .with_capacity_gb(opts.scaled_capacity(8));
+            let mut config = SsdConfig::paper_default().with_capacity_gb(opts.scaled_capacity(8));
             config.planes_per_die = ppd;
             RunSpec {
                 config,
@@ -290,7 +311,10 @@ pub fn verify(opts: &ExpOptions) -> Vec<ClaimResult> {
         id: "C9",
         claim: "plane striping raises sequential throughput substantially (SII.C)",
         pass: one / eight > 4.0,
-        detail: format!("1 plane/die {one:.2} ms vs 8 planes/die {eight:.2} ms ({:.0}x)", one / eight),
+        detail: format!(
+            "1 plane/die {one:.2} ms vs 8 planes/die {eight:.2} ms ({:.0}x)",
+            one / eight
+        ),
     });
 
     results

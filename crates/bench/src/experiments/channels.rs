@@ -54,7 +54,13 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
 
     let mut table = Table::new(
         "SII.B - channel count vs plane depth (TPC-C, DLOOP)",
-        &["configuration", "total planes", "MRT ms", "p99 ms", "max chan util %"],
+        &[
+            "configuration",
+            "total planes",
+            "MRT ms",
+            "p99 ms",
+            "max chan util %",
+        ],
     );
     for (label, r) in labels.iter().zip(&reports) {
         table.row(vec![

@@ -93,8 +93,6 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     println!(
         "paper: 64GB avg improvement 57.8% (DFTL) / 85.5% (FAST); measured {d64:.1}% / {f64_:.1}%"
     );
-    println!(
-        "paper:  4GB improvement ~70% (DFTL) / ~90% (FAST); measured {d4:.1}% / {f4:.1}%"
-    );
+    println!("paper:  4GB improvement ~70% (DFTL) / ~90% (FAST); measured {d4:.1}% / {f4:.1}%");
     vec![t64, t4]
 }

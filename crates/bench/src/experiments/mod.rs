@@ -18,14 +18,14 @@
 
 pub mod ablation;
 pub mod channels;
-pub mod striping;
-pub mod sweep;
 pub mod copyback;
 pub mod fig10;
 pub mod fig8;
 pub mod fig9;
 pub mod headline;
 pub mod params;
+pub mod striping;
+pub mod sweep;
 pub mod traces;
 
 use crate::table::Table;

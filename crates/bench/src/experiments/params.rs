@@ -22,11 +22,7 @@ pub fn run() -> Vec<Table> {
         "4, 8, 16, 32, 64",
     );
     row("Page size (KB)", c.page_kb.to_string(), "2, 4, 8, 16");
-    row(
-        "Pages per block",
-        g.pages_per_block.to_string(),
-        "-",
-    );
+    row("Pages per block", g.pages_per_block.to_string(), "-");
     row(
         "Extra blocks (%)",
         format!("{:.0}", c.extra_pct),
@@ -64,7 +60,11 @@ pub fn run() -> Vec<Table> {
         ),
         "-",
     );
-    row("GC threshold (free blocks)", c.gc_threshold.to_string(), "-");
+    row(
+        "GC threshold (free blocks)",
+        c.gc_threshold.to_string(),
+        "-",
+    );
     row("CMT capacity (entries)", c.cmt_capacity.to_string(), "-");
     vec![table]
 }

@@ -29,8 +29,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let mut labels = Vec::new();
     for &ppd in &PLANES_PER_DIE {
         for kind in [FtlKind::Dloop, FtlKind::Dftl] {
-            let mut config = SsdConfig::paper_default()
-                .with_capacity_gb(opts.scaled_capacity(8));
+            let mut config = SsdConfig::paper_default().with_capacity_gb(opts.scaled_capacity(8));
             config.planes_per_die = ppd;
             labels.push((ppd, kind));
             specs.push(RunSpec {

@@ -28,8 +28,7 @@
 //! ```
 
 use dloop_bench::experiments::{
-    ablation, channels, copyback, fig10, fig8, fig9, headline, params, striping, traces,
-    ExpOptions,
+    ablation, channels, copyback, fig10, fig8, fig9, headline, params, striping, traces, ExpOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;

@@ -9,8 +9,8 @@ use dloop_ftl_kit::device::SsdDevice;
 use dloop_ftl_kit::ftl::Ftl;
 use dloop_ftl_kit::metrics::RunReport;
 use dloop_workloads::synth::{sequential_fill, WorkloadProfile};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::Mutex;
 
 /// Construct an FTL instance of the requested kind.
 pub fn build_ftl(kind: FtlKind, config: &SsdConfig) -> Box<dyn Ftl> {
@@ -64,25 +64,30 @@ pub fn run_spec(spec: &RunSpec) -> RunReport {
 
 /// Run a batch of specs on up to `workers` host threads, preserving the
 /// input order in the output.
+///
+/// Work-stealing over a shared queue: each scoped `std::thread` pops the
+/// next spec until the queue drains. `std::thread::scope` joins every
+/// worker before returning and re-raises any worker panic, so no
+/// third-party scoped-thread crate is needed.
 pub fn run_grid(specs: Vec<RunSpec>, workers: usize) -> Vec<RunReport> {
     let n = specs.len();
     let queue: Mutex<VecDeque<(usize, RunSpec)>> =
         Mutex::new(specs.into_iter().enumerate().collect());
     let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; n]);
     let workers = workers.max(1).min(n.max(1));
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
-                let job = queue.lock().pop_front();
+            s.spawn(|| loop {
+                let job = queue.lock().expect("queue poisoned").pop_front();
                 let Some((idx, spec)) = job else { break };
                 let report = run_spec(&spec);
-                results.lock()[idx] = Some(report);
+                results.lock().expect("results poisoned")[idx] = Some(report);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results
         .into_inner()
+        .expect("results poisoned")
         .into_iter()
         .map(|r| r.expect("missing result"))
         .collect()

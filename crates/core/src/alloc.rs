@@ -104,9 +104,7 @@ impl PlaneAllocator {
                         .plane(plane)
                         .blocks()
                         .find(|(i, b)| {
-                            !excluded.contains(i)
-                                && !b.is_pristine()
-                                && b.valid_pages() == 0
+                            !excluded.contains(i) && !b.is_pristine() && b.valid_pages() == 0
                         })
                         .map(|(i, _)| i);
                     match fallback {
@@ -154,21 +152,17 @@ impl PlaneAllocator {
             return true;
         }
         self.active.iter().any(|v| {
-            v[plane as usize]
-                .is_some_and(|b| !flash.plane(plane).block(b.index).is_full())
+            v[plane as usize].is_some_and(|b| !flash.plane(plane).block(b.index).is_full())
         })
     }
 
     /// Program the next sequential page on `plane`'s current free block
     /// of `class`.
-    pub fn place(
-        &mut self,
-        plane: PlaneId,
-        class: BlockClass,
-        flash: &mut FlashState,
-    ) -> PageAddr {
+    pub fn place(&mut self, plane: PlaneId, class: BlockClass, flash: &mut FlashState) -> PageAddr {
         let blk = self.ensure_active(plane, class, flash);
-        flash.program_next(blk).expect("active block full after ensure")
+        flash
+            .program_next(blk)
+            .expect("active block full after ensure")
     }
 
     /// Parity of the next page a program would land on (ensuring an active

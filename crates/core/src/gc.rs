@@ -295,7 +295,6 @@ impl GcEngine {
         dm.flush_pending_over_budget(ctx, &mut can_place, &mut place);
         true
     }
-
 }
 
 #[cfg(test)]

@@ -55,7 +55,11 @@ pub struct HotPlaneDloopFtl {
 impl HotPlaneDloopFtl {
     /// Build from a device configuration with default heat tunables.
     pub fn new(config: &SsdConfig) -> Self {
-        Self::with_geometry(config.geometry(), DloopConfig::from(config), HotConfig::default())
+        Self::with_geometry(
+            config.geometry(),
+            DloopConfig::from(config),
+            HotConfig::default(),
+        )
     }
 
     /// Fully parameterised construction.

@@ -156,7 +156,10 @@ fn gc_disabled_copyback_ablation_moves_over_bus() {
     assert!(report.ftl.gc_invocations > 0);
     assert_eq!(report.ftl.copyback_moves, 0);
     assert!(report.ftl.external_moves > 0);
-    assert_eq!(report.ftl.parity_skips, 0, "no parity rule without copy-back");
+    assert_eq!(
+        report.ftl.parity_skips, 0,
+        "no parity rule without copy-back"
+    );
     d.audit().unwrap();
 }
 
@@ -324,5 +327,9 @@ fn mixed_workload_audits_clean_after_heavy_gc() {
     assert!(report.ftl.gc_invocations > 10);
     d.audit().unwrap();
     // WAF must exceed 1 under GC but stay sane.
-    assert!(report.waf() > 1.0 && report.waf() < 10.0, "WAF {}", report.waf());
+    assert!(
+        report.waf() > 1.0 && report.waf() < 10.0,
+        "WAF {}",
+        report.waf()
+    );
 }

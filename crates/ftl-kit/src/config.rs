@@ -210,6 +210,9 @@ mod tests {
     #[test]
     fn ftl_kind_names() {
         assert_eq!(FtlKind::Dloop.name(), "DLOOP");
-        assert_eq!(FtlKind::paper_set().map(|k| k.name()), ["DLOOP", "DFTL", "FAST"]);
+        assert_eq!(
+            FtlKind::paper_set().map(|k| k.name()),
+            ["DLOOP", "DFTL", "FAST"]
+        );
     }
 }

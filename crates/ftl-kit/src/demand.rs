@@ -198,7 +198,10 @@ impl DemandMap {
     /// Record a GC move of translation page `tvpn` itself to `new_ppn`.
     pub fn gc_move_translation(&mut self, tvpn: u64, new_ppn: Ppn) {
         let old = self.gtd.update(tvpn, new_ppn);
-        debug_assert!(old.is_some(), "GC moved a translation page the GTD never placed");
+        debug_assert!(
+            old.is_some(),
+            "GC moved a translation page the GTD never placed"
+        );
     }
 
     /// Read-modify-write translation page `tvpn`: read the current copy
@@ -305,7 +308,14 @@ mod tests {
         }
 
         /// Run `f` with a context and the standard test placer.
-        fn run<R>(&mut self, f: impl FnOnce(&mut DemandMap, &mut FtlContext<'_>, &mut dyn FnMut(&mut FtlContext<'_>, u64) -> Ppn) -> R) -> R {
+        fn run<R>(
+            &mut self,
+            f: impl FnOnce(
+                &mut DemandMap,
+                &mut FtlContext<'_>,
+                &mut dyn FnMut(&mut FtlContext<'_>, u64) -> Ppn,
+            ) -> R,
+        ) -> R {
             let mut ctx = FtlContext {
                 flash: &mut self.flash,
                 dir: &mut self.dir,
@@ -322,7 +332,10 @@ mod tests {
                 };
                 if need_new {
                     let idx = ctx.flash.allocate_free_block(0).unwrap();
-                    *active = Some(BlockAddr { plane: 0, index: idx });
+                    *active = Some(BlockAddr {
+                        plane: 0,
+                        index: idx,
+                    });
                 }
                 let addr = ctx.flash.program_next(active.unwrap()).unwrap();
                 let ppn = ctx.flash.geometry().ppn_of(addr);
@@ -377,7 +390,10 @@ mod tests {
         });
         assert_eq!(rig.dm.counters.dirty_evictions, 1);
         assert_eq!(rig.dm.counters.translation_writes, 1);
-        assert!(rig.dm.cmt.dirty_tvpns().is_empty(), "siblings must be clean");
+        assert!(
+            rig.dm.cmt.dirty_tvpns().is_empty(),
+            "siblings must be clean"
+        );
     }
 
     #[test]

@@ -333,8 +333,7 @@ impl SsdDevice {
                         Some(step) => {
                             let (p, q2) = step.planes();
                             let free = |plane| {
-                                hw.plane_ready_at(plane) <= now
-                                    && hw.channel_ready_at(plane) <= now
+                                hw.plane_ready_at(plane) <= now && hw.channel_ready_at(plane) <= now
                             };
                             free(p) && q2.map(free).unwrap_or(true)
                         }
@@ -395,11 +394,7 @@ impl SsdDevice {
     /// and the completion of request *i − queue_depth* (an fio-style
     /// bounded host queue, in contrast to [`Self::run_trace`]'s open
     /// arrivals, which can back up without limit under overload).
-    pub fn run_trace_closed(
-        &mut self,
-        requests: &[HostRequest],
-        queue_depth: usize,
-    ) -> RunReport {
+    pub fn run_trace_closed(&mut self, requests: &[HostRequest], queue_depth: usize) -> RunReport {
         assert!(queue_depth >= 1, "queue depth must be at least 1");
         let lpn_space = self.flash.geometry().user_pages();
         let mut order: EventQueue<usize> = EventQueue::with_capacity(requests.len());
@@ -420,8 +415,7 @@ impl SsdDevice {
             let req = requests[ev.event].wrapped(lpn_space);
             let mut issue = req.arrival;
             if in_flight.len() == queue_depth {
-                let std::cmp::Reverse(freed) =
-                    in_flight.pop().expect("queue depth at least 1");
+                let std::cmp::Reverse(freed) = in_flight.pop().expect("queue depth at least 1");
                 issue = issue.max(freed);
             }
             let mut req_done = issue;
@@ -475,7 +469,11 @@ impl SsdDevice {
     /// Forget timing and counters but keep flash/FTL state.
     pub fn reset_measurements(&mut self) {
         let geometry = self.flash.geometry().clone();
-        self.hw = HardwareModel::new(&geometry, self.config.timing.clone(), self.config.die_serialized);
+        self.hw = HardwareModel::new(
+            &geometry,
+            self.config.timing.clone(),
+            self.config.die_serialized,
+        );
         for c in &mut self.plane_counts {
             *c = 0;
         }
@@ -568,7 +566,10 @@ mod tests {
             };
             if need_new {
                 let idx = ctx.flash.allocate_free_block(0).unwrap();
-                self.active = Some(BlockAddr { plane: 0, index: idx });
+                self.active = Some(BlockAddr {
+                    plane: 0,
+                    index: idx,
+                });
             }
             let blk = self.active.unwrap();
             let addr = ctx.flash.program_next(blk).unwrap();

@@ -14,8 +14,8 @@
 //! * [`config`] — Table-I parameters as a value ([`config::SsdConfig`]).
 
 pub mod cmt;
-pub mod demand;
 pub mod config;
+pub mod demand;
 pub mod device;
 pub mod dir;
 pub mod ftl;
@@ -24,8 +24,8 @@ pub mod metrics;
 pub mod request;
 
 pub use cmt::{CachedMappingTable, Evicted};
-pub use demand::{DemandCounters, DemandMap, UNMAPPED};
 pub use config::{FtlKind, SsdConfig};
+pub use demand::{DemandCounters, DemandMap, UNMAPPED};
 pub use device::SsdDevice;
 pub use dir::{PageDirectory, PageOwner};
 pub use ftl::{FlashStep, Ftl, FtlContext, FtlCounters, OpChain};

@@ -111,7 +111,10 @@ impl RunReport {
         if self.plane_busy_ns.is_empty() {
             return 0.0;
         }
-        self.plane_busy_ns.iter().map(|&b| b as f64 / t).sum::<f64>()
+        self.plane_busy_ns
+            .iter()
+            .map(|&b| b as f64 / t)
+            .sum::<f64>()
             / self.plane_busy_ns.len() as f64
     }
 

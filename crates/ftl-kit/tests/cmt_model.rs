@@ -2,9 +2,13 @@
 //! behave like a reference cache — same hit/miss classification, same
 //! contents — under arbitrary operation sequences, while never exceeding
 //! capacity and always passing its structural audit.
+//!
+//! Runs on `dloop_simkit::check` (the in-tree property harness); failures
+//! print a `SIMKIT_CHECK_REPLAY` seed for deterministic replay.
 
 use dloop_ftl_kit::cmt::CachedMappingTable;
-use proptest::prelude::*;
+use dloop_simkit::check::{self, Checker, Generator};
+use dloop_simkit::{check_assert, check_assert_eq};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -17,57 +21,74 @@ enum CmtOp {
     Flush(u64),
 }
 
-fn op() -> impl Strategy<Value = CmtOp> {
-    prop_oneof![
-        3 => (0u64..128).prop_map(CmtOp::Lookup),
-        3 => (0u64..128, 0u64..10_000, any::<bool>())
-            .prop_map(|(l, p, d)| CmtOp::Insert(l, p, d)),
-        2 => (0u64..128, 0u64..10_000).prop_map(|(l, p)| CmtOp::Update(l, p)),
-        1 => (0u64..128, 0u64..10_000).prop_map(|(l, p)| CmtOp::UpdateInPlace(l, p)),
-        1 => (0u64..128).prop_map(CmtOp::Remove),
-        1 => (0u64..4).prop_map(CmtOp::Flush),
-    ]
+fn op() -> check::BoxedGenerator<CmtOp> {
+    check::weighted(vec![
+        (3, check::u64s(0..128).map(CmtOp::Lookup).boxed()),
+        (
+            3,
+            (check::u64s(0..128), check::u64s(0..10_000), check::bools())
+                .map(|(l, p, d)| CmtOp::Insert(l, p, d))
+                .boxed(),
+        ),
+        (
+            2,
+            (check::u64s(0..128), check::u64s(0..10_000))
+                .map(|(l, p)| CmtOp::Update(l, p))
+                .boxed(),
+        ),
+        (
+            1,
+            (check::u64s(0..128), check::u64s(0..10_000))
+                .map(|(l, p)| CmtOp::UpdateInPlace(l, p))
+                .boxed(),
+        ),
+        (1, check::u64s(0..128).map(CmtOp::Remove).boxed()),
+        (1, check::u64s(0..4).map(CmtOp::Flush).boxed()),
+    ])
+    .boxed()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn cmt_matches_reference_model(
-        cap in 2usize..24,
-        ops in proptest::collection::vec(op(), 1..250),
-    ) {
+#[test]
+fn cmt_matches_reference_model() {
+    let gen = (check::usizes(2..24), check::vec_of(op(), 1..250));
+    Checker::new().cases(128).run(&gen, |(cap, ops)| {
+        let cap = *cap;
         let mut cmt = CachedMappingTable::new(cap, 32);
         // The model tracks membership and values only (eviction ORDER is
         // the CMT's own business; capacity and coherence are the law).
         let mut model: HashMap<u64, (u64, bool)> = HashMap::new();
 
         for o in ops {
-            match o {
+            match *o {
                 CmtOp::Lookup(l) => {
                     let got = cmt.lookup(l);
                     let want = model.get(&l).map(|&(p, _)| p);
-                    prop_assert_eq!(got, want, "lookup({}) diverged", l);
+                    check_assert_eq!(got, want, "lookup({}) diverged", l);
                 }
                 CmtOp::Insert(l, p, d) => {
-                    if model.contains_key(&l) { continue; }
+                    if model.contains_key(&l) {
+                        continue;
+                    }
                     let evicted = cmt.insert(l, p, d);
                     model.insert(l, (p, d));
                     if let Some(ev) = evicted {
-                        let (mp, md) = model.remove(&ev.lpn)
-                            .expect("evicted something the model lacks");
-                        prop_assert_eq!(ev.ppn, mp);
-                        prop_assert_eq!(ev.dirty, md);
+                        let Some((mp, md)) = model.remove(&ev.lpn) else {
+                            return Err(format!("evicted lpn {} which the model lacks", ev.lpn));
+                        };
+                        check_assert_eq!(ev.ppn, mp);
+                        check_assert_eq!(ev.dirty, md);
                     }
                 }
                 CmtOp::Update(l, p) => {
-                    if !model.contains_key(&l) { continue; }
+                    if !model.contains_key(&l) {
+                        continue;
+                    }
                     cmt.update(l, p);
                     model.insert(l, (p, true));
                 }
                 CmtOp::UpdateInPlace(l, p) => {
                     let did = cmt.update_in_place(l, p);
-                    prop_assert_eq!(did, model.contains_key(&l));
+                    check_assert_eq!(did, model.contains_key(&l));
                     if did {
                         model.insert(l, (p, true));
                     }
@@ -75,26 +96,29 @@ proptest! {
                 CmtOp::Remove(l) => {
                     let got = cmt.remove(l);
                     let want = model.remove(&l);
-                    prop_assert_eq!(got.map(|e| (e.ppn, e.dirty)), want);
+                    check_assert_eq!(got.map(|e| (e.ppn, e.dirty)), want);
                 }
                 CmtOp::Flush(tvpn) => {
                     let flushed = cmt.flush_translation_page(tvpn);
                     for (l, p) in flushed {
-                        let entry = model.get_mut(&l).expect("flushed unknown entry");
-                        prop_assert_eq!(entry.0, p);
-                        prop_assert!(entry.1, "flushed a clean entry");
+                        let Some(entry) = model.get_mut(&l) else {
+                            return Err(format!("flushed unknown entry {l}"));
+                        };
+                        check_assert_eq!(entry.0, p);
+                        check_assert!(entry.1, "flushed a clean entry");
                         entry.1 = false;
                     }
                 }
             }
-            prop_assert!(cmt.len() <= cap);
-            prop_assert_eq!(cmt.len(), model.len());
-            cmt.check().map_err(TestCaseError::fail)?;
+            check_assert!(cmt.len() <= cap);
+            check_assert_eq!(cmt.len(), model.len());
+            cmt.check()?;
         }
 
         // Final coherence sweep.
         for (&l, &(p, d)) in &model {
-            prop_assert_eq!(cmt.peek(l), Some((p, d)));
+            check_assert_eq!(cmt.peek(l), Some((p, d)));
         }
-    }
+        Ok(())
+    });
 }

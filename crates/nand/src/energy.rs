@@ -45,8 +45,10 @@ impl EnergyConfig {
 
     /// Energy of one page program (bus in + array), in nJ.
     pub fn write_nj(&self, t: &TimingConfig, page_size: u32) -> f64 {
-        Self::nj(self.bus_active_mw, t.command_overhead + t.page_transfer(page_size))
-            + Self::nj(self.array_active_mw, t.page_program)
+        Self::nj(
+            self.bus_active_mw,
+            t.command_overhead + t.page_transfer(page_size),
+        ) + Self::nj(self.array_active_mw, t.page_program)
     }
 
     /// Energy of one block erase, in nJ.

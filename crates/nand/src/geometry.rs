@@ -194,9 +194,7 @@ impl Geometry {
 
     /// User-visible logical pages (the LPN space).
     pub fn user_pages(&self) -> u64 {
-        self.data_blocks_per_plane as u64
-            * self.pages_per_block as u64
-            * self.total_planes() as u64
+        self.data_blocks_per_plane as u64 * self.pages_per_block as u64 * self.total_planes() as u64
     }
 
     /// User-visible capacity in bytes.
@@ -263,7 +261,8 @@ impl Geometry {
 
     /// Number of translation pages needed to cover the LPN space.
     pub fn translation_page_count(&self) -> u64 {
-        self.user_pages().div_ceil(self.mappings_per_translation_page())
+        self.user_pages()
+            .div_ceil(self.mappings_per_translation_page())
     }
 }
 
@@ -373,10 +372,7 @@ mod tests {
     fn translation_page_math() {
         let g = Geometry::paper_default();
         assert_eq!(g.mappings_per_translation_page(), 256);
-        assert_eq!(
-            g.translation_page_count(),
-            g.user_pages().div_ceil(256)
-        );
+        assert_eq!(g.translation_page_count(), g.user_pages().div_ceil(256));
     }
 
     #[test]

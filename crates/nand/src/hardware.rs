@@ -130,12 +130,7 @@ impl HardwareModel {
 
     /// Hold the channel owning `plane` for `dur` starting no earlier than
     /// `t`; returns the phase (start, end).
-    fn hold_channel(
-        &mut self,
-        plane: PlaneId,
-        t: SimTime,
-        dur: SimDuration,
-    ) -> (SimTime, SimTime) {
+    fn hold_channel(&mut self, plane: PlaneId, t: SimTime, dur: SimDuration) -> (SimTime, SimTime) {
         let c = self.channel_of(plane);
         let start = t.max(self.channel_avail[c]);
         let end = start + dur;
@@ -194,15 +189,13 @@ impl HardwareModel {
 
     /// Traditional inter-plane copy from `src` to `dst` at `at`: the page
     /// travels source plane → bus → controller → bus → destination plane.
-    pub fn exec_interplane_copy(
-        &mut self,
-        src: PlaneId,
-        dst: PlaneId,
-        at: SimTime,
-    ) -> Completion {
+    pub fn exec_interplane_copy(&mut self, src: PlaneId, dst: PlaneId, at: SimTime) -> Completion {
         self.counters.interplane_copies += 1;
-        let (start, t) =
-            self.hold_plane(src, at, self.timing.command_overhead + self.timing.page_read);
+        let (start, t) = self.hold_plane(
+            src,
+            at,
+            self.timing.command_overhead + self.timing.page_read,
+        );
         let (_, t) = self.hold_channel(src, t, self.timing.page_transfer(self.page_size));
         let (_, t) = self.hold_channel(dst, t, self.timing.page_transfer(self.page_size));
         let (_, end) = self.hold_plane(dst, t, self.timing.page_program);
@@ -322,7 +315,7 @@ mod tests {
         let mut h = hw();
         let a = h.exec_write(0, SimTime::ZERO);
         let b = h.exec_write(1, SimTime::ZERO); // same channel, other plane
-        // b's transfer waits for a's transfer, but programs overlap.
+                                                // b's transfer waits for a's transfer, but programs overlap.
         let xfer = 200 + 51_200;
         assert_eq!(b.start.as_nanos(), xfer);
         assert!(b.end.as_nanos() < a.end.as_nanos() + xfer + 200_000);

@@ -167,7 +167,11 @@ impl PlaneState {
 
     /// Max erase count across blocks (wear ceiling).
     pub fn max_erase_count(&self) -> u32 {
-        self.blocks.iter().map(|b| b.erase_count()).max().unwrap_or(0)
+        self.blocks
+            .iter()
+            .map(|b| b.erase_count())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterate blocks with indices.

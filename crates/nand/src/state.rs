@@ -239,10 +239,7 @@ mod tests {
         let ppn = fs.geometry().ppn_of(addr);
         fs.read_check(ppn).unwrap();
         fs.invalidate(ppn).unwrap();
-        assert!(matches!(
-            fs.read_check(ppn),
-            Err(NandError::ReadInvalid(_))
-        ));
+        assert!(matches!(fs.read_check(ppn), Err(NandError::ReadInvalid(_))));
         fs.erase_and_pool(blk).unwrap();
         assert_eq!(fs.total_erases(), 1);
         fs.check().unwrap();
@@ -271,10 +268,7 @@ mod tests {
         for _ in 0..fs.geometry().pages_per_block {
             fs.program_next(blk).unwrap();
         }
-        assert!(matches!(
-            fs.program_next(blk),
-            Err(NandError::BlockFull(_))
-        ));
+        assert!(matches!(fs.program_next(blk), Err(NandError::BlockFull(_))));
     }
 
     #[test]
@@ -323,10 +317,7 @@ mod tests {
         assert_eq!(fs.total_skips(), 1);
         assert_eq!(fs.total_programs(), 1);
         // The skipped page is at offset 0, the programmed one at 1.
-        assert_eq!(
-            fs.plane(0).block(blk.index).state(0),
-            PageState::Invalid
-        );
+        assert_eq!(fs.plane(0).block(blk.index).state(0), PageState::Invalid);
         assert_eq!(fs.plane(0).block(blk.index).state(1), PageState::Valid);
     }
 

@@ -72,9 +72,7 @@ impl TimingConfig {
     pub fn page_transfer(&self, page_size: u32) -> SimDuration {
         match self.fixed_page_transfer {
             Some(d) => d,
-            None => {
-                SimDuration::from_nanos(self.per_byte_transfer.as_nanos() * page_size as u64)
-            }
+            None => SimDuration::from_nanos(self.per_byte_transfer.as_nanos() * page_size as u64),
         }
     }
 

@@ -19,7 +19,10 @@ fn cycle(fs: &mut FlashState, blk: BlockAddr) {
 fn block_retires_at_limit() {
     let mut fs = FlashState::with_endurance(tiny(), 3);
     let idx = fs.allocate_free_block(0).unwrap();
-    let blk = BlockAddr { plane: 0, index: idx };
+    let blk = BlockAddr {
+        plane: 0,
+        index: idx,
+    };
     // Two cycles: still serviceable (pool regains it each time).
     for _ in 0..2 {
         cycle(&mut fs, blk);
@@ -40,7 +43,10 @@ fn block_retires_at_limit() {
 fn infinite_endurance_never_retires() {
     let mut fs = FlashState::new(tiny());
     let idx = fs.allocate_free_block(0).unwrap();
-    let blk = BlockAddr { plane: 0, index: idx };
+    let blk = BlockAddr {
+        plane: 0,
+        index: idx,
+    };
     for _ in 0..50 {
         cycle(&mut fs, blk);
         while fs.allocate_free_block(0).unwrap() != idx {}
@@ -56,7 +62,13 @@ fn retired_blocks_shrink_the_pool_permanently() {
     // Wear out two blocks on plane 1.
     for _ in 0..2 {
         let idx = fs.allocate_free_block(1).unwrap();
-        cycle(&mut fs, BlockAddr { plane: 1, index: idx });
+        cycle(
+            &mut fs,
+            BlockAddr {
+                plane: 1,
+                index: idx,
+            },
+        );
     }
     assert_eq!(fs.retired_blocks(), 2);
     // The pool can only ever hold the remaining blocks.

@@ -1,9 +1,13 @@
 //! Property-based tests of the NAND state machine: arbitrary sequences of
 //! program/skip/invalidate/erase operations can never violate the flash
 //! invariants, and the checked API rejects every illegal transition.
+//!
+//! Runs on `dloop_simkit::check` (the in-tree property harness); failures
+//! print a `SIMKIT_CHECK_REPLAY` seed for deterministic replay.
 
 use dloop_nand::{BlockAddr, FlashState, Geometry, NandError, PageState};
-use proptest::prelude::*;
+use dloop_simkit::check::{self, Checker, Generator};
+use dloop_simkit::{check_assert, check_assert_eq};
 
 #[derive(Debug, Clone)]
 enum Action {
@@ -14,23 +18,44 @@ enum Action {
     EraseIfDead { slot: u8 },
 }
 
-fn action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        1 => (0u8..4).prop_map(|plane| Action::Allocate { plane }),
-        4 => (0u8..8).prop_map(|slot| Action::Program { slot }),
-        1 => (0u8..8).prop_map(|slot| Action::Skip { slot }),
-        3 => (0u8..8, 0u8..64).prop_map(|(slot, page)| Action::Invalidate { slot, page }),
-        1 => (0u8..8).prop_map(|slot| Action::EraseIfDead { slot }),
-    ]
+fn action() -> check::BoxedGenerator<Action> {
+    check::weighted(vec![
+        (
+            1,
+            check::u8s(0..4)
+                .map(|plane| Action::Allocate { plane })
+                .boxed(),
+        ),
+        (
+            4,
+            check::u8s(0..8)
+                .map(|slot| Action::Program { slot })
+                .boxed(),
+        ),
+        (
+            1,
+            check::u8s(0..8).map(|slot| Action::Skip { slot }).boxed(),
+        ),
+        (
+            3,
+            (check::u8s(0..8), check::u8s(0..64))
+                .map(|(slot, page)| Action::Invalidate { slot, page })
+                .boxed(),
+        ),
+        (
+            1,
+            check::u8s(0..8)
+                .map(|slot| Action::EraseIfDead { slot })
+                .boxed(),
+        ),
+    ])
+    .boxed()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn arbitrary_action_sequences_preserve_invariants(
-        actions in proptest::collection::vec(action(), 1..300),
-    ) {
+#[test]
+fn arbitrary_action_sequences_preserve_invariants() {
+    let gen = check::vec_of(action(), 1..300);
+    Checker::new().cases(64).run(&gen, |actions| {
         let mut g = Geometry::build_with_hierarchy(1, 2, 5.0, 2, 1, 1, 1, 2);
         // Keep the state tiny so the per-step full audit stays cheap.
         g.data_blocks_per_plane = 8;
@@ -40,8 +65,8 @@ proptest! {
         let mut slots: Vec<BlockAddr> = Vec::new();
         let mut expected_valid = 0u64;
 
-        for (step, a) in actions.into_iter().enumerate() {
-            match a {
+        for (step, a) in actions.iter().enumerate() {
+            match *a {
                 Action::Allocate { plane } => {
                     let plane = plane as u32 % g.total_planes();
                     if let Ok(idx) = fs.allocate_free_block(plane) {
@@ -49,32 +74,35 @@ proptest! {
                     }
                 }
                 Action::Program { slot } => {
-                    if slots.is_empty() { continue; }
+                    if slots.is_empty() {
+                        continue;
+                    }
                     let blk = slots[slot as usize % slots.len()];
                     match fs.program_next(blk) {
                         Ok(addr) => {
                             expected_valid += 1;
-                            prop_assert_eq!(
-                                fs.page_state(g.ppn_of(addr)),
-                                PageState::Valid
-                            );
+                            check_assert_eq!(fs.page_state(g.ppn_of(addr)), PageState::Valid);
                         }
                         Err(NandError::BlockFull(_)) => {
-                            prop_assert!(fs.plane(blk.plane).block(blk.index).is_full());
+                            check_assert!(fs.plane(blk.plane).block(blk.index).is_full());
                         }
-                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                        Err(e) => return Err(format!("{e}")),
                     }
                 }
                 Action::Skip { slot } => {
-                    if slots.is_empty() { continue; }
+                    if slots.is_empty() {
+                        continue;
+                    }
                     let blk = slots[slot as usize % slots.len()];
                     match fs.skip_next(blk) {
                         Ok(_) | Err(NandError::BlockFull(_)) => {}
-                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                        Err(e) => return Err(format!("{e}")),
                     }
                 }
                 Action::Invalidate { slot, page } => {
-                    if slots.is_empty() { continue; }
+                    if slots.is_empty() {
+                        continue;
+                    }
                     let blk = slots[slot as usize % slots.len()];
                     let addr = dloop_nand::PageAddr {
                         plane: blk.plane,
@@ -85,48 +113,57 @@ proptest! {
                     let was_valid = fs.page_state(ppn) == PageState::Valid;
                     match fs.invalidate(ppn) {
                         Ok(()) => {
-                            prop_assert!(was_valid, "invalidate succeeded on non-valid page");
+                            check_assert!(was_valid, "invalidate succeeded on non-valid page");
                             expected_valid -= 1;
                         }
-                        Err(NandError::NotValid(_)) => prop_assert!(!was_valid),
-                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                        Err(NandError::NotValid(_)) => check_assert!(!was_valid),
+                        Err(e) => return Err(format!("{e}")),
                     }
                 }
                 Action::EraseIfDead { slot } => {
-                    if slots.is_empty() { continue; }
+                    if slots.is_empty() {
+                        continue;
+                    }
                     let i = slot as usize % slots.len();
                     let blk = slots[i];
                     if fs.plane(blk.plane).block(blk.index).valid_pages() == 0
                         && !fs.plane(blk.plane).in_free_pool(blk.index)
                     {
-                        fs.erase_and_pool(blk).unwrap();
+                        fs.erase_and_pool(blk).map_err(|e| format!("{e}"))?;
                         slots.remove(i);
                     }
                 }
             }
             if step % 16 == 0 {
-                fs.check().map_err(TestCaseError::fail)?;
+                fs.check()?;
             }
         }
-        fs.check().map_err(TestCaseError::fail)?;
-        prop_assert_eq!(fs.total_valid_pages(), expected_valid);
-    }
+        fs.check()?;
+        check_assert_eq!(fs.total_valid_pages(), expected_valid);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn geometry_round_trip(
-        capacity in 1u32..8,
-        page_kb in prop_oneof![Just(2u32), Just(4), Just(8), Just(16)],
-        extra in 0.0f64..12.0,
-        ppn_frac in 0.0f64..1.0,
-    ) {
-        let g = Geometry::build(capacity, page_kb, extra);
-        let ppn = (g.total_physical_pages() as f64 * ppn_frac) as u64
-            % g.total_physical_pages();
-        let addr = g.addr_of(ppn);
-        prop_assert_eq!(g.ppn_of(addr), ppn);
-        prop_assert!(addr.plane < g.total_planes());
-        prop_assert!(addr.block < g.blocks_per_plane);
-        prop_assert!(addr.page < g.pages_per_block);
-        prop_assert_eq!(g.plane_of_ppn(ppn), addr.plane);
-    }
+#[test]
+fn geometry_round_trip() {
+    let gen = (
+        check::u32s(1..8),
+        check::elements(vec![2u32, 4, 8, 16]),
+        check::f64s(0.0..12.0),
+        check::f64s(0.0..1.0),
+    );
+    Checker::new()
+        .cases(256)
+        .run(&gen, |&(capacity, page_kb, extra, ppn_frac)| {
+            let g = Geometry::build(capacity, page_kb, extra);
+            let ppn =
+                (g.total_physical_pages() as f64 * ppn_frac) as u64 % g.total_physical_pages();
+            let addr = g.addr_of(ppn);
+            check_assert_eq!(g.ppn_of(addr), ppn);
+            check_assert!(addr.plane < g.total_planes());
+            check_assert!(addr.block < g.blocks_per_plane);
+            check_assert!(addr.page < g.pages_per_block);
+            check_assert_eq!(g.plane_of_ppn(ppn), addr.plane);
+            Ok(())
+        });
 }

@@ -21,10 +21,21 @@
 //! * [`events`] — a monotonic event queue with stable FIFO tie-breaking.
 //! * [`stats`] — online mean/variance, histograms and percentile estimation.
 //! * [`rng`] — a tiny, seedable PCG-style PRNG (keeps the simulator free of
-//!   external API churn; `rand` is only used by workload generators).
+//!   external API churn and registry dependencies).
 //! * [`queue`] — the pending-operation priority list used to model FlashSim's
 //!   channel-interleaving scheduler.
+//! * [`check`] — a deterministic property-testing harness (the workspace's
+//!   in-tree `proptest` substitute), seeded from [`rng`].
+//! * [`mod@bench`] — a warmup/iterate/report micro-benchmark runner (the
+//!   in-tree `criterion` substitute), reporting via [`stats`].
+//!
+//! The [`check`] and [`mod@bench`] modules exist because the workspace builds
+//! hermetically: no registry dependencies, so the test and benchmark
+//! tooling ships in-tree. See the workspace README's
+//! "Zero-external-dependency policy".
 
+pub mod bench;
+pub mod check;
 pub mod events;
 pub mod queue;
 pub mod rng;

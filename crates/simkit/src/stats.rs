@@ -217,6 +217,62 @@ impl Histogram {
     }
 }
 
+/// Value at quantile `q` in `[0, 1]` of a sample set, by linear
+/// interpolation between order statistics (the "R-7" definition used by
+/// most statistics packages). Returns 0.0 for an empty slice.
+///
+/// The input need not be sorted; a sorted copy is made internally. For
+/// repeated queries over the same data, sort once and use
+/// [`percentile_sorted`].
+///
+/// ```
+/// use dloop_simkit::stats::percentile;
+///
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(percentile(&xs, 0.0), 1.0);
+/// assert_eq!(percentile(&xs, 0.5), 2.5);
+/// assert_eq!(percentile(&xs, 1.0), 4.0);
+/// ```
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_sorted(&sorted, q)
+}
+
+/// Like [`percentile`], but requires `sorted` to already be in ascending
+/// order (not checked; an unsorted input gives a meaningless answer).
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Median of a sample set (0.0 when empty). Interpolates for even counts.
+pub fn median(samples: &[f64]) -> f64 {
+    percentile(samples, 0.5)
+}
+
+/// Median absolute deviation: the median of `|x - median(xs)|`.
+///
+/// A robust spread estimate — unlike the standard deviation it is not
+/// dragged around by a handful of outliers, which makes it the right
+/// yardstick for flagging them (see [`crate::bench`]). Multiply by
+/// 1.4826 to get a consistent estimator of σ for normal data.
+pub fn median_abs_deviation(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let m = median(samples);
+    let deviations: Vec<f64> = samples.iter().map(|x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +366,38 @@ mod tests {
         let mut h = Histogram::new(1.0, 4);
         h.record(1e30);
         assert_eq!(h.quantile(1.0), 8.0); // last bucket upper bound: 2^3
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
+        assert_eq!(percentile(&[7.0], 1.0), 7.0);
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert!((percentile(&xs, 0.95) - 4.8).abs() < 1e-12);
+        // Out-of-range quantiles clamp.
+        assert_eq!(percentile(&xs, -1.0), 1.0);
+        assert_eq!(percentile(&xs, 2.0), 5.0);
+    }
+
+    #[test]
+    fn median_matches_definition() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        // 1..9 with one wild outlier: the MAD barely moves.
+        let clean: Vec<f64> = (1..=9).map(f64::from).collect();
+        let mut dirty = clean.clone();
+        dirty[8] = 1e9;
+        assert_eq!(median_abs_deviation(&clean), 2.0);
+        assert_eq!(median_abs_deviation(&dirty), 2.0);
+        assert_eq!(median_abs_deviation(&[]), 0.0);
+        assert_eq!(median_abs_deviation(&[5.0, 5.0, 5.0]), 0.0);
     }
 
     #[test]

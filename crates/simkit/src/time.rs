@@ -310,4 +310,3 @@ mod tests {
         assert_eq!(total, SimDuration::from_micros(10));
     }
 }
-

@@ -138,10 +138,7 @@ mod tests {
         assert_eq!(s.reads, 2);
         // 8192-byte request = 4 pages of 2 KB.
         assert_eq!(t.requests[0].pages, 4);
-        assert_eq!(
-            t.requests[0].arrival,
-            SimTime::from_secs_f64(0.551706)
-        );
+        assert_eq!(t.requests[0].arrival, SimTime::from_secs_f64(0.551706));
         // LBA 20941264 sectors * 512 / 2048 = page 5235316.
         assert_eq!(t.requests[0].lpn, 20941264 * 512 / 2048);
     }

@@ -227,10 +227,9 @@ fn sample_pages(rng: &mut SimRng, avg: f64) -> u32 {
 }
 
 fn fxmix(s: &str) -> u64 {
-    s.bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100000001b3)
-        })
+    s.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
 }
 
 /// Parameters for the plain uniform-random generator (tests, benches).
@@ -346,10 +345,7 @@ mod tests {
     fn arrivals_are_sorted_and_positive_rate() {
         for p in WorkloadProfile::all_paper() {
             let t = p.generate_scaled(4, 2048, 5_000);
-            assert!(t
-                .requests
-                .windows(2)
-                .all(|w| w[0].arrival <= w[1].arrival));
+            assert!(t.requests.windows(2).all(|w| w[0].arrival <= w[1].arrival));
             assert!(t.stats(2048).rate_per_sec > 0.0);
         }
     }
@@ -393,8 +389,7 @@ mod tests {
             },
             7,
         );
-        let distinct: std::collections::HashSet<u64> =
-            t.requests.iter().map(|r| r.lpn).collect();
+        let distinct: std::collections::HashSet<u64> = t.requests.iter().map(|r| r.lpn).collect();
         assert!(distinct.len() > 95);
     }
 

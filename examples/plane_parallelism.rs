@@ -35,8 +35,10 @@ fn main() {
         end = end.max(c.end);
     }
     let serialised = end;
-    println!("1. {pages}-page write:  striped {striped}  vs  one-plane {serialised}  ({:.1}x)",
-        serialised.as_nanos() as f64 / striped.as_nanos() as f64);
+    println!(
+        "1. {pages}-page write:  striped {striped}  vs  one-plane {serialised}  ({:.1}x)",
+        serialised.as_nanos() as f64 / striped.as_nanos() as f64
+    );
 
     // --- 2. Copy-back vs external copy ------------------------------------
     let moves = 32;

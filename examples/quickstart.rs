@@ -35,7 +35,10 @@ fn main() {
         "mean response time : {:.4} ms",
         report.mean_response_time_ms()
     );
-    println!("p99 response time  : {:.4} ms", report.response_percentile_ms(0.99));
+    println!(
+        "p99 response time  : {:.4} ms",
+        report.response_percentile_ms(0.99)
+    );
     println!("ln(SDRPP)          : {:.3}", report.ln_sdrpp());
     println!("write amplification: {:.3}", report.waf());
     println!(

@@ -26,9 +26,8 @@ fn main() {
         config.geometry()
     );
 
-    let fresh = |config: &SsdConfig| {
-        SsdDevice::new(config.clone(), Box::new(DloopFtl::new(config)))
-    };
+    let fresh =
+        |config: &SsdConfig| SsdDevice::new(config.clone(), Box::new(DloopFtl::new(config)));
 
     println!(
         "{:<22} {:>10} {:>10} {:>10} {:>8}",

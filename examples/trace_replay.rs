@@ -35,8 +35,8 @@ fn main() {
             parse_spc(EMBEDDED_SAMPLE, "embedded", page, None).expect("embedded sample parses")
         }
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
             match args.get(1).map(String::as_str).unwrap_or("spc") {
                 "spc" => parse_spc(&text, path, page, None).expect("SPC parse"),
                 "disksim" => parse_disksim(&text, path, page, None).expect("DiskSim parse"),

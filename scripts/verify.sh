@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the DLOOP reproduction (see ROADMAP.md).
+#
+# The workspace is hermetic — no registry dependencies — so everything
+# here runs with the network disabled. `--offline` makes that explicit:
+# if a registry dependency ever sneaks in, the build fails immediately
+# (tests/hermetic.rs also guards this).
+#
+# Usage: scripts/verify.sh [--with-bench]
+#   --with-bench  additionally smoke-run the micro-benchmarks with a
+#                 reduced sample count (SIMKIT_BENCH_SAMPLES=3).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release (tier-1)"
+cargo build --release --offline
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q --offline
+
+echo "==> cargo test -q --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo doc --no-deps -p dloop-simkit (must be warning-free)"
+doc_log="$(cargo doc --no-deps --offline -p dloop-simkit 2>&1)" || {
+    echo "$doc_log"
+    exit 1
+}
+if grep -q "^warning" <<<"$doc_log"; then
+    echo "$doc_log"
+    echo "error: rustdoc warnings in dloop-simkit" >&2
+    exit 1
+fi
+
+if [[ "${1:-}" == "--with-bench" ]]; then
+    echo "==> cargo bench -p dloop-bench (smoke: SIMKIT_BENCH_SAMPLES=3)"
+    SIMKIT_BENCH_SAMPLES=3 cargo bench --offline -p dloop-bench
+fi
+
+echo "verify: OK"

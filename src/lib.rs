@@ -42,6 +42,7 @@ pub use dloop_baselines as baselines;
 pub use dloop_ftl_kit as ftl_kit;
 pub use dloop_nand as nand;
 pub use dloop_simkit as simkit;
+pub use dloop_simkit::{check_assert, check_assert_eq};
 pub use dloop_workloads as workloads;
 
 /// Convenience re-exports covering the common experiment surface.

@@ -67,7 +67,9 @@ fn written_data_stays_readable_under_gc_pressure() {
             t += 120;
         }
         device.run_trace(&reqs);
-        device.audit().unwrap_or_else(|e| panic!("{kind:?}: audit failed: {e}"));
+        device
+            .audit()
+            .unwrap_or_else(|e| panic!("{kind:?}: audit failed: {e}"));
 
         // Every written page must still be mapped to live flash (FAST
         // resolves data-block mappings through the flash state, so it is
@@ -324,7 +326,10 @@ fn gated_mode_matches_state_and_orders_sanely() {
     assert_eq!(reserve.ftl, gated.ftl);
     assert_eq!(reserve.pages_written, gated.pages_written);
     // Timing differs but stays the same order of magnitude.
-    let (a, b) = (reserve.mean_response_time_ms(), gated.mean_response_time_ms());
+    let (a, b) = (
+        reserve.mean_response_time_ms(),
+        gated.mean_response_time_ms(),
+    );
     assert!(a.is_finite() && b.is_finite());
     assert!(b < a * 20.0 + 1.0, "gated {b} ms vs reserve {a} ms");
     reserve_dev.audit().unwrap();

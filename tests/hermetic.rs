@@ -1,0 +1,171 @@
+//! Regression guard for the zero-external-dependency policy.
+//!
+//! The workspace must build and test with the network disabled (see
+//! README.md, "Zero-external-dependency policy"): every dependency in
+//! every `Cargo.toml` must be a `path` dependency on a sibling crate, or a
+//! `.workspace = true` reference to one. This test walks the workspace
+//! root and `crates/*/Cargo.toml` manifests and fails if any dependency
+//! entry could resolve to a registry, so a future change can't silently
+//! reintroduce a crates.io dependency.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Dependency-like sections whose entries must be path-only.
+const DEP_SECTIONS: &[&str] = &[
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+/// Is this `[section]` header one of the dependency tables (including
+/// target-specific forms like `[target.'cfg(unix)'.dependencies]`)?
+fn is_dep_section(section: &str) -> bool {
+    DEP_SECTIONS
+        .iter()
+        .any(|s| section == *s || section.ends_with(&format!(".{s}")))
+}
+
+/// A dependency entry is hermetic when it names a sibling path or defers
+/// to the (path-only) workspace dependency table.
+fn entry_is_hermetic(key: &str, value: &str) -> bool {
+    if value.contains("path") && value.contains('=') && !value.contains("version") {
+        return true;
+    }
+    // `foo.workspace = true` parses here as key `foo.workspace`, value
+    // `true`; inline tables use `{ workspace = true }`.
+    key.ends_with(".workspace") && value.trim() == "true" || value.contains("workspace = true")
+}
+
+/// Scan one manifest; return violations as `(section, line)` pairs.
+fn scan_manifest(path: &Path) -> Vec<(String, String)> {
+    let text =
+        fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut violations = Vec::new();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            section = rest.trim_end_matches(']').trim().to_string();
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        if !entry_is_hermetic(key, value) {
+            violations.push((section.clone(), format!("{key} = {value}")));
+        }
+    }
+    violations
+}
+
+/// All manifests in the workspace: the root plus every `crates/*` member.
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", crates_dir.display()));
+    for entry in entries {
+        let manifest = entry.expect("readable dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    manifests.sort();
+    manifests
+}
+
+#[test]
+fn no_registry_dependencies_anywhere() {
+    let manifests = workspace_manifests();
+    // The root plus the six crates; if the workspace grows this floor
+    // should grow with it, so a renamed dir can't dodge the scan.
+    assert!(
+        manifests.len() >= 8,
+        "expected at least 8 manifests, found {}: {manifests:?}",
+        manifests.len()
+    );
+    let mut report = String::new();
+    for manifest in &manifests {
+        for (section, entry) in scan_manifest(manifest) {
+            report.push_str(&format!(
+                "{}: [{}] {}\n",
+                manifest.display(),
+                section,
+                entry
+            ));
+        }
+    }
+    assert!(
+        report.is_empty(),
+        "registry (non-path) dependencies found — the workspace must stay \
+         hermetic (README.md, zero-external-dependency policy):\n{report}"
+    );
+}
+
+#[test]
+fn every_workspace_dependency_is_a_path() {
+    // Belt and braces for the shared table specifically: each entry in
+    // [workspace.dependencies] must carry an explicit `path`.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    let text = fs::read_to_string(&root).expect("readable root manifest");
+    let mut in_table = false;
+    let mut entries = 0;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_table = line == "[workspace.dependencies]";
+            continue;
+        }
+        if in_table && line.contains('=') {
+            entries += 1;
+            assert!(
+                line.contains("path = "),
+                "workspace dependency without a path: {line}"
+            );
+        }
+    }
+    assert_eq!(entries, 6, "expected the six sibling crates, got {entries}");
+}
+
+#[test]
+fn scanner_rejects_registry_shapes() {
+    // The scanner itself must flag the shapes a registry dep can take.
+    let bad = [
+        (
+            "dependencies",
+            "serde",
+            r#"{ version = "1", features = ["derive"] }"#,
+        ),
+        ("dev-dependencies", "proptest", r#""1""#),
+        ("workspace.dependencies", "rand", r#""0.9""#),
+        ("target.'cfg(unix)'.dependencies", "libc", r#""0.2""#),
+    ];
+    for (section, key, value) in bad {
+        assert!(
+            is_dep_section(section),
+            "section {section} should be scanned"
+        );
+        assert!(
+            !entry_is_hermetic(key, value),
+            "{key} = {value} should be flagged"
+        );
+    }
+    let good = [
+        ("dloop-simkit", r#"{ path = "crates/simkit" }"#),
+        ("dloop-nand.workspace", "true"),
+        ("dloop", r#"{ workspace = true }"#),
+    ];
+    for (key, value) in good {
+        assert!(entry_is_hermetic(key, value), "{key} = {value} is hermetic");
+    }
+}

@@ -1,9 +1,12 @@
-//! Property-based tests (proptest) over the core invariants.
+//! Property-based tests (via `dloop_simkit::check`) over the core
+//! invariants.
 //!
 //! The central property: for *any* request stream, every FTL maintains a
 //! consistent device — page states, directory ownership, mapping tables
 //! and free pools all agree — and the mapping behaves like a simple model
 //! dictionary.
+//!
+//! Failures print a `SIMKIT_CHECK_REPLAY` seed for deterministic replay.
 
 use dloop_repro::baselines::{DftlFtl, FastFtl, IdealPageMapFtl};
 use dloop_repro::dloop_ftl::{DloopFtl, HotPlaneDloopFtl};
@@ -12,8 +15,9 @@ use dloop_repro::ftl_kit::device::SsdDevice;
 use dloop_repro::ftl_kit::ftl::Ftl;
 use dloop_repro::ftl_kit::request::{HostOp, HostRequest};
 use dloop_repro::nand::PageState;
+use dloop_repro::simkit::check::{self, Checker, Generator};
 use dloop_repro::simkit::SimTime;
-use proptest::prelude::*;
+use dloop_repro::{check_assert, check_assert_eq};
 use std::collections::BTreeMap;
 
 fn build(kind: FtlKind, config: &SsdConfig) -> Box<dyn Ftl> {
@@ -32,11 +36,22 @@ enum Op {
     Read { lpn: u64, pages: u8 },
 }
 
-fn op_strategy(space: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0..space, 1u8..5).prop_map(|(lpn, pages)| Op::Write { lpn, pages }),
-        1 => (0..space, 1u8..5).prop_map(|(lpn, pages)| Op::Read { lpn, pages }),
-    ]
+fn op_gen(space: u64) -> check::BoxedGenerator<Op> {
+    check::weighted(vec![
+        (
+            3,
+            (check::u64s(0..space), check::u8s(1..5))
+                .map(|(lpn, pages)| Op::Write { lpn, pages })
+                .boxed(),
+        ),
+        (
+            1,
+            (check::u64s(0..space), check::u8s(1..5))
+                .map(|(lpn, pages)| Op::Read { lpn, pages })
+                .boxed(),
+        ),
+    ])
+    .boxed()
 }
 
 /// Drive a device with an op list; return it with the model dictionary.
@@ -75,10 +90,14 @@ fn drive(kind: FtlKind, ops: &[Op]) -> (SsdDevice, BTreeMap<u64, bool>) {
     (device, model)
 }
 
-fn check_against_model(kind: FtlKind, device: &SsdDevice, model: &BTreeMap<u64, bool>) {
+fn check_against_model(
+    kind: FtlKind,
+    device: &SsdDevice,
+    model: &BTreeMap<u64, bool>,
+) -> Result<(), String> {
     device
         .audit()
-        .unwrap_or_else(|e| panic!("{kind:?}: audit failed: {e}"));
+        .map_err(|e| format!("{kind:?}: audit failed: {e}"))?;
     // Non-FAST schemes expose the mapping directly: it must exactly match
     // the model's written set and point at valid pages.
     if kind != FtlKind::Fast {
@@ -86,78 +105,88 @@ fn check_against_model(kind: FtlKind, device: &SsdDevice, model: &BTreeMap<u64, 
         for lpn in 0..user {
             let mapped = device.ftl().mapped_ppn(lpn);
             let written = model.get(&lpn).copied().unwrap_or(false);
-            assert_eq!(
+            check_assert_eq!(
                 mapped.is_some(),
                 written,
-                "{kind:?}: mapping presence mismatch at lpn {lpn}"
+                "{:?}: mapping presence mismatch at lpn {}",
+                kind,
+                lpn
             );
             if let Some(ppn) = mapped {
-                assert_eq!(
+                check_assert_eq!(
                     device.flash().page_state(ppn),
                     PageState::Valid,
-                    "{kind:?}: lpn {lpn} maps to dead page"
+                    "{:?}: lpn {} maps to dead page",
+                    kind,
+                    lpn
                 );
             }
         }
     }
+    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
-
-    /// Any request stream leaves any FTL in a fully consistent state that
-    /// agrees with a model dictionary.
-    #[test]
-    fn any_stream_keeps_every_ftl_consistent(
-        ops in proptest::collection::vec(op_strategy(3000), 1..400),
-    ) {
+/// Any request stream leaves any FTL in a fully consistent state that
+/// agrees with a model dictionary.
+#[test]
+fn any_stream_keeps_every_ftl_consistent() {
+    let gen = check::vec_of(op_gen(3000), 1..400);
+    Checker::new().cases(24).run(&gen, |ops| {
         for kind in [
             FtlKind::Dloop,
             FtlKind::Dftl,
             FtlKind::Fast,
             FtlKind::IdealPageMap,
         ] {
-            let (device, model) = drive(kind, &ops);
-            check_against_model(kind, &device, &model);
+            let (device, model) = drive(kind, ops);
+            check_against_model(kind, &device, &model)?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Write-heavy streams with a small working set (GC torture).
-    #[test]
-    fn gc_torture_stays_consistent(
-        ops in proptest::collection::vec(op_strategy(600), 200..700),
-    ) {
-        for kind in [FtlKind::Dloop, FtlKind::DloopHot, FtlKind::Dftl, FtlKind::Fast] {
-            let (device, model) = drive(kind, &ops);
-            check_against_model(kind, &device, &model);
+/// Write-heavy streams with a small working set (GC torture).
+#[test]
+fn gc_torture_stays_consistent() {
+    let gen = check::vec_of(op_gen(600), 200..700);
+    Checker::new().cases(24).run(&gen, |ops| {
+        for kind in [
+            FtlKind::Dloop,
+            FtlKind::DloopHot,
+            FtlKind::Dftl,
+            FtlKind::Fast,
+        ] {
+            let (device, model) = drive(kind, ops);
+            check_against_model(kind, &device, &model)?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// DLOOP's Equation-1 invariant holds for arbitrary streams: every
-    /// mapped data page lives on plane `lpn % planes`.
-    #[test]
-    fn dloop_plane_invariant(
-        ops in proptest::collection::vec(op_strategy(2000), 1..400),
-    ) {
-        let (device, model) = drive(FtlKind::Dloop, &ops);
+/// DLOOP's Equation-1 invariant holds for arbitrary streams: every
+/// mapped data page lives on plane `lpn % planes`.
+#[test]
+fn dloop_plane_invariant() {
+    let gen = check::vec_of(op_gen(2000), 1..400);
+    Checker::new().cases(24).run(&gen, |ops| {
+        let (device, model) = drive(FtlKind::Dloop, ops);
         let g = device.flash().geometry().clone();
         let planes = g.total_planes() as u64;
         for (&lpn, _) in model.iter() {
             if let Some(ppn) = device.ftl().mapped_ppn(lpn) {
-                prop_assert_eq!(g.plane_of_ppn(ppn) as u64, lpn % planes);
+                check_assert_eq!(g.plane_of_ppn(ppn) as u64, lpn % planes);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Response times are finite, non-negative, and the report's request
-    /// accounting matches the input.
-    #[test]
-    fn report_accounting_is_exact(
-        ops in proptest::collection::vec(op_strategy(2000), 1..200),
-    ) {
+/// Response times are finite, non-negative, and the report's request
+/// accounting matches the input.
+#[test]
+fn report_accounting_is_exact() {
+    let gen = check::vec_of(op_gen(2000), 1..200);
+    Checker::new().cases(24).run(&gen, |ops| {
         let config = SsdConfig::micro_gc_test();
         let mut device = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
         let mut reqs = Vec::new();
@@ -180,37 +209,45 @@ proptest! {
             });
         }
         let report = device.run_trace(&reqs);
-        prop_assert_eq!(report.requests_completed, ops.len() as u64);
-        prop_assert_eq!(report.pages_written, pages_w);
-        prop_assert_eq!(report.pages_read, pages_r);
-        prop_assert!(report.mean_response_time_ms().is_finite());
-        prop_assert!(report.mean_response_time_ms() >= 0.0);
-        prop_assert!(report.sim_end.as_nanos() < u64::MAX / 2);
-    }
+        check_assert_eq!(report.requests_completed, ops.len() as u64);
+        check_assert_eq!(report.pages_written, pages_w);
+        check_assert_eq!(report.pages_read, pages_r);
+        check_assert!(report.mean_response_time_ms().is_finite());
+        check_assert!(report.mean_response_time_ms() >= 0.0);
+        check_assert!(report.sim_end.as_nanos() < u64::MAX / 2);
+        Ok(())
+    });
+}
 
-    /// Valid-page conservation: total live pages equal distinct written
-    /// LPNs plus live translation pages, for the demand-mapped schemes.
-    #[test]
-    fn live_page_conservation(
-        ops in proptest::collection::vec(op_strategy(1500), 1..300),
-    ) {
+/// Valid-page conservation: total live pages equal distinct written
+/// LPNs plus live translation pages, for the demand-mapped schemes.
+#[test]
+fn live_page_conservation() {
+    let gen = check::vec_of(op_gen(1500), 1..300);
+    Checker::new().cases(24).run(&gen, |ops| {
         for kind in [FtlKind::Dloop, FtlKind::Dftl] {
-            let (device, model) = drive(kind, &ops);
+            let (device, model) = drive(kind, ops);
             let live = device.flash().total_valid_pages();
             let data_live = model.len() as u64;
             // Translation pages are the only other live content.
-            prop_assert!(
+            check_assert!(
                 live >= data_live,
                 "{:?}: live {} < data {}",
-                kind, live, data_live
+                kind,
+                live,
+                data_live
             );
             // Bounded by data + all possible translation pages.
             let max_tpages = device.flash().geometry().translation_page_count();
-            prop_assert!(
+            check_assert!(
                 live <= data_live + max_tpages,
                 "{:?}: live {} > data {} + tpages {}",
-                kind, live, data_live, max_tpages
+                kind,
+                live,
+                data_live,
+                max_tpages
             );
         }
-    }
+        Ok(())
+    });
 }

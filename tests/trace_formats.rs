@@ -37,8 +37,7 @@ fn disksim_trace_replays_end_to_end() {
         text.push_str(&format!("{} 0 {blk} 8 {flags}\n", i as f64 * 0.5));
     }
     let config = SsdConfig::micro_gc_test();
-    let trace =
-        parse_disksim(&text, "mini-ds", config.geometry().page_size, Some(0)).unwrap();
+    let trace = parse_disksim(&text, "mini-ds", config.geometry().page_size, Some(0)).unwrap();
     assert_eq!(trace.len(), 150);
 
     let mut device = SsdDevice::new(config.clone(), Box::new(DloopFtl::new(&config)));
