@@ -71,19 +71,25 @@ impl DftlFtl {
         exclude: &[BlockAddr],
         flash: &mut FlashState,
     ) -> Ppn {
-        let need_new = match *active {
-            None => true,
-            Some(b) => flash.plane(b.plane).block(b.index).is_full(),
-        };
-        if need_new {
-            *active = Some(match sticky_home {
-                Some(home) => alloc.allocate_sticky(home, flash, exclude),
-                None => alloc.allocate_rr(flash, exclude),
-            });
+        loop {
+            let need_new = match *active {
+                None => true,
+                Some(b) => flash.plane(b.plane).block(b.index).is_full(),
+            };
+            if need_new {
+                *active = Some(match sticky_home {
+                    Some(home) => alloc.allocate_sticky(home, flash, exclude),
+                    None => alloc.allocate_rr(flash, exclude),
+                });
+            }
+            let blk = active.expect("active block just ensured");
+            let attempt = flash.program_page(blk).expect("active block full");
+            if !attempt.failed {
+                return flash.geometry().ppn_of(attempt.addr);
+            }
+            // Program-status failure: the page is consumed; retry on the
+            // next sequential page (rolling to a new block when full).
         }
-        let blk = active.expect("active block just ensured");
-        let addr = flash.program_next(blk).expect("active block full");
-        flash.geometry().ppn_of(addr)
     }
 
     fn place_translation_page(
@@ -96,9 +102,8 @@ impl DftlFtl {
         let exclude: Vec<BlockAddr> = data_active.into_iter().collect();
         let ppn = Self::place(alloc, trans_active, Some(0), &exclude, ctx.flash);
         ctx.dir.set_translation(ppn, tvpn);
-        ctx.push(FlashStep::Write {
-            plane: ctx.flash.geometry().plane_of_ppn(ppn),
-        });
+        let plane = ctx.flash.geometry().plane_of_ppn(ppn);
+        ctx.push_program(plane);
         ppn
     }
 
@@ -144,7 +149,10 @@ impl DftlFtl {
                 .collect();
             for index in hits {
                 ctx.push(FlashStep::Erase { plane });
-                ctx.flash
+                // An erase failure retires the block instead of pooling it;
+                // either way the block is gone from the victim set.
+                let _ = ctx
+                    .flash
                     .erase_and_pool(BlockAddr { plane, index })
                     .expect("sweep erase failed");
                 swept = true;
@@ -217,9 +225,14 @@ impl DftlFtl {
                         ctx.flash,
                     );
                     self.counters.external_moves += 1;
+                    let dst = geometry.plane_of_ppn(new_ppn);
+                    ctx.drain_failed_programs(FlashStep::InterPlaneCopy {
+                        src: victim.plane,
+                        dst,
+                    });
                     ctx.push(FlashStep::InterPlaneCopy {
                         src: victim.plane,
-                        dst: geometry.plane_of_ppn(new_ppn),
+                        dst,
                     });
                     self.dm.gc_move(lpn, new_ppn);
                     ctx.dir.set_data(new_ppn, lpn);
@@ -236,9 +249,14 @@ impl DftlFtl {
                         ctx.flash,
                     );
                     self.counters.external_moves += 1;
+                    let dst = geometry.plane_of_ppn(new_ppn);
+                    ctx.drain_failed_programs(FlashStep::InterPlaneCopy {
+                        src: victim.plane,
+                        dst,
+                    });
                     ctx.push(FlashStep::InterPlaneCopy {
                         src: victim.plane,
-                        dst: geometry.plane_of_ppn(new_ppn),
+                        dst,
                     });
                     self.dm.gc_move_translation(tvpn, new_ppn);
                     ctx.dir.set_translation(new_ppn, tvpn);
@@ -256,7 +274,10 @@ impl DftlFtl {
         ctx.push(FlashStep::Erase {
             plane: victim.plane,
         });
-        ctx.flash
+        // A failed victim erase retires the block (capacity shrinks), but
+        // the collection itself completed: the valid pages moved out.
+        let _ = ctx
+            .flash
             .erase_and_pool(victim)
             .expect("victim erase failed");
 
@@ -304,12 +325,7 @@ impl Ftl for DftlFtl {
     fn read(&mut self, lpn: Lpn, ctx: &mut FtlContext<'_>) {
         let mapped = self.ensure_cached(lpn, ctx);
         if let Some(ppn) = mapped {
-            ctx.flash
-                .read_check(ppn)
-                .expect("DFTL mapping points at dead page");
-            ctx.push(FlashStep::Read {
-                plane: self.geometry.plane_of_ppn(ppn),
-            });
+            ctx.read_page(ppn);
         }
         ctx.in_gc_phase(|ctx| self.maybe_gc(ctx));
     }
@@ -324,9 +340,7 @@ impl Ftl for DftlFtl {
             &exclude,
             ctx.flash,
         );
-        ctx.push(FlashStep::Write {
-            plane: self.geometry.plane_of_ppn(new_ppn),
-        });
+        ctx.push_program(self.geometry.plane_of_ppn(new_ppn));
         if let Some(old_ppn) = old {
             ctx.flash
                 .invalidate(old_ppn)

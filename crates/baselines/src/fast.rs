@@ -152,14 +152,43 @@ impl FastFtl {
         }
     }
 
-    /// Program the next page of `block` for `lpn` and push the write step.
-    fn program_log_page(&mut self, block: BlockAddr, lpn: Lpn, ctx: &mut FtlContext<'_>) -> Ppn {
-        let addr = ctx.flash.program_next(block).expect("log block full");
-        let ppn = self.geometry.ppn_of(addr);
+    /// Try to program the next page of `block` for `lpn`: on success
+    /// install the log-map entry and push the write step. A program
+    /// failure consumes the page (charged as an extra write) and returns
+    /// `None` — the caller decides where the data goes instead.
+    fn try_program_log_page(
+        &mut self,
+        block: BlockAddr,
+        lpn: Lpn,
+        ctx: &mut FtlContext<'_>,
+    ) -> Option<Ppn> {
+        let attempt = ctx.flash.program_page(block).expect("log block full");
+        ctx.drain_failed_programs(FlashStep::Write { plane: block.plane });
+        if attempt.failed {
+            return None;
+        }
+        let ppn = self.geometry.ppn_of(attempt.addr);
         ctx.dir.set_data(ppn, lpn);
         ctx.push(FlashStep::Write { plane: block.plane });
         self.log_map.insert(lpn, ppn);
-        ppn
+        Some(ppn)
+    }
+
+    /// The RW tail block with a free page, never reclaiming: safe to call
+    /// mid-merge, where a nested merge would be unsound. May transiently
+    /// push the pool past `rw_limit`; it shrinks back at the next
+    /// rotation.
+    fn rw_tail_no_reclaim(&mut self, ctx: &mut FtlContext<'_>) -> BlockAddr {
+        let need_new = match self.rw_blocks.back() {
+            None => true,
+            Some(b) => ctx.flash.plane(b.plane).block(b.index).is_full(),
+        };
+        if need_new {
+            let exclude = self.exclusions();
+            let blk = self.alloc.allocate_rr(ctx.flash, &exclude);
+            self.rw_blocks.push_back(blk);
+        }
+        *self.rw_blocks.back().expect("rw tail just ensured")
     }
 
     /// Make sure the RW tail block has a free page, rotating/merging as
@@ -170,15 +199,40 @@ impl FastFtl {
             None => true,
             Some(b) => ctx.flash.plane(b.plane).block(b.index).is_full(),
         };
-        if need_new {
-            if self.rw_blocks.len() >= self.rw_limit {
-                ctx.in_gc_phase(|ctx| self.reclaim_oldest_rw(ctx));
-            }
-            let exclude = self.exclusions();
-            let blk = self.alloc.allocate_rr(ctx.flash, &exclude);
-            self.rw_blocks.push_back(blk);
+        if need_new && self.rw_blocks.len() >= self.rw_limit {
+            ctx.in_gc_phase(|ctx| self.reclaim_oldest_rw(ctx));
         }
-        *self.rw_blocks.back().expect("rw block just ensured")
+        self.rw_tail_no_reclaim(ctx)
+    }
+
+    /// Append the newest version of `lpn` to the RW log, invalidating the
+    /// superseded version. Retries past program failures (each consumes
+    /// one log page, rolling to a fresh block when the tail fills).
+    fn append_rw(&mut self, lpn: Lpn, ctx: &mut FtlContext<'_>) {
+        loop {
+            let blk = self.ensure_rw_block(ctx);
+            // ensure_rw_block may have merged this LBN; recompute.
+            let old = self.current_ppn(lpn, ctx.flash);
+            if self.try_program_log_page(blk, lpn, ctx).is_some() {
+                if let Some(old_ppn) = old {
+                    self.invalidate_stale(lpn, old_ppn, ctx);
+                }
+                return;
+            }
+        }
+    }
+
+    /// A merge-destination program failed, consuming the aligned slot:
+    /// the newest version of `lpn` (still at `src`) moves into the RW log
+    /// instead. Never reclaims — we are mid-merge.
+    fn relocate_failed_merge_page(&mut self, lpn: Lpn, src: Ppn, ctx: &mut FtlContext<'_>) {
+        loop {
+            let blk = self.rw_tail_no_reclaim(ctx);
+            if self.try_program_log_page(blk, lpn, ctx).is_some() {
+                self.invalidate_stale(lpn, src, ctx);
+                return;
+            }
+        }
     }
 
     /// Merge away every LBN with live pages in the oldest RW block, then
@@ -226,9 +280,20 @@ impl FastFtl {
             match self.current_ppn(lpn, ctx.flash) {
                 Some(src) => {
                     let src_plane = self.geometry.plane_of_ppn(src);
-                    let addr = ctx.flash.program_next(dest).expect("merge dest full");
-                    debug_assert_eq!(addr.page, off, "merge lost offset alignment");
-                    let new_ppn = self.geometry.ppn_of(addr);
+                    let attempt = ctx.flash.program_page(dest).expect("merge dest full");
+                    if attempt.failed {
+                        // The aligned slot was consumed by the failed
+                        // program (alignment holds for the remaining
+                        // offsets); divert this page to the RW log.
+                        ctx.drain_failed_programs(FlashStep::InterPlaneCopy {
+                            src: src_plane,
+                            dst: dest.plane,
+                        });
+                        self.relocate_failed_merge_page(lpn, src, ctx);
+                        continue;
+                    }
+                    debug_assert_eq!(attempt.addr.page, off, "merge lost offset alignment");
+                    let new_ppn = self.geometry.ppn_of(attempt.addr);
                     self.counters.external_moves += 1;
                     ctx.push(FlashStep::InterPlaneCopy {
                         src: src_plane,
@@ -331,9 +396,19 @@ impl FastFtl {
             match self.current_ppn(lpn, ctx.flash) {
                 Some(src) => {
                     let src_plane = self.geometry.plane_of_ppn(src);
-                    let addr = ctx.flash.program_next(sw.block).expect("sw full");
-                    debug_assert_eq!(addr.page, off);
-                    let new_ppn = self.geometry.ppn_of(addr);
+                    let attempt = ctx.flash.program_page(sw.block).expect("sw full");
+                    if attempt.failed {
+                        // Aligned slot consumed; divert to the RW log (the
+                        // promoted block keeps a hole at this offset).
+                        ctx.drain_failed_programs(FlashStep::InterPlaneCopy {
+                            src: src_plane,
+                            dst: sw.block.plane,
+                        });
+                        self.relocate_failed_merge_page(lpn, src, ctx);
+                        continue;
+                    }
+                    debug_assert_eq!(attempt.addr.page, off);
+                    let new_ppn = self.geometry.ppn_of(attempt.addr);
                     self.counters.external_moves += 1;
                     ctx.push(FlashStep::InterPlaneCopy {
                         src: src_plane,
@@ -387,12 +462,7 @@ impl Ftl for FastFtl {
 
     fn read(&mut self, lpn: Lpn, ctx: &mut FtlContext<'_>) {
         if let Some(ppn) = self.current_ppn(lpn, ctx.flash) {
-            ctx.flash
-                .read_check(ppn)
-                .expect("FAST mapping points at dead page");
-            ctx.push(FlashStep::Read {
-                plane: self.geometry.plane_of_ppn(ppn),
-            });
+            ctx.read_page(ppn);
         }
     }
 
@@ -408,8 +478,16 @@ impl Ftl for FastFtl {
         });
         if let Some(db) = in_place {
             let old = self.current_ppn(lpn, ctx.flash);
-            let addr = ctx.flash.program_next(db).expect("data block full");
-            let new_ppn = self.geometry.ppn_of(addr);
+            let attempt = ctx.flash.program_page(db).expect("data block full");
+            ctx.drain_failed_programs(FlashStep::Write { plane: db.plane });
+            if attempt.failed {
+                // The aligned slot was consumed by a failed program: the
+                // data block keeps a hole there and the write goes to the
+                // RW log instead.
+                self.append_rw(lpn, ctx);
+                return;
+            }
+            let new_ppn = self.geometry.ppn_of(attempt.addr);
             ctx.push(FlashStep::Write { plane: db.plane });
             if let Some(old_ppn) = old {
                 // The old version necessarily sits in a log block (the data
@@ -435,7 +513,14 @@ impl Ftl for FastFtl {
                 next_off: 1,
                 clean: true,
             });
-            self.program_log_page(blk, lpn, ctx);
+            if self.try_program_log_page(blk, lpn, ctx).is_none() {
+                // Page 0 was consumed by a failed program: the block cannot
+                // host a clean sequential run. Keep it as a dirty SW block
+                // (a full merge will retire it) and log the page instead.
+                self.sw.as_mut().expect("sw just set").clean = false;
+                self.append_rw(lpn, ctx);
+                return;
+            }
             if let Some(old_ppn) = old {
                 self.invalidate_stale(lpn, old_ppn, ctx);
             }
@@ -449,7 +534,14 @@ impl Ftl for FastFtl {
         if sw_append {
             let old = self.current_ppn(lpn, ctx.flash);
             let sw = self.sw.expect("just checked");
-            self.program_log_page(sw.block, lpn, ctx);
+            if self.try_program_log_page(sw.block, lpn, ctx).is_none() {
+                // The aligned slot was consumed by a failed program: the
+                // SW block can no longer switch cleanly. Degrade it (a
+                // full merge will retire it) and log the page instead.
+                self.sw.as_mut().expect("sw").clean = false;
+                self.append_rw(lpn, ctx);
+                return;
+            }
             if let Some(old_ppn) = old {
                 self.invalidate_stale(lpn, old_ppn, ctx);
             }
@@ -462,13 +554,7 @@ impl Ftl for FastFtl {
         }
 
         // 4. Everything else goes to the fully-associative RW log.
-        let blk = self.ensure_rw_block(ctx);
-        // ensure_rw_block may have merged this LBN; recompute.
-        let old = self.current_ppn(lpn, ctx.flash);
-        self.program_log_page(blk, lpn, ctx);
-        if let Some(old_ppn) = old {
-            self.invalidate_stale(lpn, old_ppn, ctx);
-        }
+        self.append_rw(lpn, ctx);
     }
 
     fn mapped_ppn(&self, lpn: Lpn) -> Option<Ppn> {

@@ -138,12 +138,20 @@ impl IdealPageMapFtl {
                     src: plane,
                     dst: plane,
                 });
-                self.alloc.place(plane, BlockClass::Data, ctx.flash)
+                let addr = self.alloc.place(plane, BlockClass::Data, ctx.flash);
+                ctx.drain_failed_programs(FlashStep::InterPlaneCopy {
+                    src: plane,
+                    dst: plane,
+                });
+                addr
             } else {
                 self.counters.copyback_moves += 1;
                 ctx.push(FlashStep::CopyBack { plane });
-                self.alloc
-                    .place_with_parity(plane, BlockClass::Data, off & 1, ctx.flash)
+                let addr =
+                    self.alloc
+                        .place_with_parity(plane, BlockClass::Data, off & 1, ctx.flash);
+                ctx.drain_failed_programs(FlashStep::CopyBack { plane });
+                addr
             };
             let new_ppn = self.geometry.ppn_of(new_addr);
             self.map[lpn as usize] = new_ppn;
@@ -170,12 +178,7 @@ impl Ftl for IdealPageMapFtl {
     fn read(&mut self, lpn: Lpn, ctx: &mut FtlContext<'_>) {
         let ppn = self.map[lpn as usize];
         if ppn != UNMAPPED {
-            ctx.flash
-                .read_check(ppn)
-                .expect("mapping points at dead page");
-            ctx.push(FlashStep::Read {
-                plane: self.geometry.plane_of_ppn(ppn),
-            });
+            ctx.read_page(ppn);
         }
     }
 
@@ -183,7 +186,7 @@ impl Ftl for IdealPageMapFtl {
         let plane = self.plane_of_lpn(lpn);
         let addr = self.alloc.place(plane, BlockClass::Data, ctx.flash);
         let new_ppn = self.geometry.ppn_of(addr);
-        ctx.push(FlashStep::Write { plane });
+        ctx.push_program(plane);
         let old = self.map[lpn as usize];
         if old != UNMAPPED {
             ctx.flash.invalidate(old).expect("stale mapping on update");

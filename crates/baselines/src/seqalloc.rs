@@ -92,20 +92,27 @@ impl SeqAllocator {
     /// one in `exclude`).
     fn emergency(&mut self, flash: &mut FlashState, exclude: &[BlockAddr]) -> BlockAddr {
         for plane in 0..self.planes {
-            let found = flash
-                .plane(plane)
-                .blocks()
-                .find(|(i, b)| {
-                    !b.is_pristine()
-                        && b.valid_pages() == 0
-                        && !exclude.contains(&BlockAddr { plane, index: *i })
-                })
-                .map(|(i, _)| i);
-            if let Some(index) = found {
-                flash
+            // An erase failure retires the candidate (grown bad) instead of
+            // pooling it; retired blocks are pristine and drop out of the
+            // search, so keep scanning until one survives.
+            loop {
+                let found = flash
+                    .plane(plane)
+                    .blocks()
+                    .find(|(i, b)| {
+                        !b.is_pristine()
+                            && b.valid_pages() == 0
+                            && !exclude.contains(&BlockAddr { plane, index: *i })
+                    })
+                    .map(|(i, _)| i);
+                let Some(index) = found else { break };
+                let pooled = flash
                     .erase_and_pool(BlockAddr { plane, index })
                     .expect("emergency erase failed");
                 self.emergency_erases += 1;
+                if !pooled {
+                    continue;
+                }
                 let index = flash
                     .allocate_free_block(plane)
                     .expect("pool empty after emergency erase");

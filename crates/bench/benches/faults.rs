@@ -1,0 +1,75 @@
+//! Micro-benchmark of the fault plan: how much deciding a media outcome
+//! costs per operation, and what the zero-BER hot path (a null plan never
+//! hashes) saves. Also the timing model's read-retry ladder dispatch.
+
+use dloop_nand::{FaultConfig, FaultPlan, Geometry, HardwareModel, MediaModel, TimingConfig};
+use dloop_simkit::bench::{black_box, Bench};
+use dloop_simkit::SimTime;
+
+fn main() {
+    let mut bench = Bench::new("fault_plan");
+
+    {
+        let plan = FaultPlan::new(FaultConfig::storm(7));
+        let mut ppn = 0u64;
+        bench.case("read_outcome_storm", || {
+            let o = plan.read_outcome(black_box(ppn), 3, 10);
+            ppn = (ppn + 1) % 1_000_000;
+            o
+        });
+    }
+
+    {
+        let plan = FaultPlan::new(FaultConfig::light(7));
+        let mut ppn = 0u64;
+        bench.case("read_outcome_light", || {
+            let o = plan.read_outcome(black_box(ppn), 3, 10);
+            ppn = (ppn + 1) % 1_000_000;
+            o
+        });
+    }
+
+    {
+        // The fault-free fast path: a null plan must cost next to nothing,
+        // since every pre-fault simulation pays it on every operation.
+        let mut media = MediaModel::new(FaultPlan::new(FaultConfig::none()), 1_000_000);
+        let mut ppn = 0u64;
+        bench.case("media_read_null_plan", || {
+            let o = media.read(black_box(ppn), 3);
+            ppn = (ppn + 1) % 1_000_000;
+            o
+        });
+    }
+
+    {
+        let mut media = MediaModel::new(FaultPlan::new(FaultConfig::storm(7)), 1_000_000);
+        let mut ppn = 0u64;
+        bench.case("media_read_storm", || {
+            let o = media.read(black_box(ppn), 3);
+            ppn = (ppn + 1) % 1_000_000;
+            o
+        });
+    }
+
+    {
+        let plan = FaultPlan::new(FaultConfig::storm(7));
+        let mut ppn = 0u64;
+        bench.case("program_outcome_storm", || {
+            let o = plan.program_outcome(black_box(ppn), 5);
+            ppn = (ppn + 1) % 100_000;
+            o
+        });
+    }
+
+    {
+        let geometry = Geometry::paper_default();
+        let mut hw = HardwareModel::new(&geometry, TimingConfig::paper_default(), false);
+        let mut t = SimTime::ZERO;
+        let mut plane = 0;
+        bench.case("exec_read_retry_3", || {
+            let c = hw.exec_read_retry(black_box(plane), t, 3);
+            plane = (plane + 1) % geometry.total_planes();
+            t = c.start;
+        });
+    }
+}

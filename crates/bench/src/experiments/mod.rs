@@ -12,6 +12,7 @@
 //! | [`ablation`] | design-choice ablations incl. the paper's future work |
 //! | [`striping`] | §II.C motivation: throughput vs plane-level concurrency |
 //! | [`channels`] | §II.B trade-off: channel count vs plane depth |
+//! | [`faults`] | graceful degradation vs raw bit-error rate (beyond the paper) |
 //!
 //! Absolute milliseconds differ from the paper (synthetic workloads, scaled
 //! devices); the *shape* — orderings, trends, crossovers — is the target.
@@ -19,6 +20,7 @@
 pub mod ablation;
 pub mod channels;
 pub mod copyback;
+pub mod faults;
 pub mod fig10;
 pub mod fig8;
 pub mod fig9;

@@ -14,6 +14,7 @@
 //!   ablation              — design-choice ablations + future work
 //!   striping              — §II.C motivation: concurrency vs throughput
 //!   channels              — §II.B trade-off: channel count vs plane depth
+//!   faults                — graceful degradation vs raw bit-error rate
 //!   verify                — automated PASS/FAIL audit of the paper's claims
 //!   all                   — everything above
 //!
@@ -28,7 +29,8 @@
 //! ```
 
 use dloop_bench::experiments::{
-    ablation, channels, copyback, fig10, fig8, fig9, headline, params, striping, traces, ExpOptions,
+    ablation, channels, copyback, faults, fig10, fig8, fig9, headline, params, striping, traces,
+    ExpOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,7 +40,7 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
-const HELP: &str = "usage: dloop-experiments <params|traces|copyback|fig8|fig9|fig10|headline|ablation|striping|channels|verify|all> \
+const HELP: &str = "usage: dloop-experiments <params|traces|copyback|fig8|fig9|fig10|headline|ablation|striping|channels|faults|verify|all> \
 [--scale N] [--requests N] [--seed N] [--workers N] [--fill F] [--out DIR] [--quick]";
 
 fn main() -> ExitCode {
@@ -133,6 +135,7 @@ fn main() -> ExitCode {
             "ablation" => opts.emit(&ablation::run(opts), "ablation"),
             "striping" => opts.emit(&striping::run(opts), "striping"),
             "channels" => opts.emit(&channels::run(opts), "channels"),
+            "faults" => opts.emit(&faults::run(opts), "faults_ber"),
             "verify" => {
                 let results = dloop_bench::claims::verify(opts);
                 let table = dloop_bench::claims::to_table(&results);
@@ -150,7 +153,7 @@ fn main() -> ExitCode {
     let ok = if cmd == "all" {
         for c in [
             "params", "traces", "copyback", "fig8", "fig9", "fig10", "headline", "ablation",
-            "striping", "channels", "verify",
+            "striping", "channels", "faults", "verify",
         ] {
             eprintln!(">> {c}");
             run_cmd(c, &opts);

@@ -100,23 +100,29 @@ impl PlaneAllocator {
                 // place and use it. The erase is accounted in the flash
                 // state; its latency folds into the surrounding GC chain.
                 Err(_) => {
-                    let fallback = flash
-                        .plane(plane)
-                        .blocks()
-                        .find(|(i, b)| {
-                            !excluded.contains(i) && !b.is_pristine() && b.valid_pages() == 0
-                        })
-                        .map(|(i, _)| i);
-                    match fallback {
-                        Some(i) => {
-                            flash
-                                .erase_and_pool(BlockAddr { plane, index: i })
-                                .expect("emergency erase failed");
-                            flash
-                                .allocate_free_block(plane)
-                                .expect("pool empty after emergency erase")
-                        }
-                        None => {
+                    // A candidate's erase can fail (grown bad block): the
+                    // block is retired rather than pooled, so keep trying
+                    // further candidates. Retired blocks are pristine and
+                    // drop out of the search, so this terminates.
+                    let mut pooled_one = false;
+                    while !pooled_one {
+                        let fallback = flash
+                            .plane(plane)
+                            .blocks()
+                            .find(|(i, b)| {
+                                !excluded.contains(i) && !b.is_pristine() && b.valid_pages() == 0
+                            })
+                            .map(|(i, _)| i);
+                        let Some(i) = fallback else { break };
+                        pooled_one = flash
+                            .erase_and_pool(BlockAddr { plane, index: i })
+                            .expect("emergency erase failed");
+                    }
+                    match pooled_one {
+                        true => flash
+                            .allocate_free_block(plane)
+                            .expect("pool empty after emergency erase"),
+                        false => {
                             let ps = flash.plane(plane);
                             let summary: Vec<String> = ps
                                 .blocks()
@@ -159,10 +165,19 @@ impl PlaneAllocator {
     /// Program the next sequential page on `plane`'s current free block
     /// of `class`.
     pub fn place(&mut self, plane: PlaneId, class: BlockClass, flash: &mut FlashState) -> PageAddr {
-        let blk = self.ensure_active(plane, class, flash);
-        flash
-            .program_next(blk)
-            .expect("active block full after ensure")
+        loop {
+            let blk = self.ensure_active(plane, class, flash);
+            let attempt = flash
+                .program_page(blk)
+                .expect("active block full after ensure");
+            if !attempt.failed {
+                return attempt.addr;
+            }
+            // Program-status failure: the media consumed the page; retry
+            // on the next sequential page (rolling to a fresh block when
+            // this one fills). The flash state accumulates the failed
+            // attempt for the FTL to charge as an extra write.
+        }
     }
 
     /// Parity of the next page a program would land on (ensuring an active
@@ -203,7 +218,14 @@ impl PlaneAllocator {
                 .next_free_page()
                 .expect("active block full after ensure");
             if next & 1 == parity {
-                return flash.program_next(blk).expect("free page vanished");
+                let attempt = flash.program_page(blk).expect("free page vanished");
+                if !attempt.failed {
+                    return attempt.addr;
+                }
+                // A failed program consumed the parity-matching page; the
+                // loop re-aligns (skipping the now mis-parity next page)
+                // and tries again.
+                continue;
             }
             // Fig. 5b: deliberately invalidate the mis-parity free page.
             flash.skip_next(blk).expect("free page vanished");

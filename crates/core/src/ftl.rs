@@ -20,7 +20,7 @@ use crate::gc::GcEngine;
 use dloop_ftl_kit::config::SsdConfig;
 use dloop_ftl_kit::demand::DemandMap;
 use dloop_ftl_kit::dir::{PageDirectory, PageOwner};
-use dloop_ftl_kit::ftl::{FlashStep, Ftl, FtlContext, FtlCounters};
+use dloop_ftl_kit::ftl::{Ftl, FtlContext, FtlCounters};
 use dloop_nand::{FlashState, Geometry, Lpn, PageState, PlaneId, Ppn};
 
 /// Tunables for a [`DloopFtl`] instance.
@@ -136,7 +136,7 @@ impl DloopFtl {
         let addr = alloc.place(plane, BlockClass::Translation, ctx.flash);
         let ppn = ctx.flash.geometry().ppn_of(addr);
         ctx.dir.set_translation(ppn, tvpn);
-        ctx.push(FlashStep::Write { plane });
+        ctx.push_program(plane);
         ppn
     }
 
@@ -201,12 +201,9 @@ impl Ftl for DloopFtl {
         ctx.in_scan_phase(|ctx| self.gc_scan(ctx));
         let mapped = self.ensure_cached(lpn, ctx);
         if let Some(ppn) = mapped {
-            ctx.flash
-                .read_check(ppn)
-                .expect("DLOOP mapping points at dead page");
-            ctx.push(FlashStep::Read {
-                plane: self.geometry.plane_of_ppn(ppn),
-            });
+            // Media outcome (retry ladder, uncorrectable) is accounted by
+            // the flash state; a NandError here is a DLOOP logic bug.
+            ctx.read_page(ppn);
         }
         // Translation write-backs during the miss may have consumed blocks.
         ctx.in_gc_phase(|ctx| self.maybe_gc(ctx));
@@ -221,7 +218,7 @@ impl Ftl for DloopFtl {
         let plane = self.plane_of_lpn(lpn);
         let addr = self.alloc.place(plane, BlockClass::Data, ctx.flash);
         let new_ppn = self.geometry.ppn_of(addr);
-        ctx.push(FlashStep::Write { plane });
+        ctx.push_program(plane);
         if let Some(old_ppn) = old {
             debug_assert_eq!(
                 self.geometry.plane_of_ppn(old_ppn),

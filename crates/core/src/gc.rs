@@ -112,7 +112,10 @@ impl GcEngine {
             counters.gc_invocations += 1;
             for index in fully_invalid {
                 ctx.push(FlashStep::Erase { plane });
-                ctx.flash
+                // An erase failure retires the block (grown bad) instead
+                // of pooling it — still reclaimed from GC's perspective.
+                let _ = ctx
+                    .flash
                     .erase_and_pool(BlockAddr { plane, index })
                     .expect("sweep erase failed");
             }
@@ -229,11 +232,19 @@ impl GcEngine {
                     src: plane,
                     dst: plane,
                 });
-                alloc.place(plane, class, ctx.flash)
+                let addr = alloc.place(plane, class, ctx.flash);
+                // Failed program attempts repeat the whole move.
+                ctx.drain_failed_programs(FlashStep::InterPlaneCopy {
+                    src: plane,
+                    dst: plane,
+                });
+                addr
             } else {
                 counters.copyback_moves += 1;
                 ctx.push(FlashStep::CopyBack { plane });
-                alloc.place_with_parity(plane, class, off & 1, ctx.flash)
+                let addr = alloc.place_with_parity(plane, class, off & 1, ctx.flash);
+                ctx.drain_failed_programs(FlashStep::CopyBack { plane });
+                addr
             };
             let new_ppn = geometry.ppn_of(new_addr);
             match owner {
@@ -265,7 +276,11 @@ impl GcEngine {
         }
 
         ctx.push(FlashStep::Erase { plane });
-        ctx.flash
+        // false = the erase failed and the victim was retired (grown bad):
+        // the plane's usable capacity shrinks but the valid pages moved out
+        // regardless, so the collection still completed.
+        let _ = ctx
+            .flash
             .erase_and_pool(BlockAddr {
                 plane,
                 index: victim,

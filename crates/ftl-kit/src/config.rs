@@ -1,6 +1,6 @@
 //! Experiment configuration: Table I of the paper as a value.
 
-use dloop_nand::{Geometry, TimingConfig};
+use dloop_nand::{FaultConfig, Geometry, TimingConfig};
 
 /// Which FTL scheme to instantiate (construction lives with the scheme
 /// crates; this enum just names them for configs and harnesses).
@@ -77,6 +77,11 @@ pub struct SsdConfig {
     /// blocks). None = infinite endurance (the paper's timing experiments
     /// do not model wear-out; the endurance example and tests do).
     pub erase_limit: Option<u32>,
+    /// Media-fault plan attached to the flash at device build time.
+    /// [`FaultConfig::none`] (the default) is the exact fault-free device
+    /// the simulator modelled before the reliability subsystem existed —
+    /// no media model is attached at all, so the hot path is unchanged.
+    pub fault: FaultConfig,
     /// Serve GC/merge work in the background: it still occupies planes and
     /// buses (delaying later operations) but no longer gates the
     /// triggering request's response. The paper's simulator — like
@@ -105,6 +110,7 @@ impl SsdConfig {
             spread_translation: true,
             blocks_per_plane_override: None,
             erase_limit: None,
+            fault: FaultConfig::none(),
             background_gc: false,
         }
     }
@@ -139,6 +145,12 @@ impl SsdConfig {
     /// Same config with a different extra-block percentage (Fig. 10 sweep).
     pub fn with_extra_pct(mut self, pct: f64) -> Self {
         self.extra_pct = pct;
+        self
+    }
+
+    /// Same config with a media-fault plan (reliability experiments).
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
         self
     }
 

@@ -20,7 +20,7 @@
 //! corresponding [`FlashStep::Write`], and return the new PPN.
 
 use crate::cmt::CachedMappingTable;
-use crate::ftl::{FlashStep, FtlContext};
+use crate::ftl::FtlContext;
 use crate::gtd::Gtd;
 use dloop_nand::{Geometry, Lpn, Ppn};
 
@@ -126,9 +126,7 @@ impl DemandMap {
         // Load the requested entry's translation page (if materialised).
         let tvpn = self.gtd.tvpn_of(lpn);
         if let Some(tp) = self.gtd.lookup(tvpn) {
-            ctx.push(FlashStep::Read {
-                plane: ctx.flash.geometry().plane_of_ppn(tp),
-            });
+            ctx.read_page(tp);
             self.counters.translation_reads += 1;
         }
         self.mapped(lpn)
@@ -216,9 +214,7 @@ impl DemandMap {
     ) {
         let old = self.gtd.lookup(tvpn);
         if let Some(old_ppn) = old {
-            ctx.push(FlashStep::Read {
-                plane: ctx.flash.geometry().plane_of_ppn(old_ppn),
-            });
+            ctx.read_page(old_ppn);
             self.counters.translation_reads += 1;
         }
         let new_ppn = place(ctx, tvpn);
@@ -279,7 +275,7 @@ impl DemandMap {
 mod tests {
     use super::*;
     use crate::dir::PageDirectory;
-    use crate::ftl::OpChain;
+    use crate::ftl::{FlashStep, OpChain};
     use dloop_nand::{BlockAddr, FlashState};
 
     /// Harness: a tiny flash plus a trivial plane-0 sequential placer.

@@ -17,7 +17,7 @@ use crate::dir::{PageDirectory, PageOwner};
 use crate::ftl::{FlashStep, Ftl, FtlContext, OpChain, Phase};
 use crate::metrics::RunReport;
 use crate::request::{HostOp, HostRequest};
-use dloop_nand::{FlashState, HardwareModel, PageState};
+use dloop_nand::{FlashState, HardwareModel, MediaCounters, PageState};
 use dloop_simkit::{EventQueue, Histogram, OnlineStats, PendingQueue, SimTime};
 
 /// A simulated SSD: flash state + hardware timing + one FTL.
@@ -34,6 +34,8 @@ pub struct SsdDevice {
     /// Flash totals at the last measurement reset, so reports cover only
     /// the measured window (warm-up traffic is excluded).
     baseline: (u64, u64, u64),
+    /// Media reliability counters at the last measurement reset.
+    media_baseline: MediaCounters,
     wait_ms: OnlineStats,
     service_ms: OnlineStats,
     gc_block_ms: OnlineStats,
@@ -43,10 +45,11 @@ impl SsdDevice {
     /// Build a device from a configuration and an FTL instance.
     pub fn new(config: SsdConfig, ftl: Box<dyn Ftl>) -> Self {
         let geometry = config.geometry();
-        let flash = match config.erase_limit {
+        let mut flash = match config.erase_limit {
             Some(limit) => FlashState::with_endurance(geometry.clone(), limit),
             None => FlashState::new(geometry.clone()),
         };
+        flash.attach_media(&config.fault);
         let dir = PageDirectory::new(&geometry);
         let hw = HardwareModel::new(&geometry, config.timing.clone(), config.die_serialized);
         let planes = geometry.total_planes() as usize;
@@ -61,6 +64,7 @@ impl SsdDevice {
             gc_chain: OpChain::new(),
             scan_chain: OpChain::new(),
             baseline: (0, 0, 0),
+            media_baseline: MediaCounters::default(),
             wait_ms: OnlineStats::new(),
             service_ms: OnlineStats::new(),
             gc_block_ms: OnlineStats::new(),
@@ -85,6 +89,15 @@ impl SsdDevice {
     /// The FTL (tests, audits).
     pub fn ftl(&self) -> &dyn Ftl {
         self.ftl.as_ref()
+    }
+
+    /// Media reliability counters accumulated since the last measurement
+    /// reset (all zero for a device without an attached fault plan).
+    fn media_delta(&self) -> MediaCounters {
+        self.flash
+            .media_counters()
+            .map(|c| c.since(&self.media_baseline))
+            .unwrap_or_default()
     }
 
     /// Replay `requests` and measure. Requests may be in any order; they
@@ -140,6 +153,8 @@ impl SsdDevice {
             wait_ms: self.wait_ms.clone(),
             service_ms: self.service_ms.clone(),
             gc_block_ms: self.gc_block_ms.clone(),
+            media: self.media_delta(),
+            retry_ns: self.hw.retry_ns(),
         }
     }
 
@@ -226,6 +241,9 @@ impl SsdDevice {
             let issue = if chained { t } else { at };
             let completion = match *step {
                 FlashStep::Read { plane } => self.hw.exec_read(plane, issue),
+                FlashStep::ReadRetry { plane, steps } => {
+                    self.hw.exec_read_retry(plane, issue, steps)
+                }
                 FlashStep::Write { plane } => self.hw.exec_write(plane, issue),
                 FlashStep::Erase { plane } => self.hw.exec_erase(plane, issue),
                 FlashStep::CopyBack { plane } => self.hw.exec_copyback(plane, issue),
@@ -386,6 +404,8 @@ impl SsdDevice {
             wait_ms: self.wait_ms.clone(),
             service_ms: self.service_ms.clone(),
             gc_block_ms: self.gc_block_ms.clone(),
+            media: self.media_delta(),
+            retry_ns: self.hw.retry_ns(),
         }
     }
 
@@ -455,6 +475,8 @@ impl SsdDevice {
             wait_ms: self.wait_ms.clone(),
             service_ms: self.service_ms.clone(),
             gc_block_ms: self.gc_block_ms.clone(),
+            media: self.media_delta(),
+            retry_ns: self.hw.retry_ns(),
         }
     }
 
@@ -482,6 +504,7 @@ impl SsdDevice {
             self.flash.total_programs(),
             self.flash.total_skips(),
         );
+        self.media_baseline = self.flash.media_counters().cloned().unwrap_or_default();
         self.wait_ms = OnlineStats::new();
         self.service_ms = OnlineStats::new();
         self.gc_block_ms = OnlineStats::new();

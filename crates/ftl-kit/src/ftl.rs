@@ -12,7 +12,7 @@
 //! advances accordingly (§IV.B).
 
 use crate::dir::PageDirectory;
-use dloop_nand::{FlashState, Lpn, PlaneId, Ppn};
+use dloop_nand::{FlashState, Lpn, MediaOutcome, PlaneId, Ppn};
 
 /// One timed flash operation within a chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +31,15 @@ pub enum FlashStep {
     Erase {
         /// Target plane.
         plane: PlaneId,
+    },
+    /// Page read on `plane` that needed `steps` read-retry ladder steps
+    /// (each re-senses the array and re-runs soft ECC decode; the plane
+    /// stays busy for the extra time but the bus transfers once).
+    ReadRetry {
+        /// Target plane.
+        plane: PlaneId,
+        /// Retry ladder steps charged on top of the base read (≥ 1).
+        steps: u32,
     },
     /// Intra-plane copy-back on `plane` — no bus traffic.
     CopyBack {
@@ -51,6 +60,7 @@ impl FlashStep {
     pub fn planes(&self) -> (PlaneId, Option<PlaneId>) {
         match *self {
             FlashStep::Read { plane }
+            | FlashStep::ReadRetry { plane, .. }
             | FlashStep::Write { plane }
             | FlashStep::Erase { plane }
             | FlashStep::CopyBack { plane } => (plane, None),
@@ -162,6 +172,53 @@ impl FtlContext<'_> {
             Phase::Host => self.host_chain.push(step),
             Phase::Gc => self.gc_chain.push(step),
             Phase::Scan => self.scan_chain.push(step),
+        }
+    }
+
+    /// Read the flash page behind `ppn` and push the matching timed step:
+    /// a plain [`FlashStep::Read`] for a clean first-try read, a
+    /// [`FlashStep::ReadRetry`] when the media needed the retry ladder
+    /// (uncorrectable reads charge the full ladder — the controller tried
+    /// every step before giving up). Returns the media outcome so callers
+    /// can account data-loss events; without attached media this is
+    /// exactly the old `read_check` + `push(Read)` sequence.
+    ///
+    /// Panics on a `NandError`: reading an invalid page is an FTL logic
+    /// bug regardless of the fault plan.
+    pub fn read_page(&mut self, ppn: Ppn) -> MediaOutcome {
+        let outcome = self
+            .flash
+            .read_page(ppn)
+            .expect("FTL read of an unreadable page");
+        let plane = self.flash.geometry().plane_of_ppn(ppn);
+        let steps = match outcome {
+            MediaOutcome::Uncorrectable => self.flash.max_retry_steps(),
+            o => o.retry_steps(),
+        };
+        if steps == 0 {
+            self.push(FlashStep::Read { plane });
+        } else {
+            self.push(FlashStep::ReadRetry { plane, steps });
+        }
+        outcome
+    }
+
+    /// Push the program step for a just-completed
+    /// [`FlashState::program_page`], first charging one extra write per
+    /// failed attempt the allocator retried through (a failed program
+    /// occupies the plane and bus just like a successful one).
+    pub fn push_program(&mut self, plane: PlaneId) {
+        self.drain_failed_programs(FlashStep::Write { plane });
+        self.push(FlashStep::Write { plane });
+    }
+
+    /// Charge program-status failures accumulated in the flash state as
+    /// extra copies of `step`. GC paths pass their own step kind
+    /// (copy-back / inter-plane copy) so a failed GC move is billed at
+    /// that operation's cost.
+    pub fn drain_failed_programs(&mut self, step: FlashStep) {
+        for _ in 0..self.flash.take_failed_attempts() {
+            self.push(step);
         }
     }
 

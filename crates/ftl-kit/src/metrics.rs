@@ -11,7 +11,7 @@
 //!   scale in the paper, so [`RunReport::ln_sdrpp`] matches the figures.
 
 use crate::ftl::FtlCounters;
-use dloop_nand::OpCounters;
+use dloop_nand::{MediaCounters, OpCounters};
 use dloop_simkit::stats::std_dev_of_counts;
 use dloop_simkit::{Histogram, OnlineStats, SimTime};
 
@@ -56,6 +56,13 @@ pub struct RunReport {
     pub service_ms: OnlineStats,
     /// Synchronous-GC blocking charged to triggering operations.
     pub gc_block_ms: OnlineStats,
+    /// Media reliability counters over the measured window (all zero when
+    /// no fault plan is attached): recovered program failures, grown/factory
+    /// bad blocks, uncorrectable reads, and the read-retry histogram.
+    pub media: MediaCounters,
+    /// Plane-busy nanoseconds added by read-retry ladders (the latency
+    /// price of the raw bit-error rate).
+    pub retry_ns: u64,
 }
 
 impl RunReport {
@@ -146,6 +153,85 @@ impl RunReport {
         }
     }
 
+    /// Fraction of media reads that needed at least one retry step.
+    pub fn retry_read_fraction(&self) -> f64 {
+        let total = self.media.media_reads();
+        if total == 0 {
+            return 0.0;
+        }
+        let clean = self.media.retry_hist.first().copied().unwrap_or(0);
+        (total - clean) as f64 / total as f64
+    }
+
+    /// Fraction of media reads the retry ladder could not save (data loss).
+    pub fn uncorrectable_fraction(&self) -> f64 {
+        let total = self.media.media_reads();
+        if total == 0 {
+            0.0
+        } else {
+            self.media.uncorrectable_reads as f64 / total as f64
+        }
+    }
+
+    /// The locked CSV schema. Reliability columns append strictly after
+    /// the pre-fault columns so downstream tooling keyed on column index
+    /// keeps working; `retry_hist` is one pipe-joined column because its
+    /// length follows the fault plan's ladder depth.
+    pub fn csv_header() -> &'static str {
+        "ftl,requests,pages_read,pages_written,mrt_ms,p99_ms,ln_sdrpp,waf,\
+         gc_invocations,copyback_moves,external_moves,parity_skips,\
+         translation_reads,translation_writes,full_merges,partial_merges,\
+         switch_merges,total_erases,total_programs,total_skips,\
+         wear_min,wear_mean,wear_max,sim_end_ms,\
+         recovered_programs,grown_bad_blocks,factory_bad_blocks,\
+         uncorrectable_reads,read_retry_steps,retry_ms,retry_hist"
+    }
+
+    /// One CSV row matching [`RunReport::csv_header`] column for column.
+    pub fn csv_row(&self) -> String {
+        let hist = self
+            .media
+            .retry_hist
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("|");
+        format!(
+            "{},{},{},{},{:.6},{:.6},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{:.3},{},{},{},{},{},{:.6},{}",
+            self.ftl_name,
+            self.requests_completed,
+            self.pages_read,
+            self.pages_written,
+            self.mean_response_time_ms(),
+            self.response_percentile_ms(0.99),
+            self.ln_sdrpp(),
+            self.waf(),
+            self.ftl.gc_invocations,
+            self.ftl.copyback_moves,
+            self.ftl.external_moves,
+            self.ftl.parity_skips,
+            self.ftl.translation_reads,
+            self.ftl.translation_writes,
+            self.ftl.full_merges,
+            self.ftl.partial_merges,
+            self.ftl.switch_merges,
+            self.total_erases,
+            self.total_programs,
+            self.total_skips,
+            self.wear.0,
+            self.wear.1,
+            self.wear.2,
+            self.sim_end.as_millis_f64(),
+            self.media.program_fails,
+            self.media.grown_bad_blocks,
+            self.media.factory_bad_blocks,
+            self.media.uncorrectable_reads,
+            self.media.read_retry_steps,
+            self.retry_ns as f64 / 1e6,
+            hist,
+        )
+    }
+
     /// One human-readable summary line.
     pub fn summary(&self) -> String {
         format!(
@@ -198,6 +284,14 @@ mod tests {
             wait_ms: OnlineStats::new(),
             service_ms: OnlineStats::new(),
             gc_block_ms: OnlineStats::new(),
+            media: MediaCounters {
+                program_fails: 2,
+                uncorrectable_reads: 1,
+                read_retry_steps: 4,
+                retry_hist: vec![90, 3, 1],
+                ..MediaCounters::default()
+            },
+            retry_ns: 120_000,
         }
     }
 
@@ -225,5 +319,40 @@ mod tests {
     #[test]
     fn summary_mentions_scheme() {
         assert!(report().summary().contains("TEST"));
+    }
+
+    #[test]
+    fn reliability_fractions() {
+        let r = report();
+        // 90 clean + 3 + 1 retried + 1 uncorrectable = 95 media reads.
+        assert!((r.retry_read_fraction() - 5.0 / 95.0).abs() < 1e-12);
+        assert!((r.uncorrectable_fraction() - 1.0 / 95.0).abs() < 1e-12);
+    }
+
+    /// The CSV schema is a compatibility contract: pre-fault columns stay
+    /// in place, reliability columns append after them. Changing this
+    /// header is a breaking change for downstream tooling — update the
+    /// schema note in EXPERIMENTS.md if you must.
+    #[test]
+    fn csv_schema_is_locked() {
+        assert_eq!(
+            RunReport::csv_header(),
+            "ftl,requests,pages_read,pages_written,mrt_ms,p99_ms,ln_sdrpp,waf,\
+             gc_invocations,copyback_moves,external_moves,parity_skips,\
+             translation_reads,translation_writes,full_merges,partial_merges,\
+             switch_merges,total_erases,total_programs,total_skips,\
+             wear_min,wear_mean,wear_max,sim_end_ms,\
+             recovered_programs,grown_bad_blocks,factory_bad_blocks,\
+             uncorrectable_reads,read_retry_steps,retry_ms,retry_hist"
+        );
+        let header_cols = RunReport::csv_header().split(',').count();
+        let row = report().csv_row();
+        assert_eq!(row.split(',').count(), header_cols);
+        // The histogram is one pipe-joined column, last in the row.
+        assert!(row.ends_with("90|3|1"), "row was: {row}");
+        // Reliability columns land where the header says they do.
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols[24], "2"); // recovered_programs
+        assert_eq!(cols[27], "1"); // uncorrectable_reads
     }
 }

@@ -124,6 +124,7 @@ mod tests {
             erases: 1,
             copybacks: 2,
             interplane_copies: 1,
+            read_retry_steps: 0,
         };
         let total = e.total_mj(&t, 2048, &counters);
         let by_hand = (10.0 * e.read_nj(&t, 2048)

@@ -1,11 +1,21 @@
-//! Error type for flash-state mutations.
+//! Error types for flash-state mutations — two strictly separate
+//! namespaces:
 //!
-//! An FTL driving the state through an invalid transition (programming a
-//! full block, double-invalidating a page, erasing an already-free block…)
-//! is a logic bug in the FTL, not an I/O error — these errors exist so that
-//! tests and audits can observe the violation instead of corrupting state.
+//! * [`NandError`] — an FTL driving the state through an invalid
+//!   transition (programming a full block, double-invalidating a page,
+//!   erasing an already-free block…). These are **logic bugs in the FTL**,
+//!   never media events; they exist so tests and audits can observe the
+//!   violation instead of corrupting state, and a correct FTL never sees
+//!   one regardless of the fault plan.
+//! * [`MediaError`] — the **media misbehaving** under a `dloop-faults`
+//!   plan: an uncorrectable read, a program-status failure, an erase
+//!   failure. These are expected in-service events a real controller
+//!   recovers from (re-program elsewhere, retire the block, account the
+//!   data loss); they are reported as [`MediaOutcome`]s on the checked
+//!   fast path and as `MediaError` where an `Error` impl is needed.
 
 use crate::geometry::{BlockAddr, PageAddr, Ppn};
+use dloop_faults::MediaOutcome;
 use std::fmt;
 
 /// Things an FTL can do wrong against the flash state.
@@ -59,3 +69,83 @@ impl fmt::Display for NandError {
 }
 
 impl std::error::Error for NandError {}
+
+/// A media fault surfaced as an error value (see the module doc for the
+/// namespace split). Unlike [`NandError`], a `MediaError` does not mean
+/// the FTL did anything wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MediaError {
+    /// A read exhausted the retry ladder; the page's data is lost.
+    UncorrectableRead(Ppn),
+    /// A page program reported status failure; the page is consumed and
+    /// must be re-programmed elsewhere.
+    ProgramFail(PageAddr),
+    /// A block erase failed; the block must be retired (grown bad).
+    EraseFail(BlockAddr),
+}
+
+impl MediaError {
+    /// Build the error corresponding to a failing [`MediaOutcome`], or
+    /// `None` for the successful outcomes.
+    pub fn from_read_outcome(outcome: MediaOutcome, ppn: Ppn) -> Option<Self> {
+        match outcome {
+            MediaOutcome::Uncorrectable => Some(MediaError::UncorrectableRead(ppn)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MediaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediaError::UncorrectableRead(ppn) => {
+                write!(
+                    f,
+                    "uncorrectable read at ppn {ppn} (retry ladder exhausted)"
+                )
+            }
+            MediaError::ProgramFail(p) => write!(
+                f,
+                "program-status failure at page {}:{}:{}",
+                p.plane, p.block, p.page
+            ),
+            MediaError::EraseFail(b) => {
+                write!(f, "erase failure on block {}:{}", b.plane, b.index)
+            }
+        }
+    }
+}
+
+impl std::error::Error for MediaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn media_errors_display_and_convert() {
+        let e = MediaError::UncorrectableRead(42);
+        assert!(e.to_string().contains("uncorrectable"));
+        let p = MediaError::ProgramFail(PageAddr {
+            plane: 1,
+            block: 2,
+            page: 3,
+        });
+        assert!(p.to_string().contains("1:2:3"));
+        let b = MediaError::EraseFail(BlockAddr { plane: 0, index: 9 });
+        assert!(b.to_string().contains("0:9"));
+        assert_eq!(
+            MediaError::from_read_outcome(MediaOutcome::Uncorrectable, 7),
+            Some(MediaError::UncorrectableRead(7))
+        );
+        assert_eq!(MediaError::from_read_outcome(MediaOutcome::Clean, 7), None);
+        assert_eq!(
+            MediaError::from_read_outcome(MediaOutcome::Correctable { retry_steps: 2 }, 7),
+            None
+        );
+        // Both namespaces implement std::error::Error.
+        fn is_error<E: std::error::Error>(_e: &E) {}
+        is_error(&e);
+        is_error(&NandError::OutOfRange(1));
+    }
+}

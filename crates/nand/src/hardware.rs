@@ -56,6 +56,8 @@ pub struct OpCounters {
     pub copybacks: u64,
     /// Traditional inter-plane copies.
     pub interplane_copies: u64,
+    /// Total read-retry ladder steps executed across all reads.
+    pub read_retry_steps: u64,
 }
 
 /// The contention/timing model.
@@ -71,6 +73,7 @@ pub struct HardwareModel {
     die_avail: Vec<SimTime>,
     channel_busy_ns: Vec<u64>,
     plane_busy_ns: Vec<u64>,
+    retry_ns: u64,
     pub counters: OpCounters,
 }
 
@@ -91,6 +94,7 @@ impl HardwareModel {
             die_avail: vec![SimTime::ZERO; dies],
             channel_busy_ns: vec![0; channels],
             plane_busy_ns: vec![0; planes],
+            retry_ns: 0,
             counters: OpCounters::default(),
         }
     }
@@ -153,6 +157,23 @@ impl HardwareModel {
     pub fn exec_read(&mut self, plane: PlaneId, at: SimTime) -> Completion {
         self.counters.reads += 1;
         let t = self.timing.command_overhead + self.timing.page_read;
+        let (start, after_read) = self.hold_plane(plane, at, t);
+        let (_, end) =
+            self.hold_channel(plane, after_read, self.timing.page_transfer(self.page_size));
+        Completion { start, end }
+    }
+
+    /// Page read on `plane` at `at` that needed `steps` read-retry ladder
+    /// steps before the ECC converged: the plane is additionally held for
+    /// each step's re-sense + soft decode before the bus transfer. With
+    /// `steps == 0` this is exactly [`HardwareModel::exec_read`], so
+    /// perfect media pays nothing for the fault machinery.
+    pub fn exec_read_retry(&mut self, plane: PlaneId, at: SimTime, steps: u32) -> Completion {
+        self.counters.reads += 1;
+        self.counters.read_retry_steps += steps as u64;
+        let extra = self.timing.read_retry_overhead(steps);
+        self.retry_ns += extra.as_nanos();
+        let t = self.timing.command_overhead + self.timing.page_read + extra;
         let (start, after_read) = self.hold_plane(plane, at, t);
         let (_, end) =
             self.hold_channel(plane, after_read, self.timing.page_transfer(self.page_size));
@@ -223,6 +244,12 @@ impl HardwareModel {
     /// Busy nanoseconds accumulated per plane.
     pub fn plane_busy_ns(&self) -> &[u64] {
         &self.plane_busy_ns
+    }
+
+    /// Plane-array nanoseconds spent purely on read-retry ladders (the
+    /// added latency of correctable media errors).
+    pub fn retry_ns(&self) -> u64 {
+        self.retry_ns
     }
 
     /// Busy nanoseconds accumulated per channel.
@@ -339,6 +366,33 @@ mod tests {
         assert_eq!(b.start, a.end, "die-serialised planes must not overlap");
         let c = h.exec_copyback(4, SimTime::ZERO); // next die
         assert_eq!(c.start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn read_retry_zero_steps_equals_plain_read() {
+        let mut a = hw();
+        let mut b = hw();
+        let ca = a.exec_read(0, SimTime::ZERO);
+        let cb = b.exec_read_retry(0, SimTime::ZERO, 0);
+        assert_eq!(ca, cb);
+        assert_eq!(a.plane_busy_ns(), b.plane_busy_ns());
+        assert_eq!(a.channel_busy_ns(), b.channel_busy_ns());
+        assert_eq!(b.retry_ns(), 0);
+        assert_eq!(b.counters.read_retry_steps, 0);
+    }
+
+    #[test]
+    fn read_retry_steps_hold_the_plane_not_the_bus() {
+        let mut h = hw();
+        let base = h.exec_read_retry(0, SimTime::ZERO, 0).latency();
+        let mut h2 = hw();
+        let retried = h2.exec_read_retry(0, SimTime::ZERO, 3).latency();
+        let extra = h2.timing().read_retry_overhead(3);
+        assert_eq!(retried.as_nanos(), base.as_nanos() + extra.as_nanos());
+        assert_eq!(h2.counters.read_retry_steps, 3);
+        assert_eq!(h2.retry_ns(), extra.as_nanos());
+        // The bus phase is identical — retries live inside the plane.
+        assert_eq!(h.channel_busy_ns(), h2.channel_busy_ns());
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //! [`geometry::Geometry`] ties the two together with the full
 //! channel/package/chip/die/plane/block/page hierarchy of the paper's
 //! Fig. 1 and the address arithmetic (PPN ↔ page address, LPN → plane).
+//!
+//! A third, optional half is **media faults**: attaching a `dloop-faults`
+//! [`MediaModel`] to the state (via [`state::FlashState::attach_media`])
+//! makes programs/reads/erases return deterministic [`MediaOutcome`]s
+//! (program-status failures, read-retry ladders, uncorrectable reads,
+//! grown bad blocks) and the timing model charges the read-retry ladder
+//! through [`hardware::HardwareModel::exec_read_retry`].
 
 pub mod block;
 pub mod energy;
@@ -31,9 +38,10 @@ pub mod state;
 pub mod timing;
 
 pub use block::PageState;
+pub use dloop_faults::{FaultConfig, FaultPlan, MediaCounters, MediaModel, MediaOutcome};
 pub use energy::EnergyConfig;
-pub use error::NandError;
+pub use error::{MediaError, NandError};
 pub use geometry::{BlockAddr, ChannelId, DieId, Geometry, Lpn, PageAddr, PlaneId, Ppn};
 pub use hardware::{Completion, HardwareModel, OpCounters};
-pub use state::FlashState;
+pub use state::{FlashState, ProgramAttempt};
 pub use timing::TimingConfig;

@@ -123,6 +123,18 @@ impl PlaneState {
         Some(idx)
     }
 
+    /// Remove a specific block from the free pool (factory bad-block
+    /// retirement at media attach time). Returns whether it was pooled.
+    pub fn remove_from_pool(&mut self, index: u32) -> bool {
+        match self.free_pool.iter().position(|&i| i == index) {
+            Some(pos) => {
+                self.free_pool.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Return an erased block to the pool.
     pub fn return_free_block(&mut self, index: u32) {
         debug_assert!(self.blocks[index as usize].is_pristine());

@@ -4,11 +4,30 @@
 //! All FTLs mutate flash exclusively through [`FlashState`], so the NAND
 //! invariants (sequential programming, erase-before-write, pool
 //! consistency) are enforced — and property-tested — in exactly one place.
+//!
+//! When a [`MediaModel`] is attached ([`FlashState::attach_media`]), the
+//! checked entry points [`FlashState::program_page`] and
+//! [`FlashState::read_page`] additionally derive deterministic media
+//! outcomes (program-status failures, read-retry ladders, uncorrectable
+//! reads) and [`FlashState::erase_and_pool`] retires erase-failed and
+//! doomed blocks as grown-bad instead of pooling them.
 
 use crate::block::PageState;
 use crate::error::NandError;
 use crate::geometry::{BlockAddr, Geometry, PageAddr, PlaneId, Ppn};
 use crate::plane::PlaneState;
+use dloop_faults::{FaultConfig, FaultPlan, MediaCounters, MediaModel, MediaOutcome};
+use std::collections::BTreeSet;
+
+/// Result of one checked program attempt (see [`FlashState::program_page`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramAttempt {
+    /// The page the attempt landed on (consumed either way).
+    pub addr: PageAddr,
+    /// True when the media reported program-status failure: the page is
+    /// consumed as invalid and the caller must re-program elsewhere.
+    pub failed: bool,
+}
 
 /// Mutable state of the whole flash array.
 #[derive(Debug, Clone)]
@@ -21,6 +40,14 @@ pub struct FlashState {
     /// Erase cycles a block survives before wearing out (None = infinite).
     erase_limit: Option<u32>,
     retired: u64,
+    /// Deterministic media-fault model (None = perfect media).
+    media: Option<MediaModel>,
+    /// Blocks (global index) marked for early retirement after a program
+    /// failure; retired at their next erase instead of re-pooling.
+    doomed: BTreeSet<u64>,
+    /// Program attempts that failed since the last
+    /// [`FlashState::take_failed_attempts`] drain (timing accounting).
+    failed_attempts: u32,
 }
 
 impl FlashState {
@@ -37,6 +64,9 @@ impl FlashState {
             erases: 0,
             erase_limit: None,
             retired: 0,
+            media: None,
+            doomed: BTreeSet::new(),
+            failed_attempts: 0,
         }
     }
 
@@ -47,6 +77,74 @@ impl FlashState {
         let mut fs = Self::new(geometry);
         fs.erase_limit = Some(limit);
         fs
+    }
+
+    /// Attach a deterministic media-fault model built from `cfg`. Must be
+    /// called on a fresh device (all blocks pristine and pooled): factory
+    /// bad blocks are drawn from the plan and retired immediately, before
+    /// any traffic. A null configuration attaches nothing.
+    pub fn attach_media(&mut self, cfg: &FaultConfig) {
+        if cfg.is_null() {
+            return;
+        }
+        assert!(self.media.is_none(), "media model already attached");
+        assert_eq!(
+            self.programs + self.skips + self.erases,
+            0,
+            "attach_media on a used device"
+        );
+        let mut model = MediaModel::new(
+            FaultPlan::new(cfg.clone()),
+            self.geometry.total_physical_pages(),
+        );
+        let bpp = self.geometry.blocks_per_plane;
+        for (p, plane) in self.planes.iter_mut().enumerate() {
+            for index in 0..bpp {
+                let gid = p as u64 * bpp as u64 + index as u64;
+                if model.plan().factory_bad(gid) {
+                    // Keep each plane serviceable: never retire so many
+                    // blocks that the plane drops below a minimal pool.
+                    if plane.free_pool_len() <= 4 {
+                        continue;
+                    }
+                    let removed = plane.remove_from_pool(index);
+                    debug_assert!(removed, "factory-bad block {index} not pooled");
+                    plane.retire(index);
+                    self.retired += 1;
+                    model.note_factory_bad();
+                }
+            }
+        }
+        self.media = Some(model);
+    }
+
+    /// The attached media model's reliability counters, if any.
+    pub fn media_counters(&self) -> Option<&MediaCounters> {
+        self.media.as_ref().map(|m| m.counters())
+    }
+
+    /// Whether a (non-null) media-fault model is attached.
+    pub fn has_media(&self) -> bool {
+        self.media.is_some()
+    }
+
+    /// Retry-ladder depth of the attached fault plan (0 without media).
+    pub fn max_retry_steps(&self) -> u32 {
+        self.media
+            .as_ref()
+            .map(|m| m.plan().config().max_retry_steps)
+            .unwrap_or(0)
+    }
+
+    /// Global block index (stable across the device) of `block`.
+    fn global_block(&self, block: BlockAddr) -> u64 {
+        block.plane as u64 * self.geometry.blocks_per_plane as u64 + block.index as u64
+    }
+
+    /// Program attempts that failed since the last drain (the controller
+    /// charges one program's worth of timing per failed attempt).
+    pub fn take_failed_attempts(&mut self) -> u32 {
+        std::mem::take(&mut self.failed_attempts)
     }
 
     /// Blocks permanently retired due to wear-out.
@@ -88,6 +186,52 @@ impl FlashState {
         })
     }
 
+    /// Checked program of the next sequential page of `block`, consulting
+    /// the media model when one is attached.
+    ///
+    /// On [`MediaOutcome::ProgramFail`] the page is consumed as invalid
+    /// (the cells were driven, their contents are garbage), the block is
+    /// marked doomed (retired at its next erase), and the caller must
+    /// retry on a fresh page — the recovery loop lives in the FTL
+    /// allocators. Without media, identical to [`FlashState::program_next`].
+    pub fn program_page(&mut self, block: BlockAddr) -> Result<ProgramAttempt, NandError> {
+        let Some(model) = self.media.as_mut() else {
+            let addr = self.program_next(block)?;
+            return Ok(ProgramAttempt {
+                addr,
+                failed: false,
+            });
+        };
+        let b = self.planes[block.plane as usize].block_mut(block.index);
+        let off = b.next_free_page().ok_or(NandError::BlockFull(block))?;
+        let addr = PageAddr {
+            plane: block.plane,
+            block: block.index,
+            page: off,
+        };
+        let ppn = self.geometry.ppn_of(addr);
+        let generation = b.erase_count();
+        match model.program(ppn, generation) {
+            MediaOutcome::ProgramFail => {
+                // Consume the page as invalid; the attempt wore the cells
+                // and counts as a program, not a parity skip.
+                b.skip_next();
+                self.programs += 1;
+                self.failed_attempts += 1;
+                self.doomed.insert(self.global_block(block));
+                Ok(ProgramAttempt { addr, failed: true })
+            }
+            _ => {
+                b.program_next();
+                self.programs += 1;
+                Ok(ProgramAttempt {
+                    addr,
+                    failed: false,
+                })
+            }
+        }
+    }
+
     /// Skip (invalidate-without-programming) the next sequential page of
     /// `block` — DLOOP's parity-waste move. Returns the wasted address.
     pub fn skip_next(&mut self, block: BlockAddr) -> Result<PageAddr, NandError> {
@@ -127,9 +271,30 @@ impl FlashState {
         }
     }
 
+    /// Checked read of `ppn`: the logic-bug validity check of
+    /// [`FlashState::read_check`] plus the deterministic media outcome
+    /// (clean / correctable-with-retries / uncorrectable) when a media
+    /// model is attached. Perfect media always reads clean.
+    pub fn read_page(&mut self, ppn: Ppn) -> Result<MediaOutcome, NandError> {
+        self.read_check(ppn)?;
+        let a = self.geometry.addr_of(ppn);
+        let generation = self.planes[a.plane as usize].block(a.block).erase_count();
+        match self.media.as_mut() {
+            Some(m) => Ok(m.read(ppn, generation)),
+            None => Ok(MediaOutcome::Clean),
+        }
+    }
+
     /// Erase `block` and return it to its plane's free pool. The block must
     /// contain no valid pages (GC must have relocated them).
-    pub fn erase_and_pool(&mut self, block: BlockAddr) -> Result<(), NandError> {
+    ///
+    /// Returns `true` when the block went back to the pool, `false` when
+    /// it was retired instead: worn out (erase limit), doomed by an
+    /// earlier program failure, or hit by a media erase failure. Retired
+    /// blocks are erased first so bad-block bookkeeping only ever holds
+    /// pristine blocks (the state stays auditable); counting-wise an
+    /// in-service retirement is a grown bad block.
+    pub fn erase_and_pool(&mut self, block: BlockAddr) -> Result<bool, NandError> {
         let plane = &mut self.planes[block.plane as usize];
         if plane.in_free_pool(block.index) {
             return Err(NandError::EraseFreeBlock(block));
@@ -142,18 +307,34 @@ impl FlashState {
             block.plane,
             block.index
         );
+        let generation = b.erase_count();
         b.erase();
         self.erases += 1;
+        let gid = block.plane as u64 * self.geometry.blocks_per_plane as u64 + block.index as u64;
+        let doomed = self.doomed.remove(&gid);
+        let erase_failed = match self.media.as_mut() {
+            Some(m) => m.erase(gid, generation) == MediaOutcome::EraseFail,
+            None => false,
+        };
+        let plane = &mut self.planes[block.plane as usize];
         let worn = self
             .erase_limit
             .is_some_and(|lim| plane.block(block.index).erase_count() >= lim);
-        if worn {
+        if doomed || erase_failed {
             plane.retire(block.index);
             self.retired += 1;
+            if let Some(m) = self.media.as_mut() {
+                m.note_grown_bad();
+            }
+            Ok(false)
+        } else if worn {
+            plane.retire(block.index);
+            self.retired += 1;
+            Ok(false)
         } else {
             plane.return_free_block(block.index);
+            Ok(true)
         }
-        Ok(())
     }
 
     /// Pop a free block from `plane`'s pool.
@@ -319,6 +500,118 @@ mod tests {
         // The skipped page is at offset 0, the programmed one at 1.
         assert_eq!(fs.plane(0).block(blk.index).state(0), PageState::Invalid);
         assert_eq!(fs.plane(0).block(blk.index).state(1), PageState::Valid);
+    }
+
+    #[test]
+    fn media_program_fail_consumes_page_and_dooms_block() {
+        let mut fs = small();
+        fs.attach_media(&FaultConfig {
+            program_fail_prob: 1.0,
+            ..FaultConfig::none()
+        });
+        let blk = BlockAddr {
+            plane: 0,
+            index: fs.allocate_free_block(0).unwrap(),
+        };
+        let a = fs.program_page(blk).unwrap();
+        assert!(a.failed);
+        assert_eq!(fs.plane(0).block(blk.index).state(0), PageState::Invalid);
+        assert_eq!(fs.take_failed_attempts(), 1);
+        assert_eq!(fs.take_failed_attempts(), 0, "drain resets the counter");
+        // Consume the remaining pages (they all fail too), then erase:
+        // the doomed block must be retired as grown bad, not pooled.
+        while fs.plane(0).block(blk.index).next_free_page().is_some() {
+            assert!(fs.program_page(blk).unwrap().failed);
+        }
+        let pooled = fs.erase_and_pool(blk).unwrap();
+        assert!(!pooled);
+        assert!(fs.plane(0).is_retired(blk.index));
+        let c = fs.media_counters().unwrap();
+        assert_eq!(c.grown_bad_blocks, 1);
+        assert_eq!(c.program_fails as u32, fs.geometry().pages_per_block);
+        fs.check().unwrap();
+    }
+
+    #[test]
+    fn media_erase_fail_grows_bad_block() {
+        let mut fs = small();
+        fs.attach_media(&FaultConfig {
+            erase_fail_prob: 1.0,
+            ..FaultConfig::none()
+        });
+        let blk = BlockAddr {
+            plane: 1,
+            index: fs.allocate_free_block(1).unwrap(),
+        };
+        let a = fs.program_page(blk).unwrap();
+        assert!(!a.failed);
+        fs.invalidate(fs.geometry().ppn_of(a.addr)).unwrap();
+        assert!(!fs.erase_and_pool(blk).unwrap());
+        assert!(fs.plane(1).is_retired(blk.index));
+        assert_eq!(fs.media_counters().unwrap().grown_bad_blocks, 1);
+        fs.check().unwrap();
+    }
+
+    #[test]
+    fn factory_bads_shrink_the_pool() {
+        let mut fs = small();
+        let planes = fs.geometry().total_planes();
+        let before: u32 = (0..planes).map(|p| fs.free_blocks(p)).sum();
+        fs.attach_media(&FaultConfig {
+            factory_bad_frac: 0.1,
+            seed: 3,
+            ..FaultConfig::none()
+        });
+        let after: u32 = (0..planes).map(|p| fs.free_blocks(p)).sum();
+        assert!(after < before, "factory bads must leave the pool");
+        assert_eq!(
+            fs.media_counters().unwrap().factory_bad_blocks,
+            (before - after) as u64
+        );
+        assert_eq!(fs.retired_blocks(), (before - after) as u64);
+        fs.check().unwrap();
+    }
+
+    #[test]
+    fn media_outcomes_are_reproducible_across_devices() {
+        let cfg = FaultConfig::storm(21);
+        let run = || {
+            let mut fs = small();
+            fs.attach_media(&cfg);
+            let blk = BlockAddr {
+                plane: 0,
+                index: fs.allocate_free_block(0).unwrap(),
+            };
+            let mut log = Vec::new();
+            for _ in 0..fs.geometry().pages_per_block {
+                let a = fs.program_page(blk).unwrap();
+                log.push((a.addr.page, a.failed as u32));
+                if !a.failed {
+                    let ppn = fs.geometry().ppn_of(a.addr);
+                    for _ in 0..3 {
+                        log.push((ppn as u32, fs.read_page(ppn).unwrap().retry_steps()));
+                    }
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn no_media_reads_clean() {
+        let mut fs = small();
+        assert!(!fs.has_media());
+        let blk = BlockAddr {
+            plane: 0,
+            index: fs.allocate_free_block(0).unwrap(),
+        };
+        let a = fs.program_page(blk).unwrap();
+        assert!(!a.failed);
+        let ppn = fs.geometry().ppn_of(a.addr);
+        assert_eq!(fs.read_page(ppn).unwrap(), MediaOutcome::Clean);
+        assert!(fs.media_counters().is_none());
+        assert_eq!(fs.take_failed_attempts(), 0);
     }
 
     #[test]

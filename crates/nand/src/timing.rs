@@ -43,6 +43,13 @@ pub struct TimingConfig {
     /// such a constant per-page cost; this switch lets the harness
     /// demonstrate that (see EXPERIMENTS.md).
     pub fixed_page_transfer: Option<SimDuration>,
+    /// Extra sensing overhead per read-retry ladder step (threshold shift
+    /// + command), on top of the re-read itself.
+    pub read_retry_step: SimDuration,
+    /// ECC soft-decode time charged once per retry step (the step-0 hard
+    /// decode is folded into `page_read`, so zero-BER reads cost exactly
+    /// what they did before the fault subsystem existed).
+    pub ecc_decode: SimDuration,
 }
 
 impl TimingConfig {
@@ -55,6 +62,8 @@ impl TimingConfig {
             per_byte_transfer: SimDuration::from_nanos(25), // 0.025 us
             command_overhead: SimDuration::from_nanos(200), // 0.2 us
             fixed_page_transfer: None,
+            read_retry_step: SimDuration::from_micros(5),
+            ecc_decode: SimDuration::from_micros(10),
         }
     }
 
@@ -84,6 +93,15 @@ impl TimingConfig {
     /// Total service time of an isolated page write (bus in + program).
     pub fn write_service(&self, page_size: u32) -> SimDuration {
         self.command_overhead + self.page_transfer(page_size) + self.page_program
+    }
+
+    /// Plane-array time added by `steps` read-retry ladder steps: each
+    /// step re-senses the page (threshold shift + array read) and runs a
+    /// soft ECC decode. Zero steps cost exactly zero.
+    pub fn read_retry_overhead(&self, steps: u32) -> SimDuration {
+        SimDuration::from_nanos(
+            steps as u64 * (self.read_retry_step + self.page_read + self.ecc_decode).as_nanos(),
+        )
     }
 
     /// Service time of an intra-plane copy-back: read into the plane data
@@ -160,6 +178,18 @@ mod tests {
             t.copyback_service(),
             TimingConfig::paper_default().copyback_service()
         );
+    }
+
+    #[test]
+    fn read_retry_ladder_costs() {
+        let t = TimingConfig::paper_default();
+        assert_eq!(t.read_retry_overhead(0).as_nanos(), 0);
+        let one = t.read_retry_overhead(1);
+        assert_eq!(
+            one.as_nanos(),
+            (t.read_retry_step + t.page_read + t.ecc_decode).as_nanos()
+        );
+        assert_eq!(t.read_retry_overhead(3).as_nanos(), 3 * one.as_nanos());
     }
 
     #[test]

@@ -25,6 +25,10 @@ cargo test -q --offline
 echo "==> cargo test -q --workspace"
 cargo test -q --offline --workspace
 
+echo "==> fault-storm smoke (BER sweep over every FTL, offline)"
+cargo run --release --offline -q -p dloop-bench --bin dloop-experiments -- \
+    faults --scale 8 --requests 2000 --out none >/dev/null
+
 echo "==> cargo doc --no-deps -p dloop-simkit (must be warning-free)"
 doc_log="$(cargo doc --no-deps --offline -p dloop-simkit 2>&1)" || {
     echo "$doc_log"

@@ -7,6 +7,8 @@
 //! integration tests, and downstream users can depend on a single crate:
 //!
 //! * [`simkit`] — deterministic event-driven simulation kernel.
+//! * [`faults`] — deterministic media-fault plans: raw bit errors (wear and
+//!   retention scaled), program/erase failures, factory bad blocks.
 //! * [`nand`] — NAND flash SSD hardware model (geometry, timing, state,
 //!   resource contention, advanced commands incl. intra-plane copy-back).
 //! * [`ftl_kit`] — FTL framework: `Ftl` trait, cached mapping table, global
@@ -39,6 +41,7 @@
 
 pub use dloop as dloop_ftl;
 pub use dloop_baselines as baselines;
+pub use dloop_faults as faults;
 pub use dloop_ftl_kit as ftl_kit;
 pub use dloop_nand as nand;
 pub use dloop_simkit as simkit;
@@ -48,6 +51,7 @@ pub use dloop_workloads as workloads;
 /// Convenience re-exports covering the common experiment surface.
 pub mod prelude {
     pub use dloop::{DloopConfig, DloopFtl, HotPlaneDloopFtl};
+    pub use dloop_faults::{FaultConfig, MediaOutcome};
     pub use dloop_ftl_kit::config::{FtlKind, SsdConfig};
     pub use dloop_ftl_kit::device::SsdDevice;
     pub use dloop_ftl_kit::ftl::Ftl;
