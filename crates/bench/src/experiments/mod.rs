@@ -13,6 +13,7 @@
 //! | [`striping`] | §II.C motivation: throughput vs plane-level concurrency |
 //! | [`channels`] | §II.B trade-off: channel count vs plane depth |
 //! | [`faults`] | graceful degradation vs raw bit-error rate (beyond the paper) |
+//! | [`tracecmd`] | op-level flight-recorder artifacts (Chrome trace, utilization, attribution) |
 //!
 //! Absolute milliseconds differ from the paper (synthetic workloads, scaled
 //! devices); the *shape* — orderings, trends, crossovers — is the target.
@@ -28,6 +29,7 @@ pub mod headline;
 pub mod params;
 pub mod striping;
 pub mod sweep;
+pub mod tracecmd;
 pub mod traces;
 
 use crate::table::Table;

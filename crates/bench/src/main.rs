@@ -15,8 +15,11 @@
 //!   striping              — §II.C motivation: concurrency vs throughput
 //!   channels              — §II.B trade-off: channel count vs plane depth
 //!   faults                — graceful degradation vs raw bit-error rate
+//!   trace                 — flight-recorder artifacts: Chrome trace JSON,
+//!                           plane-utilization CSV, latency attribution
 //!   verify                — automated PASS/FAIL audit of the paper's claims
-//!   all                   — everything above
+//!   all                   — everything above (except trace: its artifacts
+//!                           are for interactive inspection, run it alone)
 //!
 //! options:
 //!   --scale N      divide device capacities and footprints by N (default 4)
@@ -29,8 +32,8 @@
 //! ```
 
 use dloop_bench::experiments::{
-    ablation, channels, copyback, faults, fig10, fig8, fig9, headline, params, striping, traces,
-    ExpOptions,
+    ablation, channels, copyback, faults, fig10, fig8, fig9, headline, params, striping, tracecmd,
+    traces, ExpOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -40,7 +43,7 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
-const HELP: &str = "usage: dloop-experiments <params|traces|copyback|fig8|fig9|fig10|headline|ablation|striping|channels|faults|verify|all> \
+const HELP: &str = "usage: dloop-experiments <params|traces|copyback|fig8|fig9|fig10|headline|ablation|striping|channels|faults|trace|verify|all> \
 [--scale N] [--requests N] [--seed N] [--workers N] [--fill F] [--out DIR] [--quick]";
 
 fn main() -> ExitCode {
@@ -136,6 +139,7 @@ fn main() -> ExitCode {
             "striping" => opts.emit(&striping::run(opts), "striping"),
             "channels" => opts.emit(&channels::run(opts), "channels"),
             "faults" => opts.emit(&faults::run(opts), "faults_ber"),
+            "trace" => opts.emit(&tracecmd::run(opts), "trace"),
             "verify" => {
                 let results = dloop_bench::claims::verify(opts);
                 let table = dloop_bench::claims::to_table(&results);

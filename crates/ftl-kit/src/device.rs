@@ -14,10 +14,11 @@
 
 use crate::config::SsdConfig;
 use crate::dir::{PageDirectory, PageOwner};
-use crate::ftl::{FlashStep, Ftl, FtlContext, OpChain, Phase};
+use crate::ftl::{FlashStep, Ftl, FtlContext, FtlCounters, OpChain, Phase};
 use crate::metrics::RunReport;
 use crate::request::{HostOp, HostRequest};
 use dloop_nand::{FlashState, HardwareModel, MediaCounters, PageState};
+use dloop_simkit::trace::{FlightRecorder, SpanPhase};
 use dloop_simkit::{EventQueue, Histogram, OnlineStats, PendingQueue, SimTime};
 
 /// A simulated SSD: flash state + hardware timing + one FTL.
@@ -36,9 +37,15 @@ pub struct SsdDevice {
     baseline: (u64, u64, u64),
     /// Media reliability counters at the last measurement reset.
     media_baseline: MediaCounters,
+    /// FTL scheme counters at the last measurement reset, so reports cover
+    /// only the measured window (like flash totals and media counters).
+    ftl_baseline: FtlCounters,
     wait_ms: OnlineStats,
     service_ms: OnlineStats,
     gc_block_ms: OnlineStats,
+    /// Flight-recorder capacity when tracing is enabled; `None` disables
+    /// tracing entirely (the default — and the bit-identical fast path).
+    trace_capacity: Option<usize>,
 }
 
 impl SsdDevice {
@@ -65,10 +72,41 @@ impl SsdDevice {
             scan_chain: OpChain::new(),
             baseline: (0, 0, 0),
             media_baseline: MediaCounters::default(),
+            ftl_baseline: FtlCounters::default(),
             wait_ms: OnlineStats::new(),
             service_ms: OnlineStats::new(),
             gc_block_ms: OnlineStats::new(),
+            trace_capacity: None,
         }
+    }
+
+    /// Enable the op-level flight recorder with room for `capacity` spans
+    /// (`None` disables tracing and drops any recorded spans). Recording
+    /// is pure observation — every [`RunReport`] field is bit-identical
+    /// with tracing on or off.
+    pub fn set_tracing(&mut self, capacity: Option<usize>) {
+        self.trace_capacity = capacity;
+        match capacity {
+            Some(c) => self.hw.enable_trace(c),
+            None => {
+                self.hw.take_recorder();
+            }
+        }
+    }
+
+    /// The flight recorder, when tracing is enabled.
+    pub fn trace(&self) -> Option<&FlightRecorder> {
+        self.hw.recorder()
+    }
+
+    /// Detach and return the flight recorder (tracing stays enabled with a
+    /// fresh, empty recorder so subsequent runs keep recording).
+    pub fn take_trace(&mut self) -> Option<FlightRecorder> {
+        let rec = self.hw.take_recorder();
+        if let Some(c) = self.trace_capacity {
+            self.hw.enable_trace(c);
+        }
+        rec
     }
 
     /// The active configuration.
@@ -142,7 +180,7 @@ impl SsdDevice {
             response_hist_us: hist,
             plane_request_counts: self.plane_counts.clone(),
             hw: self.hw.counters,
-            ftl: self.ftl.counters(),
+            ftl: self.ftl.counters().since(&self.ftl_baseline),
             total_erases: self.flash.total_erases() - self.baseline.0,
             total_programs: self.flash.total_programs() - self.baseline.1,
             total_skips: self.flash.total_skips() - self.baseline.2,
@@ -182,9 +220,11 @@ impl SsdDevice {
         // Housekeeping for unrelated planes first: it contends for
         // resources but never gates this response.
         let scan_chain = std::mem::take(&mut self.scan_chain);
+        self.hw.set_span_context(SpanPhase::Scan, Some(lpn));
         self.play_chain(&scan_chain, arrival, false);
         self.scan_chain = scan_chain;
         let host_chain = std::mem::take(&mut self.host_chain);
+        self.hw.set_span_context(SpanPhase::Host, Some(lpn));
         let (host_start, host_done) = self.play_chain_spans(&host_chain, arrival, true);
         if !host_chain.is_empty() {
             self.wait_ms
@@ -194,6 +234,7 @@ impl SsdDevice {
         }
         self.host_chain = host_chain;
         let gc_chain = std::mem::take(&mut self.gc_chain);
+        self.hw.set_span_context(SpanPhase::Gc, Some(lpn));
         let response = if self.config.background_gc {
             // Background mode: GC steps are only ordered per resource — a
             // collection on plane A is independent of one on plane B, and
@@ -282,6 +323,7 @@ impl SsdDevice {
     pub fn run_trace_gated(&mut self, requests: &[HostRequest]) -> RunReport {
         struct QueuedOp {
             req: usize,
+            lpn: u64,
             host: OpChain,
             gc: OpChain,
             scan: OpChain,
@@ -310,6 +352,17 @@ impl SsdDevice {
                 // Arrival: translate every page op now (state effects are
                 // immediate, as in FlashSim) and queue its chains.
                 let req = requests[i].wrapped(lpn_space);
+                if req.pages == 0 {
+                    // No page operations to queue: the request completes
+                    // instantly at arrival with a zero response sample,
+                    // exactly as the other replay modes count it (the
+                    // per-op completion branch below would otherwise never
+                    // fire and the request would vanish from the stats).
+                    sim_end = sim_end.max(req.arrival);
+                    response_ms.push(0.0);
+                    hist.record(0.0);
+                    continue;
+                }
                 for lpn in req.page_ops() {
                     let lpn = lpn % lpn_space;
                     self.host_chain.clear();
@@ -333,6 +386,7 @@ impl SsdDevice {
                     }
                     pending.push_back(QueuedOp {
                         req: i,
+                        lpn,
                         host: std::mem::take(&mut self.host_chain),
                         gc: std::mem::take(&mut self.gc_chain),
                         scan: std::mem::take(&mut self.scan_chain),
@@ -360,13 +414,30 @@ impl SsdDevice {
                 let Some(op) = pending.pop_first_ready(ready) else {
                     break;
                 };
-                let done = self.play_chain(&op.host, now, true);
+                self.hw.set_span_context(SpanPhase::Host, Some(op.lpn));
+                let (host_start, host_done) = self.play_chain_spans(&op.host, now, true);
+                if !op.host.is_empty() {
+                    // Queueing delay spans arrival → first flash step (the
+                    // pending-queue wait plus any residual resource wait),
+                    // mirroring the open-arrival mode's decomposition.
+                    self.wait_ms
+                        .push(host_start.saturating_since(op.arrival).as_millis_f64());
+                    self.service_ms
+                        .push(host_done.saturating_since(host_start).as_millis_f64());
+                }
+                self.hw.set_span_context(SpanPhase::Scan, Some(op.lpn));
                 self.play_chain(&op.scan, now, false);
+                self.hw.set_span_context(SpanPhase::Gc, Some(op.lpn));
                 let done = if self.config.background_gc {
-                    self.play_chain(&op.gc, done, false);
-                    done
+                    self.play_chain(&op.gc, host_done, false);
+                    host_done
                 } else {
-                    self.play_chain(&op.gc, done, true)
+                    let gc_done = self.play_chain(&op.gc, host_done, true);
+                    if !op.gc.is_empty() {
+                        self.gc_block_ms
+                            .push(gc_done.saturating_since(host_done).as_millis_f64());
+                    }
+                    gc_done
                 };
                 req_done[op.req] = req_done[op.req].max(done);
                 req_ops_left[op.req] -= 1;
@@ -393,7 +464,7 @@ impl SsdDevice {
             response_hist_us: hist,
             plane_request_counts: self.plane_counts.clone(),
             hw: self.hw.counters,
-            ftl: self.ftl.counters(),
+            ftl: self.ftl.counters().since(&self.ftl_baseline),
             total_erases: self.flash.total_erases() - self.baseline.0,
             total_programs: self.flash.total_programs() - self.baseline.1,
             total_skips: self.flash.total_skips() - self.baseline.2,
@@ -433,6 +504,15 @@ impl SsdDevice {
 
         while let Some(ev) = order.pop() {
             let req = requests[ev.event].wrapped(lpn_space);
+            if req.pages == 0 {
+                // Zero-page requests do no flash work: they complete at
+                // arrival without occupying a queue slot, with the same
+                // zero response sample the other replay modes record.
+                sim_end = sim_end.max(req.arrival);
+                response_ms.push(0.0);
+                hist.record(0.0);
+                continue;
+            }
             let mut issue = req.arrival;
             if in_flight.len() == queue_depth {
                 let std::cmp::Reverse(freed) = in_flight.pop().expect("queue depth at least 1");
@@ -464,7 +544,7 @@ impl SsdDevice {
             response_hist_us: hist,
             plane_request_counts: self.plane_counts.clone(),
             hw: self.hw.counters,
-            ftl: self.ftl.counters(),
+            ftl: self.ftl.counters().since(&self.ftl_baseline),
             total_erases: self.flash.total_erases() - self.baseline.0,
             total_programs: self.flash.total_programs() - self.baseline.1,
             total_skips: self.flash.total_skips() - self.baseline.2,
@@ -505,9 +585,15 @@ impl SsdDevice {
             self.flash.total_skips(),
         );
         self.media_baseline = self.flash.media_counters().cloned().unwrap_or_default();
+        self.ftl_baseline = self.ftl.counters();
         self.wait_ms = OnlineStats::new();
         self.service_ms = OnlineStats::new();
         self.gc_block_ms = OnlineStats::new();
+        // The rebuilt hardware model starts untraced; warm-up spans are
+        // measurements too, so a fresh (empty) recorder replaces them.
+        if let Some(c) = self.trace_capacity {
+            self.hw.enable_trace(c);
+        }
     }
 
     /// Deep cross-layer audit: flash invariants, directory ↔ flash
@@ -556,6 +642,9 @@ mod tests {
     struct ToyFtl {
         map: HashMap<Lpn, Ppn>,
         active: Option<BlockAddr>,
+        /// Host writes served — reported as `translation_writes` so device
+        /// tests can observe FTL-counter baselining across warm-up.
+        writes: u64,
     }
 
     impl ToyFtl {
@@ -563,6 +652,7 @@ mod tests {
             ToyFtl {
                 map: HashMap::new(),
                 active: None,
+                writes: 0,
             }
         }
     }
@@ -603,6 +693,7 @@ mod tests {
             }
             ctx.dir.set_data(ppn, lpn);
             ctx.push(FlashStep::Write { plane: 0 });
+            self.writes += 1;
         }
 
         fn mapped_ppn(&self, lpn: Lpn) -> Option<Ppn> {
@@ -610,7 +701,10 @@ mod tests {
         }
 
         fn counters(&self) -> FtlCounters {
-            FtlCounters::default()
+            FtlCounters {
+                translation_writes: self.writes,
+                ..FtlCounters::default()
+            }
         }
 
         fn audit(&self, flash: &FlashState, dir: &PageDirectory) -> Result<(), String> {
@@ -721,6 +815,98 @@ mod tests {
         let report = d.run_trace(&[write_req(0, space + 3, 1), read_req(1000, 3, 1)]);
         // The read hits the wrapped write.
         assert_eq!(report.hw.reads, 1);
+    }
+
+    #[test]
+    fn gated_queueing_reports_wait_samples() {
+        // Regression: `run_trace_gated` used to clone the wait/service/
+        // GC-block stats into its report without ever pushing samples, so
+        // every gated report claimed a zero-sample latency decomposition.
+        let mut d = device();
+        // Two writes arriving together target the same plane (the toy FTL
+        // always writes plane 0), so the second op queues behind the first.
+        let report = d.run_trace_gated(&[write_req(0, 1, 1), write_req(0, 2, 1)]);
+        assert_eq!(report.wait_ms.count(), 2);
+        assert_eq!(report.service_ms.count(), 2);
+        assert!(
+            report.wait_ms.max().unwrap() > 0.0,
+            "the queued op must report a non-zero wait"
+        );
+        d.audit().unwrap();
+    }
+
+    #[test]
+    fn zero_page_requests_complete_in_every_replay_mode() {
+        // Regression: gated replay never counted zero-page requests at all
+        // (no per-op completion ever fired), and closed replay could charge
+        // them a queue-slot wait. All three modes now record an instant
+        // zero-latency completion.
+        let reqs = [write_req(0, 1, 0)];
+        let open = device().run_trace(&reqs);
+        let gated = device().run_trace_gated(&reqs);
+        let closed = device().run_trace_closed(&reqs, 1);
+        for r in [&open, &gated, &closed] {
+            assert_eq!(r.requests_completed, 1);
+            assert_eq!(r.response_ms.count(), 1, "mode must count the request");
+            assert_eq!(r.response_ms.mean(), 0.0);
+            assert_eq!(r.pages_written, 0);
+        }
+        // Even with the bounded queue saturated by a slow write, a
+        // zero-page request completes at arrival without taking a slot.
+        let mut d = device();
+        let r = d.run_trace_closed(
+            &[write_req(0, 1, 1), write_req(10, 2, 0), write_req(20, 3, 1)],
+            1,
+        );
+        assert_eq!(r.response_ms.count(), 3);
+        assert_eq!(r.response_ms.min().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reset_measurements_baselines_every_report_field() {
+        // Contract: after a warm-up, every RunReport field covers only the
+        // measured window — hardware counters, FTL scheme counters, flash
+        // totals, and the latency decompositions alike.
+        let mut d = device();
+        d.warm_up(&[write_req(0, 1, 1), write_req(100, 2, 1)]);
+        let report = d.run_trace(&[write_req(0, 3, 1), read_req(1000, 3, 1)]);
+        assert_eq!(report.hw.writes, 1);
+        assert_eq!(report.hw.reads, 1);
+        // Not 3: the two warm-up writes are excluded by the baseline.
+        assert_eq!(report.ftl.translation_writes, 1);
+        assert_eq!(report.total_programs, 1);
+        assert_eq!(report.wait_ms.count(), 2);
+        assert_eq!(report.service_ms.count(), 2);
+        assert_eq!(report.gc_block_ms.count(), 0);
+        assert_eq!(report.response_ms.count(), 2);
+        assert_eq!(report.plane_request_counts.iter().sum::<u64>(), 2);
+        // A second reset starts the window fresh again.
+        d.reset_measurements();
+        let report = d.run_trace(&[read_req(0, 3, 1)]);
+        assert_eq!(report.ftl.translation_writes, 0);
+        assert_eq!(report.hw.reads, 1);
+        assert_eq!(report.total_programs, 0);
+    }
+
+    #[test]
+    fn tracing_records_one_span_per_flash_op() {
+        let mut d = device();
+        d.set_tracing(Some(1024));
+        let report = d.run_trace(&[write_req(0, 1, 1), read_req(1000, 1, 1)]);
+        let rec = d.trace().unwrap();
+        assert_eq!(rec.recorded(), report.hw.reads + report.hw.writes);
+        // Detaching hands back the spans and leaves a fresh recorder armed.
+        let taken = d.take_trace().unwrap();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(d.trace().unwrap().len(), 0);
+        d.run_trace(&[read_req(0, 1, 1)]);
+        assert_eq!(d.trace().unwrap().len(), 1);
+        // A measurement reset discards warm-up spans too.
+        d.reset_measurements();
+        assert_eq!(d.trace().unwrap().len(), 0);
+        // Disabling detaches the recorder entirely.
+        d.set_tracing(None);
+        assert!(d.trace().is_none());
     }
 
     #[test]

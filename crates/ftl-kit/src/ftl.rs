@@ -131,6 +131,25 @@ pub struct FtlCounters {
     pub switch_merges: u64,
 }
 
+impl FtlCounters {
+    /// Counter deltas accumulated since `baseline` was captured — used by
+    /// the device to report only the measured window after a warm-up, the
+    /// same way flash totals and media counters are baselined.
+    pub fn since(&self, baseline: &FtlCounters) -> FtlCounters {
+        FtlCounters {
+            gc_invocations: self.gc_invocations - baseline.gc_invocations,
+            copyback_moves: self.copyback_moves - baseline.copyback_moves,
+            external_moves: self.external_moves - baseline.external_moves,
+            parity_skips: self.parity_skips - baseline.parity_skips,
+            translation_reads: self.translation_reads - baseline.translation_reads,
+            translation_writes: self.translation_writes - baseline.translation_writes,
+            full_merges: self.full_merges - baseline.full_merges,
+            partial_merges: self.partial_merges - baseline.partial_merges,
+            switch_merges: self.switch_merges - baseline.switch_merges,
+        }
+    }
+}
+
 /// Which chain a pushed step belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {

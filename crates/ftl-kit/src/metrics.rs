@@ -176,7 +176,10 @@ impl RunReport {
     /// The locked CSV schema. Reliability columns append strictly after
     /// the pre-fault columns so downstream tooling keyed on column index
     /// keeps working; `retry_hist` is one pipe-joined column because its
-    /// length follows the fault plan's ladder depth.
+    /// length follows the fault plan's ladder depth. The latency
+    /// attribution columns (mean queueing wait, mean service span, mean
+    /// synchronous-GC blocking) append after the reliability block under
+    /// the same rule.
     pub fn csv_header() -> &'static str {
         "ftl,requests,pages_read,pages_written,mrt_ms,p99_ms,ln_sdrpp,waf,\
          gc_invocations,copyback_moves,external_moves,parity_skips,\
@@ -184,7 +187,8 @@ impl RunReport {
          switch_merges,total_erases,total_programs,total_skips,\
          wear_min,wear_mean,wear_max,sim_end_ms,\
          recovered_programs,grown_bad_blocks,factory_bad_blocks,\
-         uncorrectable_reads,read_retry_steps,retry_ms,retry_hist"
+         uncorrectable_reads,read_retry_steps,retry_ms,retry_hist,\
+         wait_mean_ms,service_mean_ms,gc_block_mean_ms"
     }
 
     /// One CSV row matching [`RunReport::csv_header`] column for column.
@@ -197,7 +201,7 @@ impl RunReport {
             .collect::<Vec<_>>()
             .join("|");
         format!(
-            "{},{},{},{},{:.6},{:.6},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{:.3},{},{},{},{},{},{:.6},{}",
+            "{},{},{},{},{:.6},{:.6},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{:.3},{},{},{},{},{},{:.6},{},{:.6},{:.6},{:.6}",
             self.ftl_name,
             self.requests_completed,
             self.pages_read,
@@ -229,6 +233,9 @@ impl RunReport {
             self.media.read_retry_steps,
             self.retry_ns as f64 / 1e6,
             hist,
+            self.wait_ms.mean(),
+            self.service_ms.mean(),
+            self.gc_block_ms.mean(),
         )
     }
 
@@ -281,8 +288,16 @@ mod tests {
             sim_end: SimTime::from_millis(9),
             plane_busy_ns: vec![1_000_000; 4],
             channel_busy_ns: vec![500_000; 2],
-            wait_ms: OnlineStats::new(),
-            service_ms: OnlineStats::new(),
+            wait_ms: {
+                let mut s = OnlineStats::new();
+                s.push(0.125);
+                s
+            },
+            service_ms: {
+                let mut s = OnlineStats::new();
+                s.push(0.25);
+                s
+            },
             gc_block_ms: OnlineStats::new(),
             media: MediaCounters {
                 program_fails: 2,
@@ -343,16 +358,21 @@ mod tests {
              switch_merges,total_erases,total_programs,total_skips,\
              wear_min,wear_mean,wear_max,sim_end_ms,\
              recovered_programs,grown_bad_blocks,factory_bad_blocks,\
-             uncorrectable_reads,read_retry_steps,retry_ms,retry_hist"
+             uncorrectable_reads,read_retry_steps,retry_ms,retry_hist,\
+             wait_mean_ms,service_mean_ms,gc_block_mean_ms"
         );
         let header_cols = RunReport::csv_header().split(',').count();
         let row = report().csv_row();
         assert_eq!(row.split(',').count(), header_cols);
-        // The histogram is one pipe-joined column, last in the row.
-        assert!(row.ends_with("90|3|1"), "row was: {row}");
-        // Reliability columns land where the header says they do.
         let cols: Vec<&str> = row.split(',').collect();
+        // Reliability columns land where the header says they do.
         assert_eq!(cols[24], "2"); // recovered_programs
         assert_eq!(cols[27], "1"); // uncorrectable_reads
+                                   // The histogram stays one pipe-joined column in its locked slot.
+        assert_eq!(cols[30], "90|3|1", "row was: {row}");
+        // Attribution columns append after the reliability block.
+        assert_eq!(cols[31], "0.125000"); // wait_mean_ms
+        assert_eq!(cols[32], "0.250000"); // service_mean_ms
+        assert_eq!(cols[33], "0.000000"); // gc_block_mean_ms (no samples)
     }
 }

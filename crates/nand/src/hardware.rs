@@ -25,6 +25,7 @@
 
 use crate::geometry::{Geometry, PlaneId};
 use crate::timing::TimingConfig;
+use dloop_simkit::trace::{FlightRecorder, Resource, Seg, Span, SpanKind, SpanPhase};
 use dloop_simkit::{SimDuration, SimTime};
 
 /// When an operation occupied the device.
@@ -75,6 +76,13 @@ pub struct HardwareModel {
     plane_busy_ns: Vec<u64>,
     retry_ns: u64,
     pub counters: OpCounters,
+    /// Opt-in flight recorder; `None` (the default) records nothing and
+    /// leaves every execution path identical to the pre-trace model.
+    recorder: Option<Box<FlightRecorder>>,
+    /// Logical phase attached to the next emitted spans.
+    span_phase: SpanPhase,
+    /// Triggering LPN attached to the next emitted spans.
+    span_lpn: Option<u64>,
 }
 
 impl HardwareModel {
@@ -96,12 +104,53 @@ impl HardwareModel {
             plane_busy_ns: vec![0; planes],
             retry_ns: 0,
             counters: OpCounters::default(),
+            recorder: None,
+            span_phase: SpanPhase::Host,
+            span_lpn: None,
         }
     }
 
     /// The timing parameters in force.
     pub fn timing(&self) -> &TimingConfig {
         &self.timing
+    }
+
+    /// Attach a flight recorder holding up to `capacity` spans. Recording
+    /// is pure observation: resource timelines, counters and completions
+    /// are bit-identical with or without it.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.recorder = Some(Box::new(FlightRecorder::new(capacity)));
+    }
+
+    /// Detach and return the flight recorder, disabling tracing.
+    pub fn take_recorder(&mut self) -> Option<FlightRecorder> {
+        self.recorder.take().map(|b| *b)
+    }
+
+    /// The attached flight recorder, if tracing is enabled.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Tag spans emitted by subsequent `exec_*` calls with a phase and the
+    /// triggering LPN. Cheap enough to call unconditionally; ignored while
+    /// no recorder is attached.
+    pub fn set_span_context(&mut self, phase: SpanPhase, lpn: Option<u64>) {
+        self.span_phase = phase;
+        self.span_lpn = lpn;
+    }
+
+    /// Record `span` if tracing is enabled, first asserting the emitter
+    /// kept the attribution invariant (buckets tile residence).
+    fn record_span(&mut self, span: Span) {
+        debug_assert_eq!(
+            span.buckets_ns(),
+            span.residence_ns(),
+            "span attribution buckets must tile the residence time"
+        );
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(span);
+        }
     }
 
     fn channel_of(&self, plane: PlaneId) -> usize {
@@ -155,12 +204,7 @@ impl HardwareModel {
 
     /// Host/GC page read on `plane` at `at` (array read, then bus out).
     pub fn exec_read(&mut self, plane: PlaneId, at: SimTime) -> Completion {
-        self.counters.reads += 1;
-        let t = self.timing.command_overhead + self.timing.page_read;
-        let (start, after_read) = self.hold_plane(plane, at, t);
-        let (_, end) =
-            self.hold_channel(plane, after_read, self.timing.page_transfer(self.page_size));
-        Completion { start, end }
+        self.exec_read_retry(plane, at, 0)
     }
 
     /// Page read on `plane` at `at` that needed `steps` read-retry ladder
@@ -173,10 +217,46 @@ impl HardwareModel {
         self.counters.read_retry_steps += steps as u64;
         let extra = self.timing.read_retry_overhead(steps);
         self.retry_ns += extra.as_nanos();
-        let t = self.timing.command_overhead + self.timing.page_read + extra;
-        let (start, after_read) = self.hold_plane(plane, at, t);
-        let (_, end) =
-            self.hold_channel(plane, after_read, self.timing.page_transfer(self.page_size));
+        let cell = self.timing.command_overhead + self.timing.page_read;
+        let xfer = self.timing.page_transfer(self.page_size);
+        let (start, after_read) = self.hold_plane(plane, at, cell + extra);
+        let (bus_start, end) = self.hold_channel(plane, after_read, xfer);
+        if self.recorder.is_some() {
+            self.record_span(Span {
+                kind: if steps == 0 {
+                    SpanKind::Read
+                } else {
+                    SpanKind::ReadRetry
+                },
+                phase: self.span_phase,
+                lpn: self.span_lpn,
+                plane,
+                dst_plane: None,
+                issue: at,
+                start,
+                end,
+                cell_ns: cell.as_nanos(),
+                bus_ns: xfer.as_nanos(),
+                plane_wait_ns: start.saturating_since(at).as_nanos(),
+                channel_wait_ns: bus_start.saturating_since(after_read).as_nanos(),
+                retry_ns: extra.as_nanos(),
+                retry_steps: steps,
+                segs: [
+                    Some(Seg {
+                        resource: Resource::Plane(plane),
+                        start,
+                        end: after_read,
+                    }),
+                    Some(Seg {
+                        resource: Resource::Channel(self.channel_of(plane) as u32),
+                        start: bus_start,
+                        end,
+                    }),
+                    None,
+                    None,
+                ],
+            });
+        }
         Completion { start, end }
     }
 
@@ -185,18 +265,50 @@ impl HardwareModel {
         self.counters.writes += 1;
         let xfer = self.timing.command_overhead + self.timing.page_transfer(self.page_size);
         let (start, after_xfer) = self.hold_channel(plane, at, xfer);
-        let (_, end) = self.hold_plane(plane, after_xfer, self.timing.page_program);
+        let (cell_start, end) = self.hold_plane(plane, after_xfer, self.timing.page_program);
+        if self.recorder.is_some() {
+            self.record_span(Span {
+                kind: SpanKind::Write,
+                phase: self.span_phase,
+                lpn: self.span_lpn,
+                plane,
+                dst_plane: None,
+                issue: at,
+                start,
+                end,
+                cell_ns: self.timing.page_program.as_nanos(),
+                bus_ns: xfer.as_nanos(),
+                plane_wait_ns: cell_start.saturating_since(after_xfer).as_nanos(),
+                channel_wait_ns: start.saturating_since(at).as_nanos(),
+                retry_ns: 0,
+                retry_steps: 0,
+                segs: [
+                    Some(Seg {
+                        resource: Resource::Channel(self.channel_of(plane) as u32),
+                        start,
+                        end: after_xfer,
+                    }),
+                    Some(Seg {
+                        resource: Resource::Plane(plane),
+                        start: cell_start,
+                        end,
+                    }),
+                    None,
+                    None,
+                ],
+            });
+        }
         Completion { start, end }
     }
 
     /// Block erase on `plane` at `at`.
     pub fn exec_erase(&mut self, plane: PlaneId, at: SimTime) -> Completion {
         self.counters.erases += 1;
-        let (start, end) = self.hold_plane(
-            plane,
-            at,
-            self.timing.command_overhead + self.timing.block_erase,
-        );
+        let dur = self.timing.command_overhead + self.timing.block_erase;
+        let (start, end) = self.hold_plane(plane, at, dur);
+        if self.recorder.is_some() {
+            self.record_plane_only_span(SpanKind::Erase, plane, at, start, end, dur);
+        }
         Completion { start, end }
     }
 
@@ -204,22 +316,104 @@ impl HardwareModel {
     /// register and program back — the external channel is never touched.
     pub fn exec_copyback(&mut self, plane: PlaneId, at: SimTime) -> Completion {
         self.counters.copybacks += 1;
-        let (start, end) = self.hold_plane(plane, at, self.timing.copyback_service());
+        let dur = self.timing.copyback_service();
+        let (start, end) = self.hold_plane(plane, at, dur);
+        if self.recorder.is_some() {
+            self.record_plane_only_span(SpanKind::CopyBack, plane, at, start, end, dur);
+        }
         Completion { start, end }
+    }
+
+    /// Emit the span of an operation that held exactly one plane.
+    fn record_plane_only_span(
+        &mut self,
+        kind: SpanKind,
+        plane: PlaneId,
+        issue: SimTime,
+        start: SimTime,
+        end: SimTime,
+        dur: SimDuration,
+    ) {
+        self.record_span(Span {
+            kind,
+            phase: self.span_phase,
+            lpn: self.span_lpn,
+            plane,
+            dst_plane: None,
+            issue,
+            start,
+            end,
+            cell_ns: dur.as_nanos(),
+            bus_ns: 0,
+            plane_wait_ns: start.saturating_since(issue).as_nanos(),
+            channel_wait_ns: 0,
+            retry_ns: 0,
+            retry_steps: 0,
+            segs: [
+                Some(Seg {
+                    resource: Resource::Plane(plane),
+                    start,
+                    end,
+                }),
+                None,
+                None,
+                None,
+            ],
+        });
     }
 
     /// Traditional inter-plane copy from `src` to `dst` at `at`: the page
     /// travels source plane → bus → controller → bus → destination plane.
     pub fn exec_interplane_copy(&mut self, src: PlaneId, dst: PlaneId, at: SimTime) -> Completion {
         self.counters.interplane_copies += 1;
-        let (start, t) = self.hold_plane(
-            src,
-            at,
-            self.timing.command_overhead + self.timing.page_read,
-        );
-        let (_, t) = self.hold_channel(src, t, self.timing.page_transfer(self.page_size));
-        let (_, t) = self.hold_channel(dst, t, self.timing.page_transfer(self.page_size));
-        let (_, end) = self.hold_plane(dst, t, self.timing.page_program);
+        let read = self.timing.command_overhead + self.timing.page_read;
+        let xfer = self.timing.page_transfer(self.page_size);
+        let (start, t0) = self.hold_plane(src, at, read);
+        let (b1, t1) = self.hold_channel(src, t0, xfer);
+        let (b2, t2) = self.hold_channel(dst, t1, xfer);
+        let (cell_start, end) = self.hold_plane(dst, t2, self.timing.page_program);
+        if self.recorder.is_some() {
+            self.record_span(Span {
+                kind: SpanKind::InterPlaneCopy,
+                phase: self.span_phase,
+                lpn: self.span_lpn,
+                plane: src,
+                dst_plane: Some(dst),
+                issue: at,
+                start,
+                end,
+                cell_ns: (read + self.timing.page_program).as_nanos(),
+                bus_ns: (xfer + xfer).as_nanos(),
+                plane_wait_ns: start.saturating_since(at).as_nanos()
+                    + cell_start.saturating_since(t2).as_nanos(),
+                channel_wait_ns: b1.saturating_since(t0).as_nanos()
+                    + b2.saturating_since(t1).as_nanos(),
+                retry_ns: 0,
+                retry_steps: 0,
+                segs: [
+                    Some(Seg {
+                        resource: Resource::Plane(src),
+                        start,
+                        end: t0,
+                    }),
+                    Some(Seg {
+                        resource: Resource::Channel(self.channel_of(src) as u32),
+                        start: b1,
+                        end: t1,
+                    }),
+                    Some(Seg {
+                        resource: Resource::Channel(self.channel_of(dst) as u32),
+                        start: b2,
+                        end: t2,
+                    }),
+                    Some(Seg {
+                        resource: Resource::Plane(dst),
+                        start: cell_start,
+                        end,
+                    }),
+                ],
+            });
+        }
         Completion { start, end }
     }
 
@@ -393,6 +587,78 @@ mod tests {
         assert_eq!(h2.retry_ns(), extra.as_nanos());
         // The bus phase is identical — retries live inside the plane.
         assert_eq!(h.channel_busy_ns(), h2.channel_busy_ns());
+    }
+
+    #[test]
+    fn recorder_captures_one_span_per_op_with_exact_attribution() {
+        let mut h = hw();
+        h.enable_trace(64);
+        h.set_span_context(SpanPhase::Host, Some(42));
+        h.exec_write(0, SimTime::ZERO);
+        h.exec_read(0, SimTime::ZERO); // queues behind the write
+        h.set_span_context(SpanPhase::Gc, Some(42));
+        h.exec_copyback(1, SimTime::ZERO);
+        h.exec_erase(1, SimTime::ZERO);
+        h.exec_interplane_copy(2, 3, SimTime::ZERO);
+        let rec = h.take_recorder().expect("tracing was enabled");
+        assert_eq!(rec.recorded(), 5);
+        let spans: Vec<_> = rec.spans().collect();
+        // Every span's attribution buckets tile its residence exactly.
+        for s in &spans {
+            assert_eq!(s.buckets_ns(), s.residence_ns(), "{:?}", s.kind);
+            assert_eq!(s.lpn, Some(42));
+        }
+        assert_eq!(spans[0].kind, SpanKind::Write);
+        assert_eq!(spans[0].phase, SpanPhase::Host);
+        // The read queued behind the write on plane 0: its wait is visible.
+        assert_eq!(spans[1].kind, SpanKind::Read);
+        assert!(spans[1].plane_wait_ns + spans[1].channel_wait_ns > 0);
+        // Copy-back never touches a channel.
+        assert_eq!(spans[2].phase, SpanPhase::Gc);
+        assert_eq!(spans[2].bus_ns, 0);
+        assert!(spans[2]
+            .segments()
+            .all(|seg| matches!(seg.resource, Resource::Plane(1))));
+        // The inter-plane copy holds four resources.
+        assert_eq!(spans[4].segments().count(), 4);
+        assert_eq!(spans[4].dst_plane, Some(3));
+    }
+
+    #[test]
+    fn recording_does_not_perturb_timing_or_counters() {
+        let ops = |h: &mut HardwareModel| {
+            let mut ends = Vec::new();
+            ends.push(h.exec_write(0, SimTime::ZERO));
+            ends.push(h.exec_read_retry(0, SimTime::ZERO, 2));
+            ends.push(h.exec_copyback(1, SimTime::ZERO));
+            ends.push(h.exec_interplane_copy(0, 2, SimTime::ZERO));
+            ends.push(h.exec_erase(2, SimTime::ZERO));
+            ends
+        };
+        let mut plain = hw();
+        let mut traced = hw();
+        traced.enable_trace(1024);
+        let a = ops(&mut plain);
+        let b = ops(&mut traced);
+        assert_eq!(a, b, "tracing must not change completions");
+        assert_eq!(plain.counters, traced.counters);
+        assert_eq!(plain.plane_busy_ns(), traced.plane_busy_ns());
+        assert_eq!(plain.channel_busy_ns(), traced.channel_busy_ns());
+        assert_eq!(plain.retry_ns(), traced.retry_ns());
+        assert_eq!(traced.recorder().unwrap().recorded(), 5);
+    }
+
+    #[test]
+    fn retry_span_charges_the_ladder_separately() {
+        let mut h = hw();
+        h.enable_trace(8);
+        h.exec_read_retry(0, SimTime::ZERO, 3);
+        let rec = h.take_recorder().unwrap();
+        let s = rec.spans().next().unwrap();
+        assert_eq!(s.kind, SpanKind::ReadRetry);
+        assert_eq!(s.retry_steps, 3);
+        assert_eq!(s.retry_ns, h.timing().read_retry_overhead(3).as_nanos());
+        assert_eq!(s.buckets_ns(), s.residence_ns());
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   external API churn and registry dependencies).
 //! * [`queue`] — the pending-operation priority list used to model FlashSim's
 //!   channel-interleaving scheduler.
+//! * [`trace`] — an opt-in op-level flight recorder: bounded span ring
+//!   buffer plus Chrome `trace_event` / utilization-CSV / latency-attribution
+//!   exporters (and a hermetic JSON linter for validating them).
 //! * [`check`] — a deterministic property-testing harness (the workspace's
 //!   in-tree `proptest` substitute), seeded from [`rng`].
 //! * [`mod@bench`] — a warmup/iterate/report micro-benchmark runner (the
@@ -41,9 +44,11 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use events::{EventQueue, ScheduledEvent};
 pub use queue::PendingQueue;
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};
+pub use trace::{FlightRecorder, Span, SpanKind, SpanPhase};

@@ -1,0 +1,780 @@
+//! Op-level flight recorder: a zero-dependency, opt-in tracing layer.
+//!
+//! Credible SSD simulation needs inspectable accounting of every internal
+//! resource (Amber, SimpleSSD): not just *how long* a request took but
+//! *where* each microsecond went — queueing behind a plane, queueing behind
+//! a bus, the cell operation itself, the transfer, a read-retry ladder, or
+//! GC charged to the triggering write. This module provides the recording
+//! substrate: the hardware model emits one [`Span`] per flash operation at
+//! reservation time into a bounded [`FlightRecorder`] ring buffer, and the
+//! exporters turn the spans into
+//!
+//! * a Chrome `trace_event` JSON timeline ([`chrome_trace_json`]) with one
+//!   track per plane and per channel, loadable in `chrome://tracing` or
+//!   Perfetto;
+//! * a per-plane utilization timeline CSV ([`plane_utilization_csv`]);
+//! * an aggregated latency-attribution table ([`attribution`]) splitting
+//!   residence time into plane-wait / channel-wait / bus / cell / retry
+//!   per phase (host, GC, scan) — derived from the spans themselves, not
+//!   from ad-hoc accumulators.
+//!
+//! Recording is pure observation: it never touches the resource timelines,
+//! so a run with tracing enabled is bit-identical (in every report field)
+//! to the same run with tracing disabled.
+//!
+//! The module also ships [`json_lint`], a minimal JSON syntax validator, so
+//! the exported timeline can be checked hermetically (no serde, no Python).
+
+use crate::time::SimTime;
+use std::fmt::Write as _;
+
+/// Flash operation kind of a recorded span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Page read (array + bus out).
+    Read,
+    /// Page read that needed the read-retry ladder.
+    ReadRetry,
+    /// Page program (bus in + array).
+    Write,
+    /// Block erase (array only).
+    Erase,
+    /// Intra-plane copy-back (array only — no bus traffic).
+    CopyBack,
+    /// Traditional inter-plane copy (source array, bus twice, dest array).
+    InterPlaneCopy,
+}
+
+impl SpanKind {
+    /// Short display name (also the Chrome event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Read => "read",
+            SpanKind::ReadRetry => "read_retry",
+            SpanKind::Write => "write",
+            SpanKind::Erase => "erase",
+            SpanKind::CopyBack => "copyback",
+            SpanKind::InterPlaneCopy => "interplane_copy",
+        }
+    }
+}
+
+/// Which logical phase of request service an operation belonged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// Work the host response waits for.
+    Host,
+    /// Reclamation charged to (or triggered by) the current operation.
+    Gc,
+    /// Background housekeeping for unrelated planes.
+    Scan,
+}
+
+impl SpanPhase {
+    /// Short display name (also the Chrome event category).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanPhase::Host => "host",
+            SpanPhase::Gc => "gc",
+            SpanPhase::Scan => "scan",
+        }
+    }
+}
+
+/// A device resource a span segment occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// A plane's cell array.
+    Plane(u32),
+    /// A channel's external bus.
+    Channel(u32),
+}
+
+/// One contiguous resource hold within a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Seg {
+    /// The resource held.
+    pub resource: Resource,
+    /// Hold start.
+    pub start: SimTime,
+    /// Hold end (release).
+    pub end: SimTime,
+}
+
+/// One flash operation, as reserved on the hardware timelines.
+///
+/// Invariant (checked by the emitter): for an operation whose phases run
+/// back-to-back, `plane_wait_ns + channel_wait_ns + cell_ns + bus_ns +
+/// retry_ns == end - issue`, i.e. the attribution buckets exactly tile the
+/// residence time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Operation kind.
+    pub kind: SpanKind,
+    /// Logical service phase (host / GC / scan).
+    pub phase: SpanPhase,
+    /// Logical page whose service emitted this operation, when known.
+    pub lpn: Option<u64>,
+    /// Primary plane.
+    pub plane: u32,
+    /// Destination plane of an inter-plane copy.
+    pub dst_plane: Option<u32>,
+    /// When the operation was handed to the hardware.
+    pub issue: SimTime,
+    /// When the first resource was actually acquired.
+    pub start: SimTime,
+    /// When the last resource was released.
+    pub end: SimTime,
+    /// Nanoseconds of cell-array occupancy (excluding retry-ladder time).
+    pub cell_ns: u64,
+    /// Nanoseconds of external-bus occupancy.
+    pub bus_ns: u64,
+    /// Nanoseconds spent waiting for a busy plane (or serialized die).
+    pub plane_wait_ns: u64,
+    /// Nanoseconds spent waiting for a busy channel.
+    pub channel_wait_ns: u64,
+    /// Nanoseconds of read-retry ladder work on the plane.
+    pub retry_ns: u64,
+    /// Read-retry ladder steps executed.
+    pub retry_steps: u32,
+    /// The individual resource holds (ordered; `None` entries are unused).
+    pub segs: [Option<Seg>; 4],
+}
+
+impl Span {
+    /// Total residence: issue to last release.
+    pub fn residence_ns(&self) -> u64 {
+        self.end.saturating_since(self.issue).as_nanos()
+    }
+
+    /// Sum of the attribution buckets; equals [`Span::residence_ns`] for
+    /// spans whose phases ran back-to-back (all emitters in this
+    /// workspace).
+    pub fn buckets_ns(&self) -> u64 {
+        self.plane_wait_ns + self.channel_wait_ns + self.cell_ns + self.bus_ns + self.retry_ns
+    }
+
+    /// The resource-hold segments actually present.
+    pub fn segments(&self) -> impl Iterator<Item = &Seg> {
+        self.segs.iter().flatten()
+    }
+}
+
+/// A bounded ring buffer of [`Span`]s.
+///
+/// When full, the oldest span is dropped (flight-recorder semantics: the
+/// most recent history survives) and [`FlightRecorder::dropped`] counts the
+/// loss — exports never silently pretend to be complete.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    spans: Vec<Span>,
+    head: usize,
+    dropped: u64,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` spans (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            spans: Vec::new(),
+            head: 0,
+            dropped: 0,
+            capacity,
+        }
+    }
+
+    /// Maximum spans retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans currently retained.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total spans ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.len() as u64 + self.dropped
+    }
+
+    /// Append a span, evicting the oldest if the ring is full.
+    pub fn record(&mut self, span: Span) {
+        if self.spans.len() < self.capacity {
+            self.spans.push(span);
+        } else {
+            self.spans[self.head] = span;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        let (newer, older) = self.spans.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+
+    /// Forget everything recorded (capacity is kept).
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+}
+
+/// One row of the latency-attribution table (nanosecond sums).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AttributionRow {
+    /// Spans aggregated into this row.
+    pub spans: u64,
+    /// Waiting for a busy plane / serialized die.
+    pub plane_wait_ns: u64,
+    /// Waiting for a busy channel bus.
+    pub channel_wait_ns: u64,
+    /// Bus transfer time.
+    pub bus_ns: u64,
+    /// Cell (array) operation time, excluding retries.
+    pub cell_ns: u64,
+    /// Read-retry ladder time.
+    pub retry_ns: u64,
+    /// Total residence (issue → release).
+    pub residence_ns: u64,
+}
+
+impl AttributionRow {
+    fn add(&mut self, s: &Span) {
+        self.spans += 1;
+        self.plane_wait_ns += s.plane_wait_ns;
+        self.channel_wait_ns += s.channel_wait_ns;
+        self.bus_ns += s.bus_ns;
+        self.cell_ns += s.cell_ns;
+        self.retry_ns += s.retry_ns;
+        self.residence_ns += s.residence_ns();
+    }
+}
+
+/// The aggregated latency-attribution table, one row per phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Attribution {
+    /// Host-phase operations (the response-gating work).
+    pub host: AttributionRow,
+    /// GC-phase operations (synchronous mode charges these to requests).
+    pub gc: AttributionRow,
+    /// Scan-phase housekeeping (contends for resources, never gates).
+    pub scan: AttributionRow,
+}
+
+impl Attribution {
+    /// The row for `phase`.
+    pub fn row(&self, phase: SpanPhase) -> &AttributionRow {
+        match phase {
+            SpanPhase::Host => &self.host,
+            SpanPhase::Gc => &self.gc,
+            SpanPhase::Scan => &self.scan,
+        }
+    }
+
+    /// Nanoseconds of request-visible time: host + GC residence. For a
+    /// replay of non-overlapping single-page requests in synchronous-GC
+    /// mode this reconciles exactly with the run's summed response time.
+    pub fn request_visible_ns(&self) -> u64 {
+        self.host.residence_ns + self.gc.residence_ns
+    }
+
+    /// The locked CSV header of [`Attribution::csv`].
+    pub fn csv_header() -> &'static str {
+        "phase,spans,plane_wait_ms,channel_wait_ms,bus_ms,cell_ms,retry_ms,total_ms"
+    }
+
+    /// Render as CSV (header + one row per phase).
+    pub fn csv(&self) -> String {
+        let mut out = String::from(Self::csv_header());
+        out.push('\n');
+        for phase in [SpanPhase::Host, SpanPhase::Gc, SpanPhase::Scan] {
+            let r = self.row(phase);
+            let _ = writeln!(
+                out,
+                "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+                phase.name(),
+                r.spans,
+                r.plane_wait_ns as f64 / 1e6,
+                r.channel_wait_ns as f64 / 1e6,
+                r.bus_ns as f64 / 1e6,
+                r.cell_ns as f64 / 1e6,
+                r.retry_ns as f64 / 1e6,
+                r.residence_ns as f64 / 1e6,
+            );
+        }
+        out
+    }
+}
+
+/// Aggregate the retained spans into the latency-attribution table.
+pub fn attribution(rec: &FlightRecorder) -> Attribution {
+    let mut a = Attribution::default();
+    for s in rec.spans() {
+        match s.phase {
+            SpanPhase::Host => a.host.add(s),
+            SpanPhase::Gc => a.gc.add(s),
+            SpanPhase::Scan => a.scan.add(s),
+        }
+    }
+    a
+}
+
+fn push_json_event(
+    out: &mut String,
+    pid: u32,
+    tid: u32,
+    name: &str,
+    cat: &str,
+    ts_ns: u64,
+    dur_ns: u64,
+    span: &Span,
+) {
+    let lpn = span
+        .lpn
+        .map(|l| l.to_string())
+        .unwrap_or_else(|| "null".to_string());
+    let _ = write!(
+        out,
+        ",\n{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{name}\",\"cat\":\"{cat}\",\
+         \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"lpn\":{lpn},\"retry_steps\":{},\
+         \"issue_us\":{:.3},\"wait_us\":{:.3}}}}}",
+        ts_ns as f64 / 1e3,
+        dur_ns as f64 / 1e3,
+        span.retry_steps,
+        span.issue.as_micros_f64(),
+        (span.plane_wait_ns + span.channel_wait_ns) as f64 / 1e3,
+    );
+}
+
+/// Process id used for plane tracks in the Chrome export.
+pub const CHROME_PID_PLANES: u32 = 1;
+/// Process id used for channel tracks in the Chrome export.
+pub const CHROME_PID_CHANNELS: u32 = 2;
+
+/// Export the retained spans as Chrome `trace_event` JSON.
+///
+/// Layout: one process per resource class (`planes`, `channels`), one
+/// thread (track) per plane / channel id, one complete (`"X"`) event per
+/// resource hold, named after the operation and categorized by phase.
+/// Timestamps are microseconds, as `chrome://tracing` and Perfetto expect.
+pub fn chrome_trace_json(rec: &FlightRecorder) -> String {
+    let mut planes: Vec<u32> = Vec::new();
+    let mut channels: Vec<u32> = Vec::new();
+    for s in rec.spans() {
+        for seg in s.segments() {
+            match seg.resource {
+                Resource::Plane(p) => {
+                    if !planes.contains(&p) {
+                        planes.push(p);
+                    }
+                }
+                Resource::Channel(c) => {
+                    if !channels.contains(&c) {
+                        channels.push(c);
+                    }
+                }
+            }
+        }
+    }
+    planes.sort_unstable();
+    channels.sort_unstable();
+
+    let mut out = String::from("{\"traceEvents\":[");
+    let _ = write!(
+        out,
+        "\n{{\"ph\":\"M\",\"pid\":{CHROME_PID_PLANES},\"name\":\"process_name\",\
+         \"args\":{{\"name\":\"planes\"}}}}"
+    );
+    let _ = write!(
+        out,
+        ",\n{{\"ph\":\"M\",\"pid\":{CHROME_PID_CHANNELS},\"name\":\"process_name\",\
+         \"args\":{{\"name\":\"channels\"}}}}"
+    );
+    for &p in &planes {
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"M\",\"pid\":{CHROME_PID_PLANES},\"tid\":{p},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"plane {p}\"}}}}"
+        );
+    }
+    for &c in &channels {
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"M\",\"pid\":{CHROME_PID_CHANNELS},\"tid\":{c},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"channel {c}\"}}}}"
+        );
+    }
+    for s in rec.spans() {
+        for seg in s.segments() {
+            let (pid, tid) = match seg.resource {
+                Resource::Plane(p) => (CHROME_PID_PLANES, p),
+                Resource::Channel(c) => (CHROME_PID_CHANNELS, c),
+            };
+            push_json_event(
+                &mut out,
+                pid,
+                tid,
+                s.kind.name(),
+                s.phase.name(),
+                seg.start.as_nanos(),
+                seg.end.saturating_since(seg.start).as_nanos(),
+                s,
+            );
+        }
+    }
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped_spans\":{}}}}}",
+        rec.dropped()
+    );
+    out
+}
+
+/// Export a per-plane utilization timeline as CSV.
+///
+/// The simulated time covered by the retained spans is divided into
+/// `buckets` equal windows; each row reports, per plane, the fraction of
+/// that window the plane's array was busy. Columns:
+/// `bucket_start_ms,bucket_end_ms,plane_0,plane_1,…` (planes `0..planes`).
+pub fn plane_utilization_csv(rec: &FlightRecorder, planes: usize, buckets: usize) -> String {
+    let buckets = buckets.max(1);
+    let end_ns = rec
+        .spans()
+        .flat_map(|s| s.segments())
+        .map(|seg| seg.end.as_nanos())
+        .max()
+        .unwrap_or(0);
+    let width = (end_ns / buckets as u64).max(1);
+    let mut busy = vec![vec![0u64; planes]; buckets];
+    for s in rec.spans() {
+        for seg in s.segments() {
+            let Resource::Plane(p) = seg.resource else {
+                continue;
+            };
+            let p = p as usize;
+            if p >= planes {
+                continue;
+            }
+            let (a, b) = (seg.start.as_nanos(), seg.end.as_nanos());
+            let first = (a / width).min(buckets as u64 - 1) as usize;
+            let last = (b.saturating_sub(1) / width).min(buckets as u64 - 1) as usize;
+            for (i, row) in busy.iter_mut().enumerate().take(last + 1).skip(first) {
+                let w_start = i as u64 * width;
+                let w_end = w_start + width;
+                let overlap = b.min(w_end).saturating_sub(a.max(w_start));
+                row[p] += overlap;
+            }
+        }
+    }
+    let mut out = String::from("bucket_start_ms,bucket_end_ms");
+    for p in 0..planes {
+        let _ = write!(out, ",plane_{p}");
+    }
+    out.push('\n');
+    for (i, row) in busy.iter().enumerate() {
+        let w_start = i as u64 * width;
+        let _ = write!(
+            out,
+            "{:.6},{:.6}",
+            w_start as f64 / 1e6,
+            (w_start + width) as f64 / 1e6
+        );
+        for &b in row {
+            let _ = write!(out, ",{:.4}", b as f64 / width as f64);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Minimal JSON syntax validator (hermetic substitute for `python -m
+/// json.tool` in the verify pipeline). Accepts exactly one JSON value plus
+/// surrounding whitespace; reports the byte offset of the first error.
+pub fn json_lint(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+    fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+        skip_ws(b, i);
+        let Some(&c) = b.get(*i) else {
+            return Err(format!("unexpected end of input at byte {i}"));
+        };
+        match c {
+            b'{' => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    skip_ws(b, i);
+                    string(b, i)?;
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected ':' at byte {i}"));
+                    }
+                    *i += 1;
+                    value(b, i)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(&b',') => *i += 1,
+                        Some(&b'}') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                    }
+                }
+            }
+            b'[' => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    value(b, i)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(&b',') => *i += 1,
+                        Some(&b']') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                    }
+                }
+            }
+            b'"' => string(b, i),
+            b't' => literal(b, i, b"true"),
+            b'f' => literal(b, i, b"false"),
+            b'n' => literal(b, i, b"null"),
+            b'-' | b'0'..=b'9' => number(b, i),
+            _ => Err(format!("unexpected byte {c:#04x} at {i}")),
+        }
+    }
+    fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
+        if b.len() >= *i + lit.len() && &b[*i..*i + lit.len()] == lit {
+            *i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {i}"))
+        }
+    }
+    fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected string at byte {i}"));
+        }
+        *i += 1;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    *i += 1;
+                    match b.get(*i) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                        Some(b'u') => {
+                            for k in 1..=4 {
+                                if !b.get(*i + k).is_some_and(u8::is_ascii_hexdigit) {
+                                    return Err(format!("bad \\u escape at byte {i}"));
+                                }
+                            }
+                            *i += 5;
+                        }
+                        _ => return Err(format!("bad escape at byte {i}")),
+                    }
+                }
+                0x00..=0x1f => return Err(format!("raw control char in string at byte {i}")),
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+    fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+        let start = *i;
+        if b.get(*i) == Some(&b'-') {
+            *i += 1;
+        }
+        let digits = |b: &[u8], i: &mut usize| -> usize {
+            let s = *i;
+            while b.get(*i).is_some_and(u8::is_ascii_digit) {
+                *i += 1;
+            }
+            *i - s
+        };
+        if digits(b, i) == 0 {
+            return Err(format!("bad number at byte {start}"));
+        }
+        if b.get(*i) == Some(&b'.') {
+            *i += 1;
+            if digits(b, i) == 0 {
+                return Err(format!("bad fraction at byte {start}"));
+            }
+        }
+        if matches!(b.get(*i), Some(&b'e') | Some(&b'E')) {
+            *i += 1;
+            if matches!(b.get(*i), Some(&b'+') | Some(&b'-')) {
+                *i += 1;
+            }
+            if digits(b, i) == 0 {
+                return Err(format!("bad exponent at byte {start}"));
+            }
+        }
+        Ok(())
+    }
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at byte {i}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(plane: u32, start_us: u64, end_us: u64, phase: SpanPhase) -> Span {
+        let start = SimTime::from_micros(start_us);
+        let end = SimTime::from_micros(end_us);
+        Span {
+            kind: SpanKind::Read,
+            phase,
+            lpn: Some(7),
+            plane,
+            dst_plane: None,
+            issue: start,
+            start,
+            end,
+            cell_ns: end.saturating_since(start).as_nanos(),
+            bus_ns: 0,
+            plane_wait_ns: 0,
+            channel_wait_ns: 0,
+            retry_ns: 0,
+            retry_steps: 0,
+            segs: [
+                Some(Seg {
+                    resource: Resource::Plane(plane),
+                    start,
+                    end,
+                }),
+                None,
+                None,
+                None,
+            ],
+        }
+    }
+
+    #[test]
+    fn ring_buffer_bounds_and_drops_oldest() {
+        let mut rec = FlightRecorder::new(3);
+        for i in 0..5 {
+            rec.record(span(i, i as u64 * 10, i as u64 * 10 + 5, SpanPhase::Host));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+        assert_eq!(rec.recorded(), 5);
+        // Oldest-first iteration yields spans 2, 3, 4.
+        let planes: Vec<u32> = rec.spans().map(|s| s.plane).collect();
+        assert_eq!(planes, vec![2, 3, 4]);
+        rec.clear();
+        assert!(rec.is_empty());
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn attribution_sums_by_phase() {
+        let mut rec = FlightRecorder::new(16);
+        rec.record(span(0, 0, 10, SpanPhase::Host));
+        rec.record(span(1, 0, 30, SpanPhase::Gc));
+        rec.record(span(0, 40, 45, SpanPhase::Host));
+        let a = attribution(&rec);
+        assert_eq!(a.host.spans, 2);
+        assert_eq!(a.host.residence_ns, 15_000);
+        assert_eq!(a.gc.spans, 1);
+        assert_eq!(a.gc.residence_ns, 30_000);
+        assert_eq!(a.scan.spans, 0);
+        assert_eq!(a.request_visible_ns(), 45_000);
+        let csv = a.csv();
+        assert!(csv.starts_with(Attribution::csv_header()));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn buckets_tile_residence() {
+        let s = span(2, 5, 17, SpanPhase::Host);
+        assert_eq!(s.buckets_ns(), s.residence_ns());
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_tracks() {
+        let mut rec = FlightRecorder::new(8);
+        rec.record(span(0, 0, 10, SpanPhase::Host));
+        rec.record(span(3, 5, 25, SpanPhase::Gc));
+        let json = chrome_trace_json(&rec);
+        json_lint(&json).expect("export must be valid JSON");
+        assert!(json.contains("\"plane 0\""));
+        assert!(json.contains("\"plane 3\""));
+        assert!(json.contains("\"cat\":\"gc\""));
+        assert!(json.contains("\"dropped_spans\":0"));
+    }
+
+    #[test]
+    fn chrome_export_of_empty_recorder_is_valid() {
+        let rec = FlightRecorder::new(4);
+        json_lint(&chrome_trace_json(&rec)).unwrap();
+    }
+
+    #[test]
+    fn utilization_csv_shape_and_values() {
+        let mut rec = FlightRecorder::new(8);
+        // Plane 0 busy the whole first half, idle the second.
+        rec.record(span(0, 0, 50, SpanPhase::Host));
+        rec.record(span(1, 99, 100, SpanPhase::Host));
+        let csv = plane_utilization_csv(&rec, 2, 2);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "bucket_start_ms,bucket_end_ms,plane_0,plane_1");
+        assert_eq!(lines.len(), 3);
+        let first: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(first[2], "1.0000"); // plane 0 fully busy in bucket 0
+        let second: Vec<&str> = lines[2].split(',').collect();
+        assert_eq!(second[2], "0.0000"); // and idle in bucket 1
+    }
+
+    #[test]
+    fn json_lint_accepts_and_rejects() {
+        json_lint("{\"a\":[1,2.5,-3e2,true,false,null,\"x\\n\"]}").unwrap();
+        json_lint("  [ ]  ").unwrap();
+        assert!(json_lint("{\"a\":1,}").is_err());
+        assert!(json_lint("[1 2]").is_err());
+        assert!(json_lint("{\"a\"}").is_err());
+        assert!(json_lint("01a").is_err());
+        assert!(json_lint("\"unterminated").is_err());
+        assert!(json_lint("[1] trailing").is_err());
+    }
+}

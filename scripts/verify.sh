@@ -29,6 +29,21 @@ echo "==> fault-storm smoke (BER sweep over every FTL, offline)"
 cargo run --release --offline -q -p dloop-bench --bin dloop-experiments -- \
     faults --scale 8 --requests 2000 --out none >/dev/null
 
+echo "==> flight-recorder smoke (trace artifacts parse and reconcile)"
+# The trace subcommand asserts in-process that the span count matches the
+# hardware counters and that the Chrome export passes the JSON linter;
+# any drift aborts the run.
+trace_out="$(mktemp -d)"
+cargo run --release --offline -q -p dloop-bench --bin dloop-experiments -- \
+    trace --scale 8 --requests 2000 --out "$trace_out" >/dev/null
+for artifact in trace_chrome.json trace_plane_util.csv trace_0.csv; do
+    [[ -s "$trace_out/$artifact" ]] || {
+        echo "error: trace smoke did not produce $artifact" >&2
+        exit 1
+    }
+done
+rm -rf "$trace_out"
+
 echo "==> cargo doc --no-deps -p dloop-simkit (must be warning-free)"
 doc_log="$(cargo doc --no-deps --offline -p dloop-simkit 2>&1)" || {
     echo "$doc_log"

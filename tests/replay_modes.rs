@@ -1,0 +1,330 @@
+//! Replay-mode agreement and tracing-purity properties.
+//!
+//! The device offers three replay modes — open arrivals
+//! ([`SsdDevice::run_trace`]), the FlashSim priority list
+//! ([`SsdDevice::run_trace_gated`]) and a bounded host queue
+//! ([`SsdDevice::run_trace_closed`]). They model different host-side
+//! scheduling, but all three translate the same requests in the same
+//! order, so they must agree on everything *stateful*: pages served,
+//! flash page states, per-block erase counts, and the cross-layer audit.
+//! With an unbounded queue the closed mode degenerates to open arrivals
+//! exactly, report and all.
+//!
+//! The flight recorder must be pure observation: every [`RunReport`]
+//! field is bit-identical with tracing on or off, fault plans included.
+//! And the spans it captures must reconcile with the report — one span
+//! per hardware operation, and for single-page open-mode replays the
+//! request-visible span residence equals the summed response time.
+//!
+//! Failures print a `SIMKIT_CHECK_REPLAY` seed for deterministic replay.
+
+use dloop_repro::baselines::DftlFtl;
+use dloop_repro::dloop_ftl::DloopFtl;
+use dloop_repro::faults::FaultConfig;
+use dloop_repro::ftl_kit::config::{FtlKind, SsdConfig};
+use dloop_repro::ftl_kit::device::SsdDevice;
+use dloop_repro::ftl_kit::ftl::Ftl;
+use dloop_repro::ftl_kit::metrics::RunReport;
+use dloop_repro::ftl_kit::request::{HostOp, HostRequest};
+use dloop_repro::simkit::check::{self, Checker, Generator};
+use dloop_repro::simkit::trace::attribution;
+use dloop_repro::simkit::{Histogram, OnlineStats, SimTime};
+use dloop_repro::{check_assert, check_assert_eq};
+use std::fmt::Write as _;
+
+fn build(kind: FtlKind, config: &SsdConfig) -> Box<dyn Ftl> {
+    match kind {
+        FtlKind::Dloop => Box::new(DloopFtl::new(config)),
+        FtlKind::Dftl => Box::new(DftlFtl::new(config)),
+        other => unimplemented!("not used here: {other:?}"),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { lpn: u64, pages: u8 },
+    Read { lpn: u64, pages: u8 },
+}
+
+/// Mixed reads/writes, mostly 1-4 pages with occasional zero-page
+/// requests (the normalization regression of this suite's vintage).
+fn op_gen(space: u64) -> check::BoxedGenerator<Op> {
+    check::weighted(vec![
+        (
+            6,
+            (check::u64s(0..space), check::u8s(1..5))
+                .map(|(lpn, pages)| Op::Write { lpn, pages })
+                .boxed(),
+        ),
+        (
+            2,
+            (check::u64s(0..space), check::u8s(1..5))
+                .map(|(lpn, pages)| Op::Read { lpn, pages })
+                .boxed(),
+        ),
+        (
+            1,
+            check::u64s(0..space)
+                .map(|lpn| Op::Write { lpn, pages: 0 })
+                .boxed(),
+        ),
+    ])
+    .boxed()
+}
+
+fn requests(ops: &[Op]) -> Vec<HostRequest> {
+    let mut reqs = Vec::with_capacity(ops.len());
+    let mut t = 0u64;
+    for op in ops {
+        t += 150;
+        let (lpn, pages, kind) = match *op {
+            Op::Write { lpn, pages } => (lpn, pages, HostOp::Write),
+            Op::Read { lpn, pages } => (lpn, pages, HostOp::Read),
+        };
+        reqs.push(HostRequest {
+            arrival: SimTime::from_micros(t),
+            lpn,
+            pages: pages as u32,
+            op: kind,
+        });
+    }
+    reqs
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Open,
+    Gated,
+    Closed,
+}
+
+fn run_mode(
+    kind: FtlKind,
+    config: &SsdConfig,
+    reqs: &[HostRequest],
+    mode: Mode,
+    tracing: bool,
+) -> (SsdDevice, RunReport) {
+    let mut device = SsdDevice::new(config.clone(), build(kind, config));
+    if tracing {
+        device.set_tracing(Some(1 << 16));
+    }
+    let report = match mode {
+        Mode::Open => device.run_trace(reqs),
+        Mode::Gated => device.run_trace_gated(reqs),
+        Mode::Closed => device.run_trace_closed(reqs, reqs.len() + 1),
+    };
+    (device, report)
+}
+
+/// Everything stateful about the flash array, as one comparable string:
+/// per-page states and per-block erase counts.
+fn flash_digest(device: &SsdDevice) -> String {
+    let g = device.flash().geometry().clone();
+    let mut s = String::new();
+    for ppn in 0..g.total_physical_pages() {
+        let _ = write!(s, "{:?},", device.flash().page_state(ppn));
+    }
+    for p in 0..g.total_planes() {
+        let plane = device.flash().plane(p);
+        for b in 0..plane.block_count() {
+            let _ = write!(s, "e{};", plane.block(b).erase_count());
+        }
+    }
+    s
+}
+
+fn push_stats(fp: &mut Vec<u64>, s: &OnlineStats) {
+    fp.push(s.count());
+    fp.push(s.sum().to_bits());
+    fp.push(s.mean().to_bits());
+    fp.push(s.min().unwrap_or(f64::NAN).to_bits());
+    fp.push(s.max().unwrap_or(f64::NAN).to_bits());
+}
+
+fn push_hist(fp: &mut Vec<u64>, h: &Histogram) {
+    fp.push(h.count());
+    for q in [0.5, 0.9, 0.99, 1.0] {
+        fp.push(h.quantile(q).to_bits());
+    }
+}
+
+/// Every field of a [`RunReport`], bit-exact (floats via `to_bits`).
+fn fingerprint(r: &RunReport) -> Vec<u64> {
+    let mut fp = Vec::new();
+    fp.push(r.ftl_name.len() as u64);
+    fp.push(r.requests_completed);
+    fp.push(r.pages_read);
+    fp.push(r.pages_written);
+    push_stats(&mut fp, &r.response_ms);
+    push_hist(&mut fp, &r.response_hist_us);
+    fp.extend(&r.plane_request_counts);
+    fp.extend([
+        r.hw.reads,
+        r.hw.writes,
+        r.hw.erases,
+        r.hw.copybacks,
+        r.hw.interplane_copies,
+        r.hw.read_retry_steps,
+    ]);
+    fp.extend([
+        r.ftl.gc_invocations,
+        r.ftl.copyback_moves,
+        r.ftl.external_moves,
+        r.ftl.parity_skips,
+        r.ftl.translation_reads,
+        r.ftl.translation_writes,
+        r.ftl.full_merges,
+        r.ftl.partial_merges,
+        r.ftl.switch_merges,
+    ]);
+    fp.extend([r.total_erases, r.total_programs, r.total_skips]);
+    fp.extend([r.wear.0 as u64, r.wear.1.to_bits(), r.wear.2 as u64]);
+    fp.push(r.sim_end.as_nanos());
+    fp.extend(&r.plane_busy_ns);
+    fp.extend(&r.channel_busy_ns);
+    push_stats(&mut fp, &r.wait_ms);
+    push_stats(&mut fp, &r.service_ms);
+    push_stats(&mut fp, &r.gc_block_ms);
+    fp.extend([
+        r.media.program_fails,
+        r.media.grown_bad_blocks,
+        r.media.factory_bad_blocks,
+        r.media.uncorrectable_reads,
+        r.media.read_retry_steps,
+    ]);
+    fp.extend(&r.media.retry_hist);
+    fp.push(r.retry_ns);
+    fp
+}
+
+fn hw_op_total(r: &RunReport) -> u64 {
+    r.hw.reads + r.hw.writes + r.hw.erases + r.hw.copybacks + r.hw.interplane_copies
+}
+
+/// All three replay modes agree on what was *done*: request/page
+/// accounting, flash page states, erase counts, and a passing audit.
+/// Closed replay with an unbounded queue is bit-identical to open replay.
+#[test]
+fn replay_modes_agree_on_served_work_and_flash_state() {
+    let gen = check::vec_of(op_gen(800), 1..200);
+    Checker::new().cases(12).run(&gen, |ops| {
+        let reqs = requests(ops);
+        let config = SsdConfig::micro_gc_test();
+        for kind in [FtlKind::Dloop, FtlKind::Dftl] {
+            let (d_open, r_open) = run_mode(kind, &config, &reqs, Mode::Open, false);
+            let (d_gated, r_gated) = run_mode(kind, &config, &reqs, Mode::Gated, false);
+            let (d_closed, r_closed) = run_mode(kind, &config, &reqs, Mode::Closed, false);
+            for (mode, r) in [("gated", &r_gated), ("closed", &r_closed)] {
+                check_assert_eq!(r_open.pages_read, r.pages_read, "{:?} {}", kind, mode);
+                check_assert_eq!(r_open.pages_written, r.pages_written, "{:?} {}", kind, mode);
+                check_assert_eq!(
+                    r.requests_completed,
+                    reqs.len() as u64,
+                    "{:?} {}",
+                    kind,
+                    mode
+                );
+                // Every request produces exactly one response sample —
+                // zero-page requests included (the gated mode used to lose
+                // them entirely).
+                check_assert_eq!(
+                    r.response_ms.count(),
+                    reqs.len() as u64,
+                    "{:?} {}",
+                    kind,
+                    mode
+                );
+            }
+            let digest = flash_digest(&d_open);
+            check_assert_eq!(digest, flash_digest(&d_gated), "{:?} gated digest", kind);
+            check_assert_eq!(digest, flash_digest(&d_closed), "{:?} closed digest", kind);
+            for d in [&d_open, &d_gated, &d_closed] {
+                d.audit().map_err(|e| format!("{kind:?}: {e}"))?;
+            }
+            // Unbounded closed queue == open arrivals, field for field.
+            check_assert_eq!(
+                fingerprint(&r_open),
+                fingerprint(&r_closed),
+                "{:?}: closed(∞) must degenerate to open replay",
+                kind
+            );
+        }
+        Ok(())
+    });
+}
+
+/// The flight recorder is pure observation: with tracing enabled every
+/// report field stays bit-identical, in every replay mode, with and
+/// without a media-fault plan — and the recorder holds exactly one span
+/// per hardware operation.
+#[test]
+fn tracing_never_perturbs_reports() {
+    let gen = check::vec_of(op_gen(600), 1..150);
+    Checker::new().cases(10).run(&gen, |ops| {
+        let reqs = requests(ops);
+        let plain = SsdConfig::micro_gc_test();
+        let faulty = SsdConfig::micro_gc_test().with_fault(FaultConfig::light(0x7A11));
+        for (label, config) in [("fault-free", &plain), ("faulty", &faulty)] {
+            for mode in [Mode::Open, Mode::Gated, Mode::Closed] {
+                let (_, off) = run_mode(FtlKind::Dloop, config, &reqs, mode, false);
+                let (mut traced, on) = run_mode(FtlKind::Dloop, config, &reqs, mode, true);
+                check_assert_eq!(
+                    fingerprint(&off),
+                    fingerprint(&on),
+                    "tracing changed the report ({:?}, {})",
+                    mode,
+                    label
+                );
+                let rec = traced.take_trace().expect("tracing was on");
+                check_assert_eq!(
+                    rec.recorded(),
+                    hw_op_total(&on),
+                    "span count must equal the hardware op total ({:?})",
+                    mode
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+/// For single-page open-mode replays the span buckets tile the report
+/// exactly: request-visible residence (host + synchronous GC) equals the
+/// summed response time, and the wait/service/GC-block decomposition
+/// sums to the same number.
+#[test]
+fn attribution_reconciles_with_response_times() {
+    let gen = check::vec_of(op_gen(500), 1..150);
+    Checker::new().cases(10).run(&gen, |ops| {
+        // Single-page requests: a multi-page response is the max over its
+        // page ops, which deliberately does not telescope into span sums.
+        let mut reqs = requests(ops);
+        for r in &mut reqs {
+            r.pages = 1;
+        }
+        let config = SsdConfig::micro_gc_test();
+        let (mut device, report) = run_mode(FtlKind::Dloop, &config, &reqs, Mode::Open, true);
+        let rec = device.take_trace().expect("tracing was on");
+        check_assert_eq!(rec.dropped(), 0, "ring must hold the whole run");
+        check_assert_eq!(rec.recorded(), hw_op_total(&report));
+        let attr = attribution(&rec);
+        let visible_ms = attr.request_visible_ns() as f64 / 1e6;
+        let resp_sum_ms = report.response_ms.sum();
+        let tol = 1e-6 * resp_sum_ms.max(1.0);
+        check_assert!(
+            (visible_ms - resp_sum_ms).abs() <= tol,
+            "span residence {} ms vs summed response {} ms",
+            visible_ms,
+            resp_sum_ms
+        );
+        let decomp_ms = report.wait_ms.sum() + report.service_ms.sum() + report.gc_block_ms.sum();
+        check_assert!(
+            (decomp_ms - resp_sum_ms).abs() <= tol,
+            "wait+service+gc_block {} ms vs summed response {} ms",
+            decomp_ms,
+            resp_sum_ms
+        );
+        Ok(())
+    });
+}
