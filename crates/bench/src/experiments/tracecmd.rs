@@ -1,26 +1,37 @@
-//! The `trace` subcommand: run a workload with the op-level flight
-//! recorder enabled and dump its artifacts — a Chrome `trace_event` JSON
-//! (load it in `chrome://tracing` or Perfetto: one track per plane, one
-//! per channel), a per-plane utilization timeline CSV, and the aggregated
-//! latency-attribution table (plane-wait vs channel-wait vs bus vs cell
-//! vs retry, split by host/GC/scan phase).
+//! The `trace` subcommand: run a workload with op-level tracing enabled
+//! and dump its artifacts — a Chrome `trace_event` JSON (load it in
+//! `chrome://tracing` or Perfetto: one track per plane, one per channel,
+//! with flow arrows stitching each host request across resources), plane-
+//! and channel-utilization timeline CSVs, the complete span journal as
+//! JSONL, and the aggregated latency-attribution table (plane-wait vs
+//! channel-wait vs bus vs cell vs retry, split by host/GC/scan phase).
 //!
-//! The command doubles as a self-check of the tracing layer: it asserts
-//! that exactly one span was recorded per hardware operation and that the
-//! Chrome export is valid JSON, so the `verify.sh` smoke step fails loudly
-//! if the recorder ever drifts from the hardware counters.
+//! Tracing runs through a [`TeeSink`]: a bounded [`RingSink`] feeds the
+//! interactive exports while a [`StreamSink`] journals every span with no
+//! drop-oldest cap. The command doubles as a self-check of the tracing
+//! layer: it asserts that exactly one span was recorded per hardware
+//! operation on *both* sinks, that the stream dropped nothing, and that
+//! the Chrome export and every streamed JSONL line are valid JSON — so
+//! the `verify.sh` smoke step fails loudly if the recorder ever drifts
+//! from the hardware counters. If the bounded ring did overflow, a loud
+//! warning marks the Chrome/CSV exports as covering a truncated window
+//! (the streamed journal is always complete).
 
 use super::ExpOptions;
 use crate::runner::build_ftl;
 use crate::table::{f, Table};
 use dloop_ftl_kit::config::{FtlKind, SsdConfig};
-use dloop_ftl_kit::device::SsdDevice;
-use dloop_simkit::trace::{attribution, chrome_trace_json, json_lint, plane_utilization_csv};
-use dloop_simkit::SpanPhase;
+use dloop_ftl_kit::device::{ReplayMode, SsdDevice};
+use dloop_simkit::trace::{
+    attribution, channel_utilization_csv, chrome_trace_json, json_lint, plane_utilization_csv,
+    RingSink, StreamSink, TeeSink,
+};
+use dloop_simkit::{SpanPhase, TraceSink};
 use dloop_workloads::WorkloadProfile;
 
-/// Flight-recorder capacity: enough for every op of the default request
-/// budget; older spans are dropped (and counted) on longer runs.
+/// Flight-recorder ring capacity: enough for every op of the default
+/// request budget; older spans are dropped (and counted) on longer runs —
+/// the streamed JSONL journal keeps them all regardless.
 const RING_CAPACITY: usize = 1 << 18;
 
 /// Utilization-timeline resolution.
@@ -44,11 +55,16 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
 
     let ftl = build_ftl(FtlKind::Dloop, &config);
     let mut device = SsdDevice::new(config, ftl);
-    device.set_tracing(Some(RING_CAPACITY));
-    let report = device.run_trace(&trace.requests);
-    let rec = device.take_trace().expect("tracing was enabled");
+    device.attach_sink(Box::new(TeeSink::new(
+        Box::new(RingSink::new(RING_CAPACITY)),
+        Box::new(StreamSink::new(Vec::new())),
+    )));
+    let report = device.run(&trace.requests, ReplayMode::Open);
+    let (rec, mut stream) = split_tee(&mut device);
+    stream.flush().expect("in-memory stream cannot fail");
 
-    // Self-check: one span per hardware operation, nothing more or less.
+    // Self-check: one span per hardware operation on both sinks, nothing
+    // more or less.
     let hw_ops = report.hw.reads
         + report.hw.writes
         + report.hw.erases
@@ -59,10 +75,42 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         hw_ops,
         "flight recorder drifted from the hardware counters"
     );
+    assert_eq!(
+        TraceSink::recorded(&stream),
+        hw_ops,
+        "stream sink drifted from the hardware counters"
+    );
+    // The stream has no capacity limit: a drop can only mean a write
+    // failure, and an in-memory journal must never see one.
+    assert_eq!(stream.dropped(), 0, "stream sink must record zero drops");
+    let jsonl = String::from_utf8(stream.into_inner()).expect("span JSONL is UTF-8");
+    let mut streamed_lines = 0u64;
+    for line in jsonl.lines() {
+        json_lint(line).expect("every streamed span line must be valid JSON");
+        streamed_lines += 1;
+    }
+    assert_eq!(
+        streamed_lines, hw_ops,
+        "streamed journal must hold one line per hardware operation"
+    );
+
+    if rec.dropped() > 0 {
+        eprintln!(
+            "WARNING: the bounded flight-recorder ring discarded {} of {} spans \
+             (capacity {}); the Chrome trace, utilization CSVs and attribution \
+             table cover a TRUNCATED window. The streamed journal \
+             (trace_spans.jsonl) is complete — raise the ring capacity or lower \
+             --requests for complete interactive exports.",
+            rec.dropped(),
+            rec.recorded(),
+            RING_CAPACITY,
+        );
+    }
 
     let chrome = chrome_trace_json(&rec);
     json_lint(&chrome).expect("Chrome trace export must be valid JSON");
     let util = plane_utilization_csv(&rec, geometry.total_planes() as usize, UTIL_BUCKETS);
+    let chan_util = channel_utilization_csv(&rec, geometry.channels as usize, UTIL_BUCKETS);
 
     if let Some(dir) = &opts.out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -71,6 +119,8 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             for (name, body) in [
                 ("trace_chrome.json", &chrome),
                 ("trace_plane_util.csv", &util),
+                ("trace_channel_util.csv", &chan_util),
+                ("trace_spans.jsonl", &jsonl),
             ] {
                 let path = dir.join(name);
                 match std::fs::write(&path, body) {
@@ -117,7 +167,9 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let mut summary = Table::new("Trace summary", &["metric", "value"]);
     summary.row(vec!["spans_recorded".into(), rec.recorded().to_string()]);
     summary.row(vec!["spans_retained".into(), rec.len().to_string()]);
-    summary.row(vec!["spans_dropped".into(), rec.dropped().to_string()]);
+    summary.row(vec!["ring_dropped".into(), rec.dropped().to_string()]);
+    summary.row(vec!["spans_streamed".into(), streamed_lines.to_string()]);
+    summary.row(vec!["stream_dropped".into(), "0".into()]);
     summary.row(vec![
         "request_visible_ms".into(),
         f(attr.request_visible_ns() as f64 / 1e6),
@@ -128,13 +180,31 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     vec![table, summary]
 }
 
+/// Detach the tee from `device` and split it back into its ring and
+/// in-memory stream halves.
+fn split_tee(device: &mut SsdDevice) -> (RingSink, StreamSink<Vec<u8>>) {
+    let sink = device.detach_sink().expect("tracing was enabled");
+    let tee = sink.into_any().downcast::<TeeSink>().expect("tee sink");
+    let (ring, stream) = tee.into_inner();
+    let ring = ring
+        .into_any()
+        .downcast::<RingSink>()
+        .expect("first tee half is the ring");
+    let stream = stream
+        .into_any()
+        .downcast::<StreamSink<Vec<u8>>>()
+        .expect("second tee half is the in-memory stream");
+    (*ring, *stream)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// The subcommand's in-process assertions (span count vs hardware
-    /// counters, JSON validity) are the real test; this just runs them on
-    /// a small budget without touching the filesystem.
+    /// The subcommand's in-process assertions (span counts vs hardware
+    /// counters on both tee halves, zero stream drops, JSON validity of
+    /// the Chrome export and every streamed line) are the real test; this
+    /// just runs them on a small budget without touching the filesystem.
     #[test]
     fn trace_command_self_checks_pass() {
         let opts = ExpOptions {

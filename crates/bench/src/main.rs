@@ -15,8 +15,9 @@
 //!   striping              — §II.C motivation: concurrency vs throughput
 //!   channels              — §II.B trade-off: channel count vs plane depth
 //!   faults                — graceful degradation vs raw bit-error rate
-//!   trace                 — flight-recorder artifacts: Chrome trace JSON,
-//!                           plane-utilization CSV, latency attribution
+//!   trace                 — trace-sink artifacts: flow-stitched Chrome
+//!                           trace JSON, plane/channel-utilization CSVs,
+//!                           streamed span JSONL, latency attribution
 //!   verify                — automated PASS/FAIL audit of the paper's claims
 //!   all                   — everything above (except trace: its artifacts
 //!                           are for interactive inspection, run it alone)

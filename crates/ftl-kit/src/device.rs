@@ -18,8 +18,80 @@ use crate::ftl::{FlashStep, Ftl, FtlContext, FtlCounters, OpChain, Phase};
 use crate::metrics::RunReport;
 use crate::request::{HostOp, HostRequest};
 use dloop_nand::{FlashState, HardwareModel, MediaCounters, PageState};
-use dloop_simkit::trace::{FlightRecorder, SpanPhase};
+use dloop_simkit::trace::{FlightRecorder, RingSink, SpanPhase, TraceSink};
 use dloop_simkit::{EventQueue, Histogram, OnlineStats, PendingQueue, SimTime};
+
+/// How a trace's host requests are admitted to the device during replay.
+///
+/// All three policies feed the same request-splitting, translation and
+/// chain-playing machinery ([`SsdDevice::run`]); they differ only in *when*
+/// a request's flash work may begin:
+///
+/// * [`ReplayMode::Open`] — open arrivals: every request books its flash
+///   work at its trace arrival time. Resource timelines push the work into
+///   the future under contention, so the backlog is unbounded (the classic
+///   trace-replay model, and the mode the paper's figures use).
+/// * [`ReplayMode::Gated`] — FlashSim's priority list (§IV.B): page
+///   operations queue on arrival and are issued FIFO-with-skipping only
+///   when the plane and channel their first step needs are both idle.
+/// * [`ReplayMode::Closed { queue_depth }`](ReplayMode::Closed) — an
+///   fio-style bounded host queue: at most `queue_depth` requests are
+///   outstanding; request *i* issues at the later of its arrival and the
+///   completion of request *i − queue_depth*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Open arrivals (unbounded backlog): resources are booked at arrival.
+    Open,
+    /// Issue-gated replay through the FlashSim priority list.
+    Gated,
+    /// Closed-loop replay with a bounded host queue of `queue_depth`.
+    Closed {
+        /// Maximum simultaneously outstanding requests (must be ≥ 1).
+        queue_depth: usize,
+    },
+}
+
+/// Per-replay measurement accumulator shared by every [`ReplayMode`]: the
+/// response-time distribution, page counts and simulated end time that
+/// [`SsdDevice::finish_report`] folds into the [`RunReport`]. Keeping a
+/// single accumulator (and a single completion path) is what guarantees
+/// the modes count requests identically.
+struct ReplayStats {
+    response_ms: OnlineStats,
+    /// µs buckets up to ~2^39 µs.
+    hist: Histogram,
+    pages_read: u64,
+    pages_written: u64,
+    sim_end: SimTime,
+}
+
+impl ReplayStats {
+    fn new() -> Self {
+        ReplayStats {
+            response_ms: OnlineStats::new(),
+            hist: Histogram::new(1.0, 40),
+            pages_read: 0,
+            pages_written: 0,
+            sim_end: SimTime::ZERO,
+        }
+    }
+
+    /// Count one page operation of kind `op`.
+    fn count_page(&mut self, op: HostOp) {
+        match op {
+            HostOp::Read => self.pages_read += 1,
+            HostOp::Write => self.pages_written += 1,
+        }
+    }
+
+    /// Record a request that arrived at `arrival` and finished at `done`.
+    fn complete(&mut self, arrival: SimTime, done: SimTime) {
+        self.sim_end = self.sim_end.max(done);
+        let resp = done.saturating_since(arrival);
+        self.response_ms.push(resp.as_millis_f64());
+        self.hist.record(resp.as_micros_f64());
+    }
+}
 
 /// A simulated SSD: flash state + hardware timing + one FTL.
 pub struct SsdDevice {
@@ -43,9 +115,6 @@ pub struct SsdDevice {
     wait_ms: OnlineStats,
     service_ms: OnlineStats,
     gc_block_ms: OnlineStats,
-    /// Flight-recorder capacity when tracing is enabled; `None` disables
-    /// tracing entirely (the default — and the bit-identical fast path).
-    trace_capacity: Option<usize>,
 }
 
 impl SsdDevice {
@@ -76,37 +145,54 @@ impl SsdDevice {
             wait_ms: OnlineStats::new(),
             service_ms: OnlineStats::new(),
             gc_block_ms: OnlineStats::new(),
-            trace_capacity: None,
         }
     }
 
-    /// Enable the op-level flight recorder with room for `capacity` spans
-    /// (`None` disables tracing and drops any recorded spans). Recording
-    /// is pure observation — every [`RunReport`] field is bit-identical
-    /// with tracing on or off.
+    /// Attach `sink` as the destination for op-level spans, replacing any
+    /// previously attached sink. Recording is pure observation — every
+    /// [`RunReport`] field is bit-identical with a sink attached or not
+    /// (property-tested in `tests/trace_purity.rs`).
+    pub fn attach_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.hw.attach_sink(sink);
+    }
+
+    /// Detach and return the span sink; the device stops tracing. A
+    /// detached device is bit-identical to one that never traced.
+    pub fn detach_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.hw.detach_sink()
+    }
+
+    /// The attached span sink, if any.
+    pub fn sink(&self) -> Option<&dyn TraceSink> {
+        self.hw.sink()
+    }
+
+    /// Convenience wrapper around [`SsdDevice::attach_sink`]: enable the
+    /// classic bounded flight recorder with room for `capacity` spans
+    /// (`None` detaches the sink and drops any recorded spans).
     pub fn set_tracing(&mut self, capacity: Option<usize>) {
-        self.trace_capacity = capacity;
         match capacity {
-            Some(c) => self.hw.enable_trace(c),
+            Some(c) => self.attach_sink(Box::new(RingSink::new(c))),
             None => {
-                self.hw.take_recorder();
+                self.detach_sink();
             }
         }
     }
 
-    /// The flight recorder, when tracing is enabled.
+    /// The flight recorder, when the attached sink is a [`RingSink`].
     pub fn trace(&self) -> Option<&FlightRecorder> {
         self.hw.recorder()
     }
 
     /// Detach and return the flight recorder (tracing stays enabled with a
-    /// fresh, empty recorder so subsequent runs keep recording).
+    /// fresh, empty ring of the same capacity so subsequent runs keep
+    /// recording). Returns `None` — without disturbing the sink — when the
+    /// attached sink is not a [`RingSink`]; use [`SsdDevice::detach_sink`]
+    /// for stream or tee sinks.
     pub fn take_trace(&mut self) -> Option<FlightRecorder> {
-        let rec = self.hw.take_recorder();
-        if let Some(c) = self.trace_capacity {
-            self.hw.enable_trace(c);
-        }
-        rec
+        let rec = self.hw.take_recorder()?;
+        self.hw.enable_trace(rec.capacity());
+        Some(rec)
     }
 
     /// The active configuration.
@@ -138,70 +224,85 @@ impl SsdDevice {
             .unwrap_or_default()
     }
 
-    /// Replay `requests` and measure. Requests may be in any order; they
-    /// are processed by arrival time (FIFO among equal arrivals).
+    /// Replay `requests` under the admission policy `mode` and measure.
+    /// Requests may be in any order; they are processed by arrival time
+    /// (FIFO among equal arrivals). This is the single replay driver: all
+    /// three modes share the request-splitting, translation, chain-playing
+    /// and report-assembly code, so they provably agree on the flash work
+    /// performed (see `tests/replay_modes.rs`).
+    pub fn run(&mut self, requests: &[HostRequest], mode: ReplayMode) -> RunReport {
+        match mode {
+            ReplayMode::Open => self.run_reserving(requests, None),
+            ReplayMode::Gated => self.run_gated(requests),
+            ReplayMode::Closed { queue_depth } => {
+                assert!(queue_depth >= 1, "queue depth must be at least 1");
+                self.run_reserving(requests, Some(queue_depth))
+            }
+        }
+    }
+
+    /// Replay `requests` with open arrivals. Thin wrapper over
+    /// [`SsdDevice::run`] with [`ReplayMode::Open`].
     pub fn run_trace(&mut self, requests: &[HostRequest]) -> RunReport {
+        self.run(requests, ReplayMode::Open)
+    }
+
+    /// Arrival-reserving replay: every page operation books its resources
+    /// the moment its request is admitted. With `queue_depth: None`
+    /// admission is the trace arrival itself (open mode); with `Some(d)` a
+    /// request waits until fewer than `d` earlier requests are in flight
+    /// (closed mode). Open is exactly closed with an infinite queue — the
+    /// shared loop keeps the two modes bit-identical where they overlap.
+    fn run_reserving(&mut self, requests: &[HostRequest], queue_depth: Option<usize>) -> RunReport {
         let lpn_space = self.flash.geometry().user_pages();
         let mut queue: EventQueue<usize> = EventQueue::with_capacity(requests.len());
         for (i, r) in requests.iter().enumerate() {
             queue.push(r.arrival, i);
         }
 
-        let mut response_ms = OnlineStats::new();
-        let mut hist = Histogram::new(1.0, 40); // µs buckets up to ~2^39 µs
-        let mut pages_read = 0u64;
-        let mut pages_written = 0u64;
-        let mut sim_end = SimTime::ZERO;
+        let mut stats = ReplayStats::new();
+        // Completion times of in-flight requests, earliest first (closed
+        // mode only).
+        let mut in_flight: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>> =
+            std::collections::BinaryHeap::with_capacity(queue_depth.unwrap_or(0));
 
         while let Some(ev) = queue.pop() {
             let req = requests[ev.event].wrapped(lpn_space);
-            let mut req_done = req.arrival;
-            for lpn in req.page_ops() {
-                let lpn = lpn % lpn_space;
-                let done = self.serve_page_op(lpn, req.op, req.arrival);
-                req_done = req_done.max(done);
-                match req.op {
-                    HostOp::Read => pages_read += 1,
-                    HostOp::Write => pages_written += 1,
+            let mut issue = req.arrival;
+            if req.pages > 0 {
+                if let Some(depth) = queue_depth {
+                    // Zero-page requests do no flash work: they complete at
+                    // arrival without occupying a queue slot.
+                    if in_flight.len() == depth {
+                        let std::cmp::Reverse(freed) =
+                            in_flight.pop().expect("queue depth at least 1");
+                        issue = issue.max(freed);
+                    }
                 }
             }
-            sim_end = sim_end.max(req_done);
-            let resp = req_done.saturating_since(req.arrival);
-            response_ms.push(resp.as_millis_f64());
-            hist.record(resp.as_micros_f64());
+            let mut req_done = issue;
+            for lpn in req.page_ops() {
+                let lpn = lpn % lpn_space;
+                let done = self.serve_page_op(lpn, req.op, issue, ev.event as u64);
+                req_done = req_done.max(done);
+                stats.count_page(req.op);
+            }
+            if req.pages > 0 && queue_depth.is_some() {
+                in_flight.push(std::cmp::Reverse(req_done));
+            }
+            stats.complete(req.arrival, req_done);
         }
 
-        RunReport {
-            ftl_name: self.ftl.name(),
-            requests_completed: requests.len() as u64,
-            pages_read,
-            pages_written,
-            response_ms,
-            response_hist_us: hist,
-            plane_request_counts: self.plane_counts.clone(),
-            hw: self.hw.counters,
-            ftl: self.ftl.counters().since(&self.ftl_baseline),
-            total_erases: self.flash.total_erases() - self.baseline.0,
-            total_programs: self.flash.total_programs() - self.baseline.1,
-            total_skips: self.flash.total_skips() - self.baseline.2,
-            wear: self.flash.wear_summary(),
-            sim_end,
-            plane_busy_ns: self.hw.plane_busy_ns().to_vec(),
-            channel_busy_ns: self.hw.channel_busy_ns().to_vec(),
-            wait_ms: self.wait_ms.clone(),
-            service_ms: self.service_ms.clone(),
-            gc_block_ms: self.gc_block_ms.clone(),
-            media: self.media_delta(),
-            retry_ns: self.hw.retry_ns(),
-        }
+        self.finish_report(requests.len() as u64, stats)
     }
 
-    /// Serve one page operation arriving at `arrival`; returns the host
-    /// completion time. The FTL's host chain gates the response; its GC
+    /// Serve one page operation of host request `req`, arriving at
+    /// `arrival`; returns the host completion time.
+    /// The FTL's host chain gates the response; its GC
     /// chain is then played on the same resource timelines (delaying
     /// *later* operations on those planes/buses) without extending this
     /// request — the paper's Fig. 6 invokes GC after serving the write.
-    fn serve_page_op(&mut self, lpn: u64, op: HostOp, arrival: SimTime) -> SimTime {
+    fn serve_page_op(&mut self, lpn: u64, op: HostOp, arrival: SimTime, req: u64) -> SimTime {
         self.host_chain.clear();
         self.gc_chain.clear();
         self.scan_chain.clear();
@@ -220,11 +321,13 @@ impl SsdDevice {
         // Housekeeping for unrelated planes first: it contends for
         // resources but never gates this response.
         let scan_chain = std::mem::take(&mut self.scan_chain);
-        self.hw.set_span_context(SpanPhase::Scan, Some(lpn));
+        self.hw
+            .set_span_context(SpanPhase::Scan, Some(lpn), Some(req));
         self.play_chain(&scan_chain, arrival, false);
         self.scan_chain = scan_chain;
         let host_chain = std::mem::take(&mut self.host_chain);
-        self.hw.set_span_context(SpanPhase::Host, Some(lpn));
+        self.hw
+            .set_span_context(SpanPhase::Host, Some(lpn), Some(req));
         let (host_start, host_done) = self.play_chain_spans(&host_chain, arrival, true);
         if !host_chain.is_empty() {
             self.wait_ms
@@ -234,7 +337,8 @@ impl SsdDevice {
         }
         self.host_chain = host_chain;
         let gc_chain = std::mem::take(&mut self.gc_chain);
-        self.hw.set_span_context(SpanPhase::Gc, Some(lpn));
+        self.hw
+            .set_span_context(SpanPhase::Gc, Some(lpn), Some(req));
         let response = if self.config.background_gc {
             // Background mode: GC steps are only ordered per resource — a
             // collection on plane A is independent of one on plane B, and
@@ -310,6 +414,12 @@ impl SsdDevice {
         }
     }
 
+    /// Issue-gated replay. Thin wrapper over [`SsdDevice::run`] with
+    /// [`ReplayMode::Gated`].
+    pub fn run_trace_gated(&mut self, requests: &[HostRequest]) -> RunReport {
+        self.run(requests, ReplayMode::Gated)
+    }
+
     /// Issue-gated replay — the literal FlashSim priority list (§IV.B):
     /// page operations are translated on arrival and queued; a queued
     /// operation is *issued* only when the plane and channel its first
@@ -317,10 +427,10 @@ impl SsdDevice {
     /// targeting channel and plane of the request are available, it will
     /// be immediately handed to the hardware module … Otherwise,
     /// [the scheduler] processes other requests until the channel and the
-    /// plane turn to be free"). Unlike [`Self::run_trace`], which books
-    /// resources into the future at arrival, nothing here holds a resource
-    /// before its work begins.
-    pub fn run_trace_gated(&mut self, requests: &[HostRequest]) -> RunReport {
+    /// plane turn to be free"). Unlike the arrival-reserving modes, which
+    /// book resources into the future at admission, nothing here holds a
+    /// resource before its work begins.
+    fn run_gated(&mut self, requests: &[HostRequest]) -> RunReport {
         struct QueuedOp {
             req: usize,
             lpn: u64,
@@ -340,11 +450,7 @@ impl SsdDevice {
         let mut req_done: Vec<SimTime> = requests.iter().map(|r| r.arrival).collect();
         let mut req_ops_left: Vec<u32> = requests.iter().map(|r| r.pages).collect();
 
-        let mut response_ms = OnlineStats::new();
-        let mut hist = Histogram::new(1.0, 40);
-        let mut pages_read = 0u64;
-        let mut pages_written = 0u64;
-        let mut sim_end = SimTime::ZERO;
+        let mut stats = ReplayStats::new();
 
         while let Some(ev) = events.pop() {
             let now = ev.at;
@@ -358,9 +464,7 @@ impl SsdDevice {
                     // exactly as the other replay modes count it (the
                     // per-op completion branch below would otherwise never
                     // fire and the request would vanish from the stats).
-                    sim_end = sim_end.max(req.arrival);
-                    response_ms.push(0.0);
-                    hist.record(0.0);
+                    stats.complete(req.arrival, req.arrival);
                     continue;
                 }
                 for lpn in req.page_ops() {
@@ -380,10 +484,7 @@ impl SsdDevice {
                         HostOp::Read => self.ftl.read(lpn, &mut ctx),
                         HostOp::Write => self.ftl.write(lpn, &mut ctx),
                     }
-                    match req.op {
-                        HostOp::Read => pages_read += 1,
-                        HostOp::Write => pages_written += 1,
-                    }
+                    stats.count_page(req.op);
                     pending.push_back(QueuedOp {
                         req: i,
                         lpn,
@@ -414,7 +515,8 @@ impl SsdDevice {
                 let Some(op) = pending.pop_first_ready(ready) else {
                     break;
                 };
-                self.hw.set_span_context(SpanPhase::Host, Some(op.lpn));
+                self.hw
+                    .set_span_context(SpanPhase::Host, Some(op.lpn), Some(op.req as u64));
                 let (host_start, host_done) = self.play_chain_spans(&op.host, now, true);
                 if !op.host.is_empty() {
                     // Queueing delay spans arrival → first flash step (the
@@ -425,9 +527,11 @@ impl SsdDevice {
                     self.service_ms
                         .push(host_done.saturating_since(host_start).as_millis_f64());
                 }
-                self.hw.set_span_context(SpanPhase::Scan, Some(op.lpn));
+                self.hw
+                    .set_span_context(SpanPhase::Scan, Some(op.lpn), Some(op.req as u64));
                 self.play_chain(&op.scan, now, false);
-                self.hw.set_span_context(SpanPhase::Gc, Some(op.lpn));
+                self.hw
+                    .set_span_context(SpanPhase::Gc, Some(op.lpn), Some(op.req as u64));
                 let done = if self.config.background_gc {
                     self.play_chain(&op.gc, host_done, false);
                     host_done
@@ -442,10 +546,7 @@ impl SsdDevice {
                 req_done[op.req] = req_done[op.req].max(done);
                 req_ops_left[op.req] -= 1;
                 if req_ops_left[op.req] == 0 {
-                    sim_end = sim_end.max(req_done[op.req]);
-                    let resp = req_done[op.req].saturating_since(op.arrival);
-                    response_ms.push(resp.as_millis_f64());
-                    hist.record(resp.as_micros_f64());
+                    stats.complete(op.arrival, req_done[op.req]);
                 }
                 // Wake the scheduler when this op's work completes.
                 if done > now {
@@ -455,93 +556,30 @@ impl SsdDevice {
         }
         assert!(pending.is_empty(), "ops left unissued at end of trace");
 
-        RunReport {
-            ftl_name: self.ftl.name(),
-            requests_completed: requests.len() as u64,
-            pages_read,
-            pages_written,
-            response_ms,
-            response_hist_us: hist,
-            plane_request_counts: self.plane_counts.clone(),
-            hw: self.hw.counters,
-            ftl: self.ftl.counters().since(&self.ftl_baseline),
-            total_erases: self.flash.total_erases() - self.baseline.0,
-            total_programs: self.flash.total_programs() - self.baseline.1,
-            total_skips: self.flash.total_skips() - self.baseline.2,
-            wear: self.flash.wear_summary(),
-            sim_end,
-            plane_busy_ns: self.hw.plane_busy_ns().to_vec(),
-            channel_busy_ns: self.hw.channel_busy_ns().to_vec(),
-            wait_ms: self.wait_ms.clone(),
-            service_ms: self.service_ms.clone(),
-            gc_block_ms: self.gc_block_ms.clone(),
-            media: self.media_delta(),
-            retry_ns: self.hw.retry_ns(),
-        }
+        self.finish_report(requests.len() as u64, stats)
     }
 
     /// Closed-loop replay: at most `queue_depth` requests are outstanding
     /// at once — request *i* is issued at the later of its trace arrival
-    /// and the completion of request *i − queue_depth* (an fio-style
-    /// bounded host queue, in contrast to [`Self::run_trace`]'s open
-    /// arrivals, which can back up without limit under overload).
+    /// and the completion of request *i − queue_depth*. Thin wrapper over
+    /// [`SsdDevice::run`] with [`ReplayMode::Closed`].
     pub fn run_trace_closed(&mut self, requests: &[HostRequest], queue_depth: usize) -> RunReport {
-        assert!(queue_depth >= 1, "queue depth must be at least 1");
-        let lpn_space = self.flash.geometry().user_pages();
-        let mut order: EventQueue<usize> = EventQueue::with_capacity(requests.len());
-        for (i, r) in requests.iter().enumerate() {
-            order.push(r.arrival, i);
-        }
+        self.run(requests, ReplayMode::Closed { queue_depth })
+    }
 
-        let mut response_ms = OnlineStats::new();
-        let mut hist = Histogram::new(1.0, 40);
-        let mut pages_read = 0u64;
-        let mut pages_written = 0u64;
-        let mut sim_end = SimTime::ZERO;
-        // Completion times of in-flight requests, earliest first.
-        let mut in_flight: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>> =
-            std::collections::BinaryHeap::with_capacity(queue_depth);
-
-        while let Some(ev) = order.pop() {
-            let req = requests[ev.event].wrapped(lpn_space);
-            if req.pages == 0 {
-                // Zero-page requests do no flash work: they complete at
-                // arrival without occupying a queue slot, with the same
-                // zero response sample the other replay modes record.
-                sim_end = sim_end.max(req.arrival);
-                response_ms.push(0.0);
-                hist.record(0.0);
-                continue;
-            }
-            let mut issue = req.arrival;
-            if in_flight.len() == queue_depth {
-                let std::cmp::Reverse(freed) = in_flight.pop().expect("queue depth at least 1");
-                issue = issue.max(freed);
-            }
-            let mut req_done = issue;
-            for lpn in req.page_ops() {
-                let lpn = lpn % lpn_space;
-                let done = self.serve_page_op(lpn, req.op, issue);
-                req_done = req_done.max(done);
-                match req.op {
-                    HostOp::Read => pages_read += 1,
-                    HostOp::Write => pages_written += 1,
-                }
-            }
-            in_flight.push(std::cmp::Reverse(req_done));
-            sim_end = sim_end.max(req_done);
-            let resp = req_done.saturating_since(req.arrival);
-            response_ms.push(resp.as_millis_f64());
-            hist.record(resp.as_micros_f64());
-        }
-
+    /// Assemble the [`RunReport`] for a finished replay from the per-run
+    /// accumulator plus the device-resident state (hardware counters,
+    /// flash totals, latency decompositions) relative to the measurement
+    /// baseline. Shared by every replay mode, so all reports are built
+    /// identically.
+    fn finish_report(&self, requests_completed: u64, stats: ReplayStats) -> RunReport {
         RunReport {
             ftl_name: self.ftl.name(),
-            requests_completed: requests.len() as u64,
-            pages_read,
-            pages_written,
-            response_ms,
-            response_hist_us: hist,
+            requests_completed,
+            pages_read: stats.pages_read,
+            pages_written: stats.pages_written,
+            response_ms: stats.response_ms,
+            response_hist_us: stats.hist,
             plane_request_counts: self.plane_counts.clone(),
             hw: self.hw.counters,
             ftl: self.ftl.counters().since(&self.ftl_baseline),
@@ -549,7 +587,7 @@ impl SsdDevice {
             total_programs: self.flash.total_programs() - self.baseline.1,
             total_skips: self.flash.total_skips() - self.baseline.2,
             wear: self.flash.wear_summary(),
-            sim_end,
+            sim_end: stats.sim_end,
             plane_busy_ns: self.hw.plane_busy_ns().to_vec(),
             channel_busy_ns: self.hw.channel_busy_ns().to_vec(),
             wait_ms: self.wait_ms.clone(),
@@ -570,12 +608,20 @@ impl SsdDevice {
 
     /// Forget timing and counters but keep flash/FTL state.
     pub fn reset_measurements(&mut self) {
+        // Carry the sink across the hardware rebuild: warm-up spans are
+        // measurements too, so rings are cleared (`TraceSink::reset`);
+        // stream sinks keep their journal and simply continue appending.
+        let sink = self.hw.detach_sink();
         let geometry = self.flash.geometry().clone();
         self.hw = HardwareModel::new(
             &geometry,
             self.config.timing.clone(),
             self.config.die_serialized,
         );
+        if let Some(mut sink) = sink {
+            sink.reset();
+            self.hw.attach_sink(sink);
+        }
         for c in &mut self.plane_counts {
             *c = 0;
         }
@@ -589,11 +635,6 @@ impl SsdDevice {
         self.wait_ms = OnlineStats::new();
         self.service_ms = OnlineStats::new();
         self.gc_block_ms = OnlineStats::new();
-        // The rebuilt hardware model starts untraced; warm-up spans are
-        // measurements too, so a fresh (empty) recorder replaces them.
-        if let Some(c) = self.trace_capacity {
-            self.hw.enable_trace(c);
-        }
     }
 
     /// Deep cross-layer audit: flash invariants, directory ↔ flash

@@ -101,6 +101,19 @@ impl RunReport {
         self.response_hist_us.quantile(q) / 1000.0
     }
 
+    /// Fraction of the total host-visible response time spent blocked on
+    /// synchronous GC — the share that background GC is supposed to hide
+    /// (`dloop-experiments verify` claim C10). Zero when nothing was
+    /// measured or GC never blocked a request.
+    pub fn gc_blocked_share(&self) -> f64 {
+        let total = self.response_ms.sum();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.gc_block_ms.sum() / total
+        }
+    }
+
     /// Total energy of the run's flash operations under an energy model,
     /// in millijoules.
     pub fn energy_mj(

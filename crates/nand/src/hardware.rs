@@ -25,7 +25,9 @@
 
 use crate::geometry::{Geometry, PlaneId};
 use crate::timing::TimingConfig;
-use dloop_simkit::trace::{FlightRecorder, Resource, Seg, Span, SpanKind, SpanPhase};
+use dloop_simkit::trace::{
+    FlightRecorder, Resource, RingSink, Seg, Span, SpanKind, SpanPhase, TraceSink,
+};
 use dloop_simkit::{SimDuration, SimTime};
 
 /// When an operation occupied the device.
@@ -62,7 +64,7 @@ pub struct OpCounters {
 }
 
 /// The contention/timing model.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct HardwareModel {
     timing: TimingConfig,
     page_size: u32,
@@ -76,13 +78,15 @@ pub struct HardwareModel {
     plane_busy_ns: Vec<u64>,
     retry_ns: u64,
     pub counters: OpCounters,
-    /// Opt-in flight recorder; `None` (the default) records nothing and
-    /// leaves every execution path identical to the pre-trace model.
-    recorder: Option<Box<FlightRecorder>>,
+    /// Opt-in span sink; `None` (the default) records nothing and leaves
+    /// every execution path identical to the pre-trace model.
+    sink: Option<Box<dyn TraceSink>>,
     /// Logical phase attached to the next emitted spans.
     span_phase: SpanPhase,
     /// Triggering LPN attached to the next emitted spans.
     span_lpn: Option<u64>,
+    /// Triggering host-request id attached to the next emitted spans.
+    span_req: Option<u64>,
 }
 
 impl HardwareModel {
@@ -104,9 +108,10 @@ impl HardwareModel {
             plane_busy_ns: vec![0; planes],
             retry_ns: 0,
             counters: OpCounters::default(),
-            recorder: None,
+            sink: None,
             span_phase: SpanPhase::Host,
             span_lpn: None,
+            span_req: None,
         }
     }
 
@@ -115,29 +120,63 @@ impl HardwareModel {
         &self.timing
     }
 
-    /// Attach a flight recorder holding up to `capacity` spans. Recording
-    /// is pure observation: resource timelines, counters and completions
-    /// are bit-identical with or without it.
+    /// Attach `sink` as the destination for emitted spans, replacing any
+    /// previous sink. Recording is pure observation: resource timelines,
+    /// counters and completions are bit-identical with or without a sink.
+    pub fn attach_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach and return the span sink, disabling tracing. A detached
+    /// model is bit-identical to one that never traced.
+    pub fn detach_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// The attached span sink, if tracing is enabled.
+    pub fn sink(&self) -> Option<&dyn TraceSink> {
+        self.sink.as_deref()
+    }
+
+    /// Convenience wrapper: attach a bounded [`RingSink`] holding up to
+    /// `capacity` spans (the classic flight-recorder configuration).
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.recorder = Some(Box::new(FlightRecorder::new(capacity)));
+        self.attach_sink(Box::new(RingSink::new(capacity)));
     }
 
-    /// Detach and return the flight recorder, disabling tracing.
+    /// Detach and return the flight recorder, disabling tracing. Returns
+    /// `None` (leaving the sink attached) when the attached sink is not a
+    /// [`RingSink`] — use [`HardwareModel::detach_sink`] for those.
     pub fn take_recorder(&mut self) -> Option<FlightRecorder> {
-        self.recorder.take().map(|b| *b)
+        let is_ring = self
+            .sink
+            .as_deref()
+            .is_some_and(|s| s.as_any().is::<RingSink>());
+        if !is_ring {
+            return None;
+        }
+        let sink = self.sink.take().expect("checked above");
+        let ring = sink
+            .into_any()
+            .downcast::<RingSink>()
+            .expect("checked above");
+        Some(*ring)
     }
 
-    /// The attached flight recorder, if tracing is enabled.
+    /// The attached flight recorder, when the sink is a [`RingSink`].
     pub fn recorder(&self) -> Option<&FlightRecorder> {
-        self.recorder.as_deref()
+        self.sink
+            .as_deref()
+            .and_then(|s| s.as_any().downcast_ref::<RingSink>())
     }
 
-    /// Tag spans emitted by subsequent `exec_*` calls with a phase and the
-    /// triggering LPN. Cheap enough to call unconditionally; ignored while
-    /// no recorder is attached.
-    pub fn set_span_context(&mut self, phase: SpanPhase, lpn: Option<u64>) {
+    /// Tag spans emitted by subsequent `exec_*` calls with a phase, the
+    /// triggering LPN, and the stable host-request id. Cheap enough to
+    /// call unconditionally; ignored while no sink is attached.
+    pub fn set_span_context(&mut self, phase: SpanPhase, lpn: Option<u64>, req: Option<u64>) {
         self.span_phase = phase;
         self.span_lpn = lpn;
+        self.span_req = req;
     }
 
     /// Record `span` if tracing is enabled, first asserting the emitter
@@ -148,8 +187,8 @@ impl HardwareModel {
             span.residence_ns(),
             "span attribution buckets must tile the residence time"
         );
-        if let Some(rec) = self.recorder.as_mut() {
-            rec.record(span);
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(&span);
         }
     }
 
@@ -221,7 +260,7 @@ impl HardwareModel {
         let xfer = self.timing.page_transfer(self.page_size);
         let (start, after_read) = self.hold_plane(plane, at, cell + extra);
         let (bus_start, end) = self.hold_channel(plane, after_read, xfer);
-        if self.recorder.is_some() {
+        if self.sink.is_some() {
             self.record_span(Span {
                 kind: if steps == 0 {
                     SpanKind::Read
@@ -230,6 +269,7 @@ impl HardwareModel {
                 },
                 phase: self.span_phase,
                 lpn: self.span_lpn,
+                req: self.span_req,
                 plane,
                 dst_plane: None,
                 issue: at,
@@ -266,11 +306,12 @@ impl HardwareModel {
         let xfer = self.timing.command_overhead + self.timing.page_transfer(self.page_size);
         let (start, after_xfer) = self.hold_channel(plane, at, xfer);
         let (cell_start, end) = self.hold_plane(plane, after_xfer, self.timing.page_program);
-        if self.recorder.is_some() {
+        if self.sink.is_some() {
             self.record_span(Span {
                 kind: SpanKind::Write,
                 phase: self.span_phase,
                 lpn: self.span_lpn,
+                req: self.span_req,
                 plane,
                 dst_plane: None,
                 issue: at,
@@ -306,7 +347,7 @@ impl HardwareModel {
         self.counters.erases += 1;
         let dur = self.timing.command_overhead + self.timing.block_erase;
         let (start, end) = self.hold_plane(plane, at, dur);
-        if self.recorder.is_some() {
+        if self.sink.is_some() {
             self.record_plane_only_span(SpanKind::Erase, plane, at, start, end, dur);
         }
         Completion { start, end }
@@ -318,7 +359,7 @@ impl HardwareModel {
         self.counters.copybacks += 1;
         let dur = self.timing.copyback_service();
         let (start, end) = self.hold_plane(plane, at, dur);
-        if self.recorder.is_some() {
+        if self.sink.is_some() {
             self.record_plane_only_span(SpanKind::CopyBack, plane, at, start, end, dur);
         }
         Completion { start, end }
@@ -338,6 +379,7 @@ impl HardwareModel {
             kind,
             phase: self.span_phase,
             lpn: self.span_lpn,
+            req: self.span_req,
             plane,
             dst_plane: None,
             issue,
@@ -372,11 +414,12 @@ impl HardwareModel {
         let (b1, t1) = self.hold_channel(src, t0, xfer);
         let (b2, t2) = self.hold_channel(dst, t1, xfer);
         let (cell_start, end) = self.hold_plane(dst, t2, self.timing.page_program);
-        if self.recorder.is_some() {
+        if self.sink.is_some() {
             self.record_span(Span {
                 kind: SpanKind::InterPlaneCopy,
                 phase: self.span_phase,
                 lpn: self.span_lpn,
+                req: self.span_req,
                 plane: src,
                 dst_plane: Some(dst),
                 issue: at,
@@ -593,10 +636,10 @@ mod tests {
     fn recorder_captures_one_span_per_op_with_exact_attribution() {
         let mut h = hw();
         h.enable_trace(64);
-        h.set_span_context(SpanPhase::Host, Some(42));
+        h.set_span_context(SpanPhase::Host, Some(42), Some(7));
         h.exec_write(0, SimTime::ZERO);
         h.exec_read(0, SimTime::ZERO); // queues behind the write
-        h.set_span_context(SpanPhase::Gc, Some(42));
+        h.set_span_context(SpanPhase::Gc, Some(42), Some(7));
         h.exec_copyback(1, SimTime::ZERO);
         h.exec_erase(1, SimTime::ZERO);
         h.exec_interplane_copy(2, 3, SimTime::ZERO);
@@ -607,6 +650,7 @@ mod tests {
         for s in &spans {
             assert_eq!(s.buckets_ns(), s.residence_ns(), "{:?}", s.kind);
             assert_eq!(s.lpn, Some(42));
+            assert_eq!(s.req, Some(7));
         }
         assert_eq!(spans[0].kind, SpanKind::Write);
         assert_eq!(spans[0].phase, SpanPhase::Host);
@@ -659,6 +703,28 @@ mod tests {
         assert_eq!(s.retry_steps, 3);
         assert_eq!(s.retry_ns, h.timing().read_retry_overhead(3).as_nanos());
         assert_eq!(s.buckets_ns(), s.residence_ns());
+    }
+
+    #[test]
+    fn attach_detach_round_trips_non_ring_sinks() {
+        use dloop_simkit::trace::StreamSink;
+        let mut h = hw();
+        h.attach_sink(Box::new(StreamSink::new(Vec::new())));
+        h.exec_write(0, SimTime::ZERO);
+        h.exec_read(0, SimTime::ZERO);
+        // A stream is not a ring: take_recorder must refuse and leave the
+        // sink attached rather than silently discarding it.
+        assert!(h.take_recorder().is_none());
+        assert_eq!(h.sink().expect("still attached").recorded(), 2);
+        let sink = h.detach_sink().expect("sink attached");
+        let stream = sink
+            .into_any()
+            .downcast::<StreamSink<Vec<u8>>>()
+            .expect("stream sink");
+        let bytes = stream.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(h.sink().is_none(), "detached model no longer traces");
     }
 
     #[test]

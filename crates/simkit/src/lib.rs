@@ -24,8 +24,9 @@
 //!   external API churn and registry dependencies).
 //! * [`queue`] — the pending-operation priority list used to model FlashSim's
 //!   channel-interleaving scheduler.
-//! * [`trace`] — an opt-in op-level flight recorder: bounded span ring
-//!   buffer plus Chrome `trace_event` / utilization-CSV / latency-attribution
+//! * [`trace`] — an opt-in op-level tracing layer: a [`TraceSink`] trait
+//!   with ring / JSONL-stream / tee sinks, plus Chrome `trace_event`
+//!   (request-flow-stitched) / utilization-CSV / latency-attribution
 //!   exporters (and a hermetic JSON linter for validating them).
 //! * [`check`] — a deterministic property-testing harness (the workspace's
 //!   in-tree `proptest` substitute), seeded from [`rng`].
@@ -51,4 +52,6 @@ pub use queue::PendingQueue;
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};
-pub use trace::{FlightRecorder, Span, SpanKind, SpanPhase};
+pub use trace::{
+    FlightRecorder, RingSink, Span, SpanKind, SpanPhase, StreamSink, TeeSink, TraceSink,
+};

@@ -6,17 +6,31 @@
 //! a bus, the cell operation itself, the transfer, a read-retry ladder, or
 //! GC charged to the triggering write. This module provides the recording
 //! substrate: the hardware model emits one [`Span`] per flash operation at
-//! reservation time into a bounded [`FlightRecorder`] ring buffer, and the
-//! exporters turn the spans into
+//! reservation time into a pluggable [`TraceSink`], and the exporters turn
+//! the spans into
 //!
 //! * a Chrome `trace_event` JSON timeline ([`chrome_trace_json`]) with one
 //!   track per plane and per channel, loadable in `chrome://tracing` or
-//!   Perfetto;
-//! * a per-plane utilization timeline CSV ([`plane_utilization_csv`]);
+//!   Perfetto — including `flow` events that stitch every span of one host
+//!   request together across planes and channels (follow a request from its
+//!   translation read through its data write into the GC it triggered);
+//! * per-plane and per-channel utilization timeline CSVs
+//!   ([`plane_utilization_csv`], [`channel_utilization_csv`]);
 //! * an aggregated latency-attribution table ([`attribution`]) splitting
 //!   residence time into plane-wait / channel-wait / bus / cell / retry
 //!   per phase (host, GC, scan) — derived from the spans themselves, not
 //!   from ad-hoc accumulators.
+//!
+//! Three sinks ship in-tree:
+//!
+//! * [`RingSink`] — the bounded flight-recorder ring (drop-oldest when
+//!   full, with a loud [`RingSink::dropped`] counter). The historical name
+//!   [`FlightRecorder`] remains as an alias.
+//! * [`StreamSink`] — buffered JSONL spill to any [`std::io::Write`]
+//!   (typically a file): one [`span_jsonl`] line per span, **no**
+//!   drop-oldest cap, so full-length enterprise traces keep every span.
+//! * [`TeeSink`] — fan-out to two sinks (e.g. a ring for interactive
+//!   exports plus a stream for complete on-disk history).
 //!
 //! Recording is pure observation: it never touches the resource timelines,
 //! so a run with tracing enabled is bit-identical (in every report field)
@@ -26,7 +40,9 @@
 //! the exported timeline can be checked hermetically (no serde, no Python).
 
 use crate::time::SimTime;
+use std::any::Any;
 use std::fmt::Write as _;
+use std::io;
 
 /// Flash operation kind of a recorded span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +131,12 @@ pub struct Span {
     pub phase: SpanPhase,
     /// Logical page whose service emitted this operation, when known.
     pub lpn: Option<u64>,
+    /// Stable host-request id whose service emitted this operation, when
+    /// known: every span a request causes — translation reads, the data
+    /// operation itself, and GC charged to it — carries the same id, which
+    /// is what lets the Chrome export stitch a request across planes and
+    /// channels with flow events.
+    pub req: Option<u64>,
     /// Primary plane.
     pub plane: u32,
     /// Destination plane of an inter-plane copy.
@@ -160,24 +182,70 @@ impl Span {
     }
 }
 
+/// Anywhere recorded [`Span`]s can go.
+///
+/// The hardware model emits spans through a `Box<dyn TraceSink>`; which
+/// sink is attached decides the retention policy — bounded ring
+/// ([`RingSink`]), unbounded JSONL spill ([`StreamSink`]), or both at once
+/// ([`TeeSink`]). Implementations must be pure observers: recording a span
+/// may never influence simulation state.
+pub trait TraceSink: std::fmt::Debug {
+    /// Observe one span. Must never fail loudly — sinks that can lose a
+    /// span (a full ring, a failed write) count the loss in
+    /// [`TraceSink::dropped`] instead.
+    fn record(&mut self, span: &Span);
+
+    /// Total spans ever offered to this sink.
+    fn recorded(&self) -> u64;
+
+    /// Spans the sink failed to retain (ring evictions, write errors).
+    /// Exports built on a sink with `dropped() > 0` are incomplete and
+    /// callers are expected to say so loudly.
+    fn dropped(&self) -> u64;
+
+    /// Flush any buffered output; the first deferred write error (if any)
+    /// surfaces here.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Mark a measurement boundary: discard retained history where the
+    /// sink can (a ring clears; an append-only stream keeps what it
+    /// already spilled and just notes the boundary by continuing).
+    fn reset(&mut self);
+
+    /// Downcast support (sinks travel as `Box<dyn TraceSink>`).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Consuming downcast support.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
 /// A bounded ring buffer of [`Span`]s.
 ///
 /// When full, the oldest span is dropped (flight-recorder semantics: the
-/// most recent history survives) and [`FlightRecorder::dropped`] counts the
+/// most recent history survives) and [`RingSink::dropped`] counts the
 /// loss — exports never silently pretend to be complete.
 #[derive(Debug, Clone)]
-pub struct FlightRecorder {
+pub struct RingSink {
     spans: Vec<Span>,
     head: usize,
     dropped: u64,
     capacity: usize,
 }
 
-impl FlightRecorder {
+/// The historical name of [`RingSink`], kept so long-lived call sites and
+/// docs stay valid.
+pub type FlightRecorder = RingSink;
+
+impl RingSink {
     /// A recorder holding at most `capacity` spans (at least 1).
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
-        FlightRecorder {
+        RingSink {
             spans: Vec::new(),
             head: 0,
             dropped: 0,
@@ -211,7 +279,7 @@ impl FlightRecorder {
     }
 
     /// Append a span, evicting the oldest if the ring is full.
-    pub fn record(&mut self, span: Span) {
+    pub fn push(&mut self, span: Span) {
         if self.spans.len() < self.capacity {
             self.spans.push(span);
         } else {
@@ -232,6 +300,243 @@ impl FlightRecorder {
         self.spans.clear();
         self.head = 0;
         self.dropped = 0;
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, span: &Span) {
+        self.push(span.clone());
+    }
+
+    fn recorded(&self) -> u64 {
+        RingSink::recorded(self)
+    }
+
+    fn dropped(&self) -> u64 {
+        RingSink::dropped(self)
+    }
+
+    fn reset(&mut self) {
+        self.clear();
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Render one span as a single JSONL line (no trailing newline).
+///
+/// This is the exact on-disk format [`StreamSink`] spills: a flat object
+/// with every [`Span`] field, segments as `["p"|"c", id, start_ns, end_ns]`
+/// arrays. Each line passes [`json_lint`] on its own, so a streamed file
+/// can be validated line by line without a JSON library.
+pub fn span_jsonl(s: &Span) -> String {
+    let mut out = String::with_capacity(256);
+    let opt = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_else(|| "null".into());
+    let _ = write!(
+        out,
+        "{{\"kind\":\"{}\",\"phase\":\"{}\",\"req\":{},\"lpn\":{},\"plane\":{},\"dst_plane\":{},\
+         \"issue_ns\":{},\"start_ns\":{},\"end_ns\":{},\"cell_ns\":{},\"bus_ns\":{},\
+         \"plane_wait_ns\":{},\"channel_wait_ns\":{},\"retry_ns\":{},\"retry_steps\":{},\"segs\":[",
+        s.kind.name(),
+        s.phase.name(),
+        opt(s.req),
+        opt(s.lpn),
+        s.plane,
+        opt(s.dst_plane.map(u64::from)),
+        s.issue.as_nanos(),
+        s.start.as_nanos(),
+        s.end.as_nanos(),
+        s.cell_ns,
+        s.bus_ns,
+        s.plane_wait_ns,
+        s.channel_wait_ns,
+        s.retry_ns,
+        s.retry_steps,
+    );
+    for (i, seg) in s.segments().enumerate() {
+        let (tag, id) = match seg.resource {
+            Resource::Plane(p) => ("p", p),
+            Resource::Channel(c) => ("c", c),
+        };
+        let _ = write!(
+            out,
+            "{}[\"{tag}\",{id},{},{}]",
+            if i == 0 { "" } else { "," },
+            seg.start.as_nanos(),
+            seg.end.as_nanos(),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A buffered JSONL span stream: every recorded span becomes one
+/// [`span_jsonl`] line on the writer, with **no** drop-oldest cap — the
+/// sink that makes full-length trace replays fully observable. Wrap a
+/// [`std::fs::File`] (see [`StreamSink::create`]) for on-disk spill, or a
+/// `Vec<u8>` in tests.
+///
+/// Write errors cannot surface from the hardware's record path, so the
+/// first error is latched: affected spans count as [`TraceSink::dropped`]
+/// and the error itself is returned by the next [`TraceSink::flush`].
+#[derive(Debug)]
+pub struct StreamSink<W: io::Write> {
+    writer: W,
+    recorded: u64,
+    dropped: u64,
+    deferred_err: Option<io::Error>,
+}
+
+impl StreamSink<io::BufWriter<std::fs::File>> {
+    /// Stream spans to a freshly created (truncated) file at `path`.
+    pub fn create(path: &std::path::Path) -> io::Result<Self> {
+        Ok(StreamSink::new(io::BufWriter::new(std::fs::File::create(
+            path,
+        )?)))
+    }
+}
+
+impl<W: io::Write> StreamSink<W> {
+    /// Stream spans to `writer`.
+    pub fn new(writer: W) -> Self {
+        StreamSink {
+            writer,
+            recorded: 0,
+            dropped: 0,
+            deferred_err: None,
+        }
+    }
+
+    /// Flush and hand back the writer (tests read the bytes back out of a
+    /// `Vec<u8>`; callers owning a file writer get it back to close).
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl<W: io::Write + std::fmt::Debug + 'static> TraceSink for StreamSink<W> {
+    fn record(&mut self, span: &Span) {
+        self.recorded += 1;
+        let mut line = span_jsonl(span);
+        line.push('\n');
+        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+            self.dropped += 1;
+            self.deferred_err.get_or_insert(e);
+        }
+    }
+
+    fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.deferred_err.take() {
+            return Err(e);
+        }
+        self.writer.flush()
+    }
+
+    fn reset(&mut self) {
+        // Append-only: spilled spans cannot be retracted, so a measurement
+        // boundary keeps the journal intact (consumers see the warm-up
+        // prefix too, which is itself useful history).
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Fan a span stream out to two sinks — typically a bounded [`RingSink`]
+/// for interactive exports plus a [`StreamSink`] keeping complete on-disk
+/// history.
+#[derive(Debug)]
+pub struct TeeSink {
+    a: Box<dyn TraceSink>,
+    b: Box<dyn TraceSink>,
+    recorded: u64,
+}
+
+impl TeeSink {
+    /// Tee spans into `a` and `b` (in that order).
+    pub fn new(a: Box<dyn TraceSink>, b: Box<dyn TraceSink>) -> Self {
+        TeeSink { a, b, recorded: 0 }
+    }
+
+    /// The first sink.
+    pub fn first(&self) -> &dyn TraceSink {
+        self.a.as_ref()
+    }
+
+    /// The second sink.
+    pub fn second(&self) -> &dyn TraceSink {
+        self.b.as_ref()
+    }
+
+    /// Split back into the two sinks.
+    pub fn into_inner(self) -> (Box<dyn TraceSink>, Box<dyn TraceSink>) {
+        (self.a, self.b)
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&mut self, span: &Span) {
+        self.recorded += 1;
+        self.a.record(span);
+        self.b.record(span);
+    }
+
+    fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    fn dropped(&self) -> u64 {
+        self.a.dropped() + self.b.dropped()
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.a.flush()?;
+        self.b.flush()
+    }
+
+    fn reset(&mut self) {
+        self.a.reset();
+        self.b.reset();
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
     }
 }
 
@@ -349,10 +654,14 @@ fn push_json_event(
         .lpn
         .map(|l| l.to_string())
         .unwrap_or_else(|| "null".to_string());
+    let req = span
+        .req
+        .map(|r| r.to_string())
+        .unwrap_or_else(|| "null".to_string());
     let _ = write!(
         out,
         ",\n{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{name}\",\"cat\":\"{cat}\",\
-         \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"lpn\":{lpn},\"retry_steps\":{},\
+         \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"lpn\":{lpn},\"req\":{req},\"retry_steps\":{},\
          \"issue_us\":{:.3},\"wait_us\":{:.3}}}}}",
         ts_ns as f64 / 1e3,
         dur_ns as f64 / 1e3,
@@ -373,6 +682,15 @@ pub const CHROME_PID_CHANNELS: u32 = 2;
 /// thread (track) per plane / channel id, one complete (`"X"`) event per
 /// resource hold, named after the operation and categorized by phase.
 /// Timestamps are microseconds, as `chrome://tracing` and Perfetto expect.
+///
+/// Spans carrying a request id ([`Span::req`]) are additionally stitched
+/// with flow events: each request that produced two or more spans gets one
+/// `"s"` (start) arrow at its first span, `"t"` steps at intermediate
+/// spans, and a terminating `"f"` at its last span, all sharing the
+/// request id as flow id. In `chrome://tracing` / Perfetto this draws the
+/// request's path across plane and channel tracks — translation read →
+/// data op → the GC it triggered — even when those ops landed on different
+/// resources.
 pub fn chrome_trace_json(rec: &FlightRecorder) -> String {
     let mut planes: Vec<u32> = Vec::new();
     let mut channels: Vec<u32> = Vec::new();
@@ -438,6 +756,49 @@ pub fn chrome_trace_json(rec: &FlightRecorder) -> String {
             );
         }
     }
+    // Flow stitching: group spans by request id (preserving first-seen
+    // order for determinism) and arrow each multi-span request across the
+    // tracks its operations landed on.
+    let mut order: Vec<u64> = Vec::new();
+    let mut groups: std::collections::HashMap<u64, Vec<&Span>> = std::collections::HashMap::new();
+    for s in rec.spans() {
+        if let Some(id) = s.req {
+            let g = groups.entry(id).or_default();
+            if g.is_empty() {
+                order.push(id);
+            }
+            g.push(s);
+        }
+    }
+    for id in order {
+        let spans = &groups[&id];
+        if spans.len() < 2 {
+            continue;
+        }
+        let last = spans.len() - 1;
+        for (i, s) in spans.iter().enumerate() {
+            let Some(seg) = s.segments().next() else {
+                continue;
+            };
+            let (pid, tid) = match seg.resource {
+                Resource::Plane(p) => (CHROME_PID_PLANES, p),
+                Resource::Channel(c) => (CHROME_PID_CHANNELS, c),
+            };
+            let (ph, bp) = if i == 0 {
+                ("s", "")
+            } else if i == last {
+                ("f", ",\"bp\":\"e\"")
+            } else {
+                ("t", "")
+            };
+            let _ = write!(
+                out,
+                ",\n{{\"ph\":\"{ph}\",\"id\":{id},\"pid\":{pid},\"tid\":{tid},\
+                 \"ts\":{:.3},\"name\":\"req\",\"cat\":\"flow\"{bp}}}",
+                seg.start.as_nanos() as f64 / 1e3,
+            );
+        }
+    }
     let _ = write!(
         out,
         "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped_spans\":{}}}}}",
@@ -446,13 +807,16 @@ pub fn chrome_trace_json(rec: &FlightRecorder) -> String {
     out
 }
 
-/// Export a per-plane utilization timeline as CSV.
-///
-/// The simulated time covered by the retained spans is divided into
-/// `buckets` equal windows; each row reports, per plane, the fraction of
-/// that window the plane's array was busy. Columns:
-/// `bucket_start_ms,bucket_end_ms,plane_0,plane_1,…` (planes `0..planes`).
-pub fn plane_utilization_csv(rec: &FlightRecorder, planes: usize, buckets: usize) -> String {
+/// Shared implementation of the utilization timeline CSVs: bucket the
+/// covered simulated time and sum, per selected resource, the busy overlap
+/// in each window.
+fn utilization_csv(
+    rec: &FlightRecorder,
+    count: usize,
+    buckets: usize,
+    column_prefix: &str,
+    select: impl Fn(Resource) -> Option<u32>,
+) -> String {
     let buckets = buckets.max(1);
     let end_ns = rec
         .spans()
@@ -461,14 +825,14 @@ pub fn plane_utilization_csv(rec: &FlightRecorder, planes: usize, buckets: usize
         .max()
         .unwrap_or(0);
     let width = (end_ns / buckets as u64).max(1);
-    let mut busy = vec![vec![0u64; planes]; buckets];
+    let mut busy = vec![vec![0u64; count]; buckets];
     for s in rec.spans() {
         for seg in s.segments() {
-            let Resource::Plane(p) = seg.resource else {
+            let Some(r) = select(seg.resource) else {
                 continue;
             };
-            let p = p as usize;
-            if p >= planes {
+            let r = r as usize;
+            if r >= count {
                 continue;
             }
             let (a, b) = (seg.start.as_nanos(), seg.end.as_nanos());
@@ -478,13 +842,13 @@ pub fn plane_utilization_csv(rec: &FlightRecorder, planes: usize, buckets: usize
                 let w_start = i as u64 * width;
                 let w_end = w_start + width;
                 let overlap = b.min(w_end).saturating_sub(a.max(w_start));
-                row[p] += overlap;
+                row[r] += overlap;
             }
         }
     }
     let mut out = String::from("bucket_start_ms,bucket_end_ms");
-    for p in 0..planes {
-        let _ = write!(out, ",plane_{p}");
+    for r in 0..count {
+        let _ = write!(out, ",{column_prefix}_{r}");
     }
     out.push('\n');
     for (i, row) in busy.iter().enumerate() {
@@ -501,6 +865,30 @@ pub fn plane_utilization_csv(rec: &FlightRecorder, planes: usize, buckets: usize
         out.push('\n');
     }
     out
+}
+
+/// Export a per-plane utilization timeline as CSV.
+///
+/// The simulated time covered by the retained spans is divided into
+/// `buckets` equal windows; each row reports, per plane, the fraction of
+/// that window the plane's array was busy. Columns:
+/// `bucket_start_ms,bucket_end_ms,plane_0,plane_1,…` (planes `0..planes`).
+pub fn plane_utilization_csv(rec: &FlightRecorder, planes: usize, buckets: usize) -> String {
+    utilization_csv(rec, planes, buckets, "plane", |r| match r {
+        Resource::Plane(p) => Some(p),
+        Resource::Channel(_) => None,
+    })
+}
+
+/// Export a per-channel bus-utilization timeline as CSV, the channel twin
+/// of [`plane_utilization_csv`]: same bucketing, one `channel_N` column per
+/// channel. Side by side the two timelines show DLOOP's core effect — GC
+/// copy-backs keep planes busy while the channel rows stay host-only.
+pub fn channel_utilization_csv(rec: &FlightRecorder, channels: usize, buckets: usize) -> String {
+    utilization_csv(rec, channels, buckets, "channel", |r| match r {
+        Resource::Plane(_) => None,
+        Resource::Channel(c) => Some(c),
+    })
 }
 
 /// Minimal JSON syntax validator (hermetic substitute for `python -m
@@ -666,6 +1054,7 @@ mod tests {
             kind: SpanKind::Read,
             phase,
             lpn: Some(7),
+            req: None,
             plane,
             dst_plane: None,
             issue: start,
@@ -694,7 +1083,7 @@ mod tests {
     fn ring_buffer_bounds_and_drops_oldest() {
         let mut rec = FlightRecorder::new(3);
         for i in 0..5 {
-            rec.record(span(i, i as u64 * 10, i as u64 * 10 + 5, SpanPhase::Host));
+            rec.push(span(i, i as u64 * 10, i as u64 * 10 + 5, SpanPhase::Host));
         }
         assert_eq!(rec.len(), 3);
         assert_eq!(rec.dropped(), 2);
@@ -710,9 +1099,9 @@ mod tests {
     #[test]
     fn attribution_sums_by_phase() {
         let mut rec = FlightRecorder::new(16);
-        rec.record(span(0, 0, 10, SpanPhase::Host));
-        rec.record(span(1, 0, 30, SpanPhase::Gc));
-        rec.record(span(0, 40, 45, SpanPhase::Host));
+        rec.push(span(0, 0, 10, SpanPhase::Host));
+        rec.push(span(1, 0, 30, SpanPhase::Gc));
+        rec.push(span(0, 40, 45, SpanPhase::Host));
         let a = attribution(&rec);
         assert_eq!(a.host.spans, 2);
         assert_eq!(a.host.residence_ns, 15_000);
@@ -734,8 +1123,8 @@ mod tests {
     #[test]
     fn chrome_export_is_valid_json_with_tracks() {
         let mut rec = FlightRecorder::new(8);
-        rec.record(span(0, 0, 10, SpanPhase::Host));
-        rec.record(span(3, 5, 25, SpanPhase::Gc));
+        rec.push(span(0, 0, 10, SpanPhase::Host));
+        rec.push(span(3, 5, 25, SpanPhase::Gc));
         let json = chrome_trace_json(&rec);
         json_lint(&json).expect("export must be valid JSON");
         assert!(json.contains("\"plane 0\""));
@@ -754,8 +1143,8 @@ mod tests {
     fn utilization_csv_shape_and_values() {
         let mut rec = FlightRecorder::new(8);
         // Plane 0 busy the whole first half, idle the second.
-        rec.record(span(0, 0, 50, SpanPhase::Host));
-        rec.record(span(1, 99, 100, SpanPhase::Host));
+        rec.push(span(0, 0, 50, SpanPhase::Host));
+        rec.push(span(1, 99, 100, SpanPhase::Host));
         let csv = plane_utilization_csv(&rec, 2, 2);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "bucket_start_ms,bucket_end_ms,plane_0,plane_1");
@@ -764,6 +1153,160 @@ mod tests {
         assert_eq!(first[2], "1.0000"); // plane 0 fully busy in bucket 0
         let second: Vec<&str> = lines[2].split(',').collect();
         assert_eq!(second[2], "0.0000"); // and idle in bucket 1
+    }
+
+    fn req_span(plane: u32, start_us: u64, end_us: u64, req: u64) -> Span {
+        Span {
+            req: Some(req),
+            ..span(plane, start_us, end_us, SpanPhase::Host)
+        }
+    }
+
+    #[test]
+    fn stream_sink_spills_jsonl_lines() {
+        let mut sink = StreamSink::new(Vec::new());
+        let a = req_span(0, 0, 10, 1);
+        let b = span(3, 5, 25, SpanPhase::Gc);
+        TraceSink::record(&mut sink, &a);
+        TraceSink::record(&mut sink, &b);
+        assert_eq!(sink.recorded(), 2);
+        assert_eq!(sink.dropped(), 0);
+        sink.flush().unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            json_lint(line).expect("each JSONL line must be valid JSON");
+        }
+        assert_eq!(lines[0], span_jsonl(&a));
+        assert!(lines[0].contains("\"req\":1"));
+        assert!(lines[1].contains("\"req\":null"));
+        assert!(lines[1].contains("\"phase\":\"gc\""));
+    }
+
+    /// A writer that fails after `ok` successful writes.
+    #[derive(Debug)]
+    struct FlakyWriter {
+        ok: usize,
+    }
+
+    impl io::Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.ok == 0 {
+                return Err(io::Error::other("disk full"));
+            }
+            self.ok -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stream_sink_counts_write_failures_as_drops() {
+        let mut sink = StreamSink::new(FlakyWriter { ok: 1 });
+        TraceSink::record(&mut sink, &span(0, 0, 10, SpanPhase::Host));
+        TraceSink::record(&mut sink, &span(1, 0, 10, SpanPhase::Host));
+        assert_eq!(sink.recorded(), 2);
+        assert_eq!(sink.dropped(), 1);
+        assert!(sink.flush().is_err(), "flush surfaces the deferred error");
+        // The error is latched once; a later flush succeeds again.
+        assert!(sink.flush().is_ok());
+    }
+
+    #[test]
+    fn tee_sink_feeds_both_and_splits_back() {
+        let mut tee = TeeSink::new(
+            Box::new(RingSink::new(1)),
+            Box::new(StreamSink::new(Vec::new())),
+        );
+        TraceSink::record(&mut tee, &span(0, 0, 10, SpanPhase::Host));
+        TraceSink::record(&mut tee, &span(1, 10, 20, SpanPhase::Host));
+        assert_eq!(tee.recorded(), 2);
+        // The 1-slot ring dropped one; the stream dropped none.
+        assert_eq!(tee.dropped(), 1);
+        assert_eq!(tee.first().dropped(), 1);
+        assert_eq!(tee.second().dropped(), 0);
+        let (ring, stream) = tee.into_inner();
+        let ring = ring.into_any().downcast::<RingSink>().unwrap();
+        assert_eq!(ring.len(), 1);
+        let stream = stream.into_any().downcast::<StreamSink<Vec<u8>>>().unwrap();
+        let text = String::from_utf8(stream.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn sink_reset_clears_ring_but_keeps_stream_journal() {
+        let mut ring = RingSink::new(4);
+        TraceSink::record(&mut ring, &span(0, 0, 10, SpanPhase::Host));
+        TraceSink::reset(&mut ring);
+        assert!(ring.is_empty());
+        let mut stream = StreamSink::new(Vec::new());
+        TraceSink::record(&mut stream, &span(0, 0, 10, SpanPhase::Host));
+        TraceSink::reset(&mut stream);
+        assert_eq!(stream.recorded(), 1);
+        assert_eq!(stream.into_inner().len() > 0, true);
+    }
+
+    #[test]
+    fn flow_events_stitch_multi_span_requests() {
+        let mut rec = RingSink::new(16);
+        // Request 7: two spans on different planes; request 8: one span
+        // (no flow emitted); an anonymous span (no req id).
+        rec.push(req_span(0, 0, 10, 7));
+        rec.push(req_span(3, 12, 20, 7));
+        rec.push(req_span(1, 30, 40, 8));
+        rec.push(span(2, 50, 60, SpanPhase::Scan));
+        let json = chrome_trace_json(&rec);
+        json_lint(&json).expect("flow export must stay valid JSON");
+        assert!(json.contains("\"ph\":\"s\",\"id\":7"));
+        assert!(json.contains("\"ph\":\"f\",\"id\":7"));
+        assert!(json.contains("\"bp\":\"e\""));
+        // Single-span requests are not stitched.
+        assert!(!json.contains("\"id\":8"));
+        // Slices carry the request id for hovering.
+        assert!(json.contains("\"req\":7"));
+    }
+
+    #[test]
+    fn flow_events_span_three_or_more_ops_with_steps() {
+        let mut rec = RingSink::new(16);
+        rec.push(req_span(0, 0, 10, 5));
+        rec.push(req_span(1, 12, 20, 5));
+        rec.push(req_span(2, 22, 30, 5));
+        let json = chrome_trace_json(&rec);
+        json_lint(&json).unwrap();
+        assert!(json.contains("\"ph\":\"s\",\"id\":5"));
+        assert!(json.contains("\"ph\":\"t\",\"id\":5"));
+        assert!(json.contains("\"ph\":\"f\",\"id\":5"));
+    }
+
+    #[test]
+    fn channel_utilization_csv_shape_and_values() {
+        let mut rec = RingSink::new(8);
+        // A channel-only segment: fabricate a span holding channel 1 for
+        // the whole first half of the covered window.
+        let mut s = span(0, 0, 50, SpanPhase::Host);
+        s.segs[0] = Some(Seg {
+            resource: Resource::Channel(1),
+            start: SimTime::from_micros(0),
+            end: SimTime::from_micros(50),
+        });
+        rec.push(s);
+        rec.push(span(1, 99, 100, SpanPhase::Host));
+        let csv = channel_utilization_csv(&rec, 2, 2);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "bucket_start_ms,bucket_end_ms,channel_0,channel_1"
+        );
+        assert_eq!(lines.len(), 3);
+        let first: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(first[3], "1.0000"); // channel 1 fully busy in bucket 0
+        assert_eq!(first[2], "0.0000"); // channel 0 idle throughout
+        let second: Vec<&str> = lines[2].split(',').collect();
+        assert_eq!(second[3], "0.0000");
     }
 
     #[test]

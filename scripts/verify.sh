@@ -29,16 +29,28 @@ echo "==> fault-storm smoke (BER sweep over every FTL, offline)"
 cargo run --release --offline -q -p dloop-bench --bin dloop-experiments -- \
     faults --scale 8 --requests 2000 --out none >/dev/null
 
-echo "==> flight-recorder smoke (trace artifacts parse and reconcile)"
-# The trace subcommand asserts in-process that the span count matches the
-# hardware counters and that the Chrome export passes the JSON linter;
-# any drift aborts the run.
+echo "==> trace-sink smoke (ring + stream replay, artifacts parse and reconcile)"
+# The trace subcommand replays through a TeeSink (bounded RingSink +
+# uncapped JSONL StreamSink) and asserts in-process that both sinks saw
+# exactly one span per hardware operation, that the stream recorded ZERO
+# drops, that every streamed JSONL line and the Chrome export pass the
+# JSON linter, and it warns loudly if the bounded ring discarded spans.
+# Any drift aborts the run.
 trace_out="$(mktemp -d)"
 cargo run --release --offline -q -p dloop-bench --bin dloop-experiments -- \
     trace --scale 8 --requests 2000 --out "$trace_out" >/dev/null
-for artifact in trace_chrome.json trace_plane_util.csv trace_0.csv; do
+for artifact in trace_chrome.json trace_plane_util.csv trace_channel_util.csv \
+    trace_spans.jsonl trace_0.csv; do
     [[ -s "$trace_out/$artifact" ]] || {
         echo "error: trace smoke did not produce $artifact" >&2
+        exit 1
+    }
+done
+# Belt and braces on top of the in-process checks: the streamed journal
+# must be one JSON object per line.
+head -n 3 "$trace_out/trace_spans.jsonl" | while IFS= read -r line; do
+    [[ "$line" == "{"*"}" ]] || {
+        echo "error: trace_spans.jsonl line is not a JSON object: $line" >&2
         exit 1
     }
 done

@@ -29,12 +29,13 @@
 //! let mut device = SsdDevice::new(config.clone(), Box::new(ftl));
 //!
 //! // A 16-page sequential write stripes across every plane.
-//! let report = device.run_trace(&[HostRequest {
+//! let requests = [HostRequest {
 //!     arrival: SimTime::ZERO,
 //!     lpn: 0,
 //!     pages: 16,
 //!     op: HostOp::Write,
-//! }]);
+//! }];
+//! let report = device.run(&requests, ReplayMode::Open);
 //! assert_eq!(report.pages_written, 16);
 //! println!("mean response time: {:.3} ms", report.mean_response_time_ms());
 //! ```
@@ -53,11 +54,11 @@ pub mod prelude {
     pub use dloop::{DloopConfig, DloopFtl, HotPlaneDloopFtl};
     pub use dloop_faults::{FaultConfig, MediaOutcome};
     pub use dloop_ftl_kit::config::{FtlKind, SsdConfig};
-    pub use dloop_ftl_kit::device::SsdDevice;
+    pub use dloop_ftl_kit::device::{ReplayMode, SsdDevice};
     pub use dloop_ftl_kit::ftl::Ftl;
     pub use dloop_ftl_kit::metrics::RunReport;
     pub use dloop_ftl_kit::request::{HostOp, HostRequest};
     pub use dloop_nand::geometry::Geometry;
     pub use dloop_nand::timing::TimingConfig;
-    pub use dloop_simkit::{SimDuration, SimTime};
+    pub use dloop_simkit::{RingSink, SimDuration, SimTime, StreamSink, TeeSink, TraceSink};
 }

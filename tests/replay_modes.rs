@@ -22,7 +22,7 @@ use dloop_repro::baselines::DftlFtl;
 use dloop_repro::dloop_ftl::DloopFtl;
 use dloop_repro::faults::FaultConfig;
 use dloop_repro::ftl_kit::config::{FtlKind, SsdConfig};
-use dloop_repro::ftl_kit::device::SsdDevice;
+use dloop_repro::ftl_kit::device::{ReplayMode, SsdDevice};
 use dloop_repro::ftl_kit::ftl::Ftl;
 use dloop_repro::ftl_kit::metrics::RunReport;
 use dloop_repro::ftl_kit::request::{HostOp, HostRequest};
@@ -248,6 +248,46 @@ fn replay_modes_agree_on_served_work_and_flash_state() {
                 fingerprint(&r_closed),
                 "{:?}: closed(∞) must degenerate to open replay",
                 kind
+            );
+        }
+        Ok(())
+    });
+}
+
+/// The `run_trace*` entry points are thin wrappers over the unified
+/// driver: `run(reqs, mode)` produces bit-identical reports and flash
+/// state for every mode. This is the API contract the redesign keeps.
+#[test]
+fn unified_driver_agrees_with_wrapper_entry_points() {
+    let gen = check::vec_of(op_gen(600), 1..120);
+    Checker::new().cases(8).run(&gen, |ops| {
+        let reqs = requests(ops);
+        let config = SsdConfig::micro_gc_test();
+        let modes = [
+            (Mode::Open, ReplayMode::Open),
+            (Mode::Gated, ReplayMode::Gated),
+            (
+                Mode::Closed,
+                ReplayMode::Closed {
+                    queue_depth: reqs.len() + 1,
+                },
+            ),
+        ];
+        for (wrapper_mode, replay_mode) in modes {
+            let (d_w, r_w) = run_mode(FtlKind::Dloop, &config, &reqs, wrapper_mode, false);
+            let mut d_u = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
+            let r_u = d_u.run(&reqs, replay_mode);
+            check_assert_eq!(
+                fingerprint(&r_w),
+                fingerprint(&r_u),
+                "wrapper and unified driver disagree ({:?})",
+                replay_mode
+            );
+            check_assert_eq!(
+                flash_digest(&d_w),
+                flash_digest(&d_u),
+                "flash state diverged ({:?})",
+                replay_mode
             );
         }
         Ok(())
