@@ -33,7 +33,47 @@ pub mod tracecmd;
 pub mod traces;
 
 use crate::table::Table;
+use dloop_ftl_kit::device::{ReplayMode, DEFAULT_NCQ_DEPTH};
 use std::path::PathBuf;
+
+/// Replay admission policy selected on the command line (`--mode`). Kept
+/// separate from [`ReplayMode`] so the flag and the queue depth
+/// (`--depth`) can be given in either order; [`ExpOptions::replay_mode`]
+/// combines them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Open arrivals (the default, and the mode the paper's figures use).
+    Open,
+    /// FlashSim's FIFO-with-skipping priority list.
+    Gated,
+    /// fio-style bounded host queue.
+    Closed,
+    /// NCQ-style bounded reordering.
+    Ncq,
+}
+
+impl TraceMode {
+    /// Parse a `--mode` value.
+    pub fn parse(s: &str) -> Option<TraceMode> {
+        match s {
+            "open" => Some(TraceMode::Open),
+            "gated" => Some(TraceMode::Gated),
+            "closed" => Some(TraceMode::Closed),
+            "ncq" => Some(TraceMode::Ncq),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling (for output labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceMode::Open => "open",
+            TraceMode::Gated => "gated",
+            TraceMode::Closed => "closed",
+            TraceMode::Ncq => "ncq",
+        }
+    }
+}
 
 /// Options shared by every experiment.
 #[derive(Debug, Clone)]
@@ -53,6 +93,12 @@ pub struct ExpOptions {
     pub out_dir: Option<PathBuf>,
     /// Pre-fill fraction (device aging) before measurement.
     pub fill_fraction: f64,
+    /// Replay admission policy (`--mode`; currently honoured by the
+    /// `trace` subcommand — the figure experiments replay open-arrival
+    /// like the paper).
+    pub mode: TraceMode,
+    /// Host queue depth for the bounded modes (`--depth`).
+    pub queue_depth: usize,
 }
 
 impl Default for ExpOptions {
@@ -64,11 +110,27 @@ impl Default for ExpOptions {
             workers: crate::runner::default_workers(),
             out_dir: Some(PathBuf::from("results")),
             fill_fraction: 0.0,
+            mode: TraceMode::Open,
+            queue_depth: DEFAULT_NCQ_DEPTH,
         }
     }
 }
 
 impl ExpOptions {
+    /// The [`ReplayMode`] the `--mode`/`--depth` flags select.
+    pub fn replay_mode(&self) -> ReplayMode {
+        match self.mode {
+            TraceMode::Open => ReplayMode::Open,
+            TraceMode::Gated => ReplayMode::Gated,
+            TraceMode::Closed => ReplayMode::Closed {
+                queue_depth: self.queue_depth,
+            },
+            TraceMode::Ncq => ReplayMode::Ncq {
+                queue_depth: self.queue_depth,
+            },
+        }
+    }
+
     /// Nominal paper capacity → simulated capacity under `scale`.
     pub fn scaled_capacity(&self, nominal_gb: u32) -> u32 {
         (nominal_gb / self.scale).max(1)

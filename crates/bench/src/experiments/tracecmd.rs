@@ -16,15 +16,23 @@
 //! from the hardware counters. If the bounded ring did overflow, a loud
 //! warning marks the Chrome/CSV exports as covering a truncated window
 //! (the streamed journal is always complete).
+//!
+//! The replay admission policy follows `--mode` (open by default; gated,
+//! closed or NCQ with `--depth`), and alongside the span artifacts the
+//! command emits `trace_queue_depth.csv` — the host-queue occupancy
+//! timeline every replay driver records through its `QueueDepthProbe`
+//! (in-flight / pending counts plus admitted / completed deltas per
+//! sim-time bucket). Its shape and conservation laws are self-checked
+//! here too.
 
 use super::ExpOptions;
 use crate::runner::build_ftl;
 use crate::table::{f, Table};
 use dloop_ftl_kit::config::{FtlKind, SsdConfig};
-use dloop_ftl_kit::device::{ReplayMode, SsdDevice};
+use dloop_ftl_kit::device::SsdDevice;
 use dloop_simkit::trace::{
     attribution, channel_utilization_csv, chrome_trace_json, json_lint, plane_utilization_csv,
-    RingSink, StreamSink, TeeSink,
+    QueueDepthProbe, RingSink, StreamSink, TeeSink,
 };
 use dloop_simkit::{SpanPhase, TraceSink};
 use dloop_workloads::WorkloadProfile;
@@ -59,7 +67,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         Box::new(RingSink::new(RING_CAPACITY)),
         Box::new(StreamSink::new(Vec::new())),
     )));
-    let report = device.run(&trace.requests, ReplayMode::Open);
+    let report = device.run(&trace.requests, opts.replay_mode());
     let (rec, mut stream) = split_tee(&mut device);
     stream.flush().expect("in-memory stream cannot fail");
 
@@ -112,6 +120,40 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let util = plane_utilization_csv(&rec, geometry.total_planes() as usize, UTIL_BUCKETS);
     let chan_util = channel_utilization_csv(&rec, geometry.channels as usize, UTIL_BUCKETS);
 
+    // Queue-depth timeline: every replay driver records its probe, so the
+    // export is meaningful for all --mode values. Self-check the shape and
+    // the conservation laws before writing it anywhere.
+    let queue_csv = report.queue_depth_csv(UTIL_BUCKETS);
+    let mut queue_lines = queue_csv.lines();
+    assert_eq!(
+        queue_lines.next(),
+        Some(QueueDepthProbe::csv_header()),
+        "queue-depth CSV header drifted from the locked schema"
+    );
+    let (mut admitted, mut completed, mut rows) = (0u64, 0u64, 0usize);
+    let mut final_counts = (0u64, 0u64);
+    for line in queue_lines {
+        let cols: Vec<&str> = line.split(',').collect();
+        assert_eq!(cols.len(), 5, "queue-depth CSV row must have 5 columns");
+        let n = |i: usize| cols[i].parse::<u64>().expect("integer column");
+        final_counts = (n(1), n(2));
+        admitted += n(3);
+        completed += n(4);
+        rows += 1;
+    }
+    assert_eq!(rows, UTIL_BUCKETS, "one queue-depth row per bucket");
+    assert_eq!(
+        admitted as usize,
+        report.queue_log.len(),
+        "every tracked unit admitted exactly once"
+    );
+    assert_eq!(completed, admitted, "every admitted unit completed");
+    assert_eq!(
+        final_counts,
+        (0, 0),
+        "queues must drain by the end of the replay"
+    );
+
     if let Some(dir) = &opts.out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("warning: could not create {}: {e}", dir.display());
@@ -120,6 +162,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
                 ("trace_chrome.json", &chrome),
                 ("trace_plane_util.csv", &util),
                 ("trace_channel_util.csv", &chan_util),
+                ("trace_queue_depth.csv", &queue_csv),
                 ("trace_spans.jsonl", &jsonl),
             ] {
                 let path = dir.join(name);
@@ -165,6 +208,11 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     }
 
     let mut summary = Table::new("Trace summary", &["metric", "value"]);
+    summary.row(vec!["replay_mode".into(), opts.mode.name().into()]);
+    summary.row(vec![
+        "queue_units_tracked".into(),
+        report.queue_log.len().to_string(),
+    ]);
     summary.row(vec!["spans_recorded".into(), rec.recorded().to_string()]);
     summary.row(vec!["spans_retained".into(), rec.len().to_string()]);
     summary.row(vec!["ring_dropped".into(), rec.dropped().to_string()]);
@@ -203,8 +251,9 @@ mod tests {
 
     /// The subcommand's in-process assertions (span counts vs hardware
     /// counters on both tee halves, zero stream drops, JSON validity of
-    /// the Chrome export and every streamed line) are the real test; this
-    /// just runs them on a small budget without touching the filesystem.
+    /// the Chrome export and every streamed line, queue-CSV shape and
+    /// conservation) are the real test; this just runs them on a small
+    /// budget without touching the filesystem.
     #[test]
     fn trace_command_self_checks_pass() {
         let opts = ExpOptions {
@@ -216,5 +265,22 @@ mod tests {
         assert_eq!(tables.len(), 2);
         // Host spans exist on any non-empty workload.
         assert!(tables[0].len() == 3, "one attribution row per phase");
+    }
+
+    /// Same self-checks under the NCQ scheduler — the mode the verify.sh
+    /// smoke step replays (`--mode ncq`).
+    #[test]
+    fn trace_command_self_checks_pass_in_ncq_mode() {
+        let opts = ExpOptions {
+            max_requests: 300,
+            out_dir: None,
+            mode: super::super::TraceMode::Ncq,
+            queue_depth: 8,
+            ..ExpOptions::default()
+        };
+        let tables = run(&opts);
+        assert_eq!(tables.len(), 2);
+        let rendered = tables[1].render();
+        assert!(rendered.contains("ncq"), "summary names the replay mode");
     }
 }

@@ -29,12 +29,15 @@
 //!   --workers N    host threads (default: cores-1)
 //!   --fill F       pre-fill fraction 0..1 (default 0)
 //!   --out DIR      CSV output directory (default results/; "none" disables)
+//!   --mode M       replay admission policy for `trace`:
+//!                  open|gated|closed|ncq (default open)
+//!   --depth N      host queue depth for closed/ncq modes (default 32)
 //!   --quick        shorthand for --requests 20000
 //! ```
 
 use dloop_bench::experiments::{
     ablation, channels, copyback, faults, fig10, fig8, fig9, headline, params, striping, tracecmd,
-    traces, ExpOptions,
+    traces, ExpOptions, TraceMode,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -45,7 +48,8 @@ fn usage() -> ExitCode {
 }
 
 const HELP: &str = "usage: dloop-experiments <params|traces|copyback|fig8|fig9|fig10|headline|ablation|striping|channels|faults|trace|verify|all> \
-[--scale N] [--requests N] [--seed N] [--workers N] [--fill F] [--out DIR] [--quick]";
+[--scale N] [--requests N] [--seed N] [--workers N] [--fill F] [--out DIR] \
+[--mode open|gated|closed|ncq] [--depth N] [--quick]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -107,6 +111,20 @@ fn main() -> ExitCode {
                     Some(PathBuf::from(v))
                 };
                 true
+            }),
+            "--mode" => take(&mut |v| match TraceMode::parse(v) {
+                Some(m) => {
+                    opts.mode = m;
+                    true
+                }
+                None => false,
+            }),
+            "--depth" => take(&mut |v| match v.parse() {
+                Ok(x) if x >= 1 => {
+                    opts.queue_depth = x;
+                    true
+                }
+                _ => false,
             }),
             "--quick" => {
                 opts.max_requests = 20_000;

@@ -18,12 +18,16 @@ use crate::ftl::{FlashStep, Ftl, FtlContext, FtlCounters, OpChain, Phase};
 use crate::metrics::RunReport;
 use crate::request::{HostOp, HostRequest};
 use dloop_nand::{FlashState, HardwareModel, MediaCounters, PageState};
-use dloop_simkit::trace::{FlightRecorder, RingSink, SpanPhase, TraceSink};
+use dloop_simkit::trace::{FlightRecorder, QueueDepthProbe, RingSink, SpanPhase, TraceSink};
 use dloop_simkit::{EventQueue, Histogram, OnlineStats, PendingQueue, SimTime};
+
+/// Default reorder-window size for [`ReplayMode::Ncq`] — SATA NCQ's
+/// 32-entry command queue.
+pub const DEFAULT_NCQ_DEPTH: usize = 32;
 
 /// How a trace's host requests are admitted to the device during replay.
 ///
-/// All three policies feed the same request-splitting, translation and
+/// All four policies feed the same request-splitting, translation and
 /// chain-playing machinery ([`SsdDevice::run`]); they differ only in *when*
 /// a request's flash work may begin:
 ///
@@ -38,6 +42,13 @@ use dloop_simkit::{EventQueue, Histogram, OnlineStats, PendingQueue, SimTime};
 ///   fio-style bounded host queue: at most `queue_depth` requests are
 ///   outstanding; request *i* issues at the later of its arrival and the
 ///   completion of request *i − queue_depth*.
+/// * [`ReplayMode::Ncq { queue_depth }`](ReplayMode::Ncq) — NCQ-style
+///   bounded reordering: among the oldest `queue_depth` queued page
+///   operations, issue any whose first host step's plane and channel are
+///   idle *now*, preferring the op whose target plane has been idle
+///   longest (ties by arrival order; fully deterministic). Reordering can
+///   only fill planes the FIFO would have left idle, which is exactly the
+///   plane-level parallelism DLOOP's allocation spreads writes across.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplayMode {
     /// Open arrivals (unbounded backlog): resources are booked at arrival.
@@ -47,6 +58,12 @@ pub enum ReplayMode {
     /// Closed-loop replay with a bounded host queue of `queue_depth`.
     Closed {
         /// Maximum simultaneously outstanding requests (must be ≥ 1).
+        queue_depth: usize,
+    },
+    /// NCQ-style replay: bounded reorder window over queued page ops.
+    Ncq {
+        /// Reorder-window size (must be ≥ 1); [`DEFAULT_NCQ_DEPTH`] is
+        /// the conventional choice.
         queue_depth: usize,
     },
 }
@@ -63,6 +80,11 @@ struct ReplayStats {
     pages_read: u64,
     pages_written: u64,
     sim_end: SimTime,
+    /// Host-queue occupancy log: `(arrival, issue, done)` per admitted
+    /// unit of work. Every driver records it (so Open ≡ Closed{∞} holds
+    /// field-for-field); the arrival-reserving drivers track whole
+    /// requests, the queueing drivers track page operations.
+    queue: QueueDepthProbe,
 }
 
 impl ReplayStats {
@@ -73,6 +95,7 @@ impl ReplayStats {
             pages_read: 0,
             pages_written: 0,
             sim_end: SimTime::ZERO,
+            queue: QueueDepthProbe::new(),
         }
     }
 
@@ -91,6 +114,18 @@ impl ReplayStats {
         self.response_ms.push(resp.as_millis_f64());
         self.hist.record(resp.as_micros_f64());
     }
+}
+
+/// One translated page operation waiting in a queueing replay scheduler
+/// (gated or NCQ): the chains the FTL produced at arrival time plus the
+/// bookkeeping needed to finish its host request.
+struct QueuedOp {
+    req: usize,
+    lpn: u64,
+    host: OpChain,
+    gc: OpChain,
+    scan: OpChain,
+    arrival: SimTime,
 }
 
 /// A simulated SSD: flash state + hardware timing + one FTL.
@@ -227,7 +262,7 @@ impl SsdDevice {
     /// Replay `requests` under the admission policy `mode` and measure.
     /// Requests may be in any order; they are processed by arrival time
     /// (FIFO among equal arrivals). This is the single replay driver: all
-    /// three modes share the request-splitting, translation, chain-playing
+    /// four modes share the request-splitting, translation, chain-playing
     /// and report-assembly code, so they provably agree on the flash work
     /// performed (see `tests/replay_modes.rs`).
     pub fn run(&mut self, requests: &[HostRequest], mode: ReplayMode) -> RunReport {
@@ -237,6 +272,10 @@ impl SsdDevice {
             ReplayMode::Closed { queue_depth } => {
                 assert!(queue_depth >= 1, "queue depth must be at least 1");
                 self.run_reserving(requests, Some(queue_depth))
+            }
+            ReplayMode::Ncq { queue_depth } => {
+                assert!(queue_depth >= 1, "queue depth must be at least 1");
+                self.run_ncq(requests, queue_depth)
             }
         }
     }
@@ -263,17 +302,35 @@ impl SsdDevice {
         let mut stats = ReplayStats::new();
         // Completion times of in-flight requests, earliest first (closed
         // mode only).
+        // Capacity capped at the request count: a `usize::MAX` depth is a
+        // legal "unbounded" spelling, not an allocation request.
         let mut in_flight: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>> =
-            std::collections::BinaryHeap::with_capacity(queue_depth.unwrap_or(0));
+            std::collections::BinaryHeap::with_capacity(
+                queue_depth.unwrap_or(0).min(requests.len()),
+            );
 
         while let Some(ev) = queue.pop() {
-            let req = requests[ev.event].wrapped(lpn_space);
+            let req = &requests[ev.event];
             let mut issue = req.arrival;
             if req.pages > 0 {
                 if let Some(depth) = queue_depth {
+                    // Requests already completed by this arrival no longer
+                    // occupy queue slots: drain them first so the depth
+                    // gate (and the occupancy the probe reports) sees the
+                    // true in-flight count — a burst of zero-page requests
+                    // interleaved with full-queue admissions must not
+                    // observe a stale length. Draining never changes issue
+                    // times: a freed slot `<= arrival` contributes
+                    // `max(arrival, freed) = arrival` either way.
+                    while in_flight
+                        .peek()
+                        .is_some_and(|&std::cmp::Reverse(t)| t <= req.arrival)
+                    {
+                        in_flight.pop();
+                    }
                     // Zero-page requests do no flash work: they complete at
                     // arrival without occupying a queue slot.
-                    if in_flight.len() == depth {
+                    if in_flight.len() >= depth {
                         let std::cmp::Reverse(freed) =
                             in_flight.pop().expect("queue depth at least 1");
                         issue = issue.max(freed);
@@ -281,8 +338,7 @@ impl SsdDevice {
                 }
             }
             let mut req_done = issue;
-            for lpn in req.page_ops() {
-                let lpn = lpn % lpn_space;
+            for lpn in req.wrapped_page_ops(lpn_space) {
                 let done = self.serve_page_op(lpn, req.op, issue, ev.event as u64);
                 req_done = req_done.max(done);
                 stats.count_page(req.op);
@@ -290,6 +346,7 @@ impl SsdDevice {
             if req.pages > 0 && queue_depth.is_some() {
                 in_flight.push(std::cmp::Reverse(req_done));
             }
+            stats.queue.track(req.arrival, issue, req_done);
             stats.complete(req.arrival, req_done);
         }
 
@@ -303,29 +360,13 @@ impl SsdDevice {
     /// *later* operations on those planes/buses) without extending this
     /// request — the paper's Fig. 6 invokes GC after serving the write.
     fn serve_page_op(&mut self, lpn: u64, op: HostOp, arrival: SimTime, req: u64) -> SimTime {
-        self.host_chain.clear();
-        self.gc_chain.clear();
-        self.scan_chain.clear();
-        let mut ctx = FtlContext {
-            flash: &mut self.flash,
-            dir: &mut self.dir,
-            host_chain: &mut self.host_chain,
-            gc_chain: &mut self.gc_chain,
-            scan_chain: &mut self.scan_chain,
-            phase: Phase::Host,
-        };
-        match op {
-            HostOp::Read => self.ftl.read(lpn, &mut ctx),
-            HostOp::Write => self.ftl.write(lpn, &mut ctx),
-        }
+        let (host_chain, gc_chain, scan_chain) = self.translate_page_op(lpn, op);
         // Housekeeping for unrelated planes first: it contends for
         // resources but never gates this response.
-        let scan_chain = std::mem::take(&mut self.scan_chain);
         self.hw
             .set_span_context(SpanPhase::Scan, Some(lpn), Some(req));
         self.play_chain(&scan_chain, arrival, false);
         self.scan_chain = scan_chain;
-        let host_chain = std::mem::take(&mut self.host_chain);
         self.hw
             .set_span_context(SpanPhase::Host, Some(lpn), Some(req));
         let (host_start, host_done) = self.play_chain_spans(&host_chain, arrival, true);
@@ -336,7 +377,6 @@ impl SsdDevice {
                 .push(host_done.saturating_since(host_start).as_millis_f64());
         }
         self.host_chain = host_chain;
-        let gc_chain = std::mem::take(&mut self.gc_chain);
         self.hw
             .set_span_context(SpanPhase::Gc, Some(lpn), Some(req));
         let response = if self.config.background_gc {
@@ -362,6 +402,34 @@ impl SsdDevice {
         response
     }
 
+    /// Translate one page operation through the FTL — state effects are
+    /// immediate, as in FlashSim — and hand back the resulting
+    /// `(host, gc, scan)` chains. Shared by every replay driver; the
+    /// queueing drivers (gated, NCQ) defer *playing* the chains until
+    /// their scheduler issues the op.
+    fn translate_page_op(&mut self, lpn: u64, op: HostOp) -> (OpChain, OpChain, OpChain) {
+        self.host_chain.clear();
+        self.gc_chain.clear();
+        self.scan_chain.clear();
+        let mut ctx = FtlContext {
+            flash: &mut self.flash,
+            dir: &mut self.dir,
+            host_chain: &mut self.host_chain,
+            gc_chain: &mut self.gc_chain,
+            scan_chain: &mut self.scan_chain,
+            phase: Phase::Host,
+        };
+        match op {
+            HostOp::Read => self.ftl.read(lpn, &mut ctx),
+            HostOp::Write => self.ftl.write(lpn, &mut ctx),
+        }
+        (
+            std::mem::take(&mut self.host_chain),
+            std::mem::take(&mut self.gc_chain),
+            std::mem::take(&mut self.scan_chain),
+        )
+    }
+
     /// Reserve resources for each step of `chain`, starting no earlier
     /// than `at`; returns the last completion. With `chained`, each step
     /// additionally waits for the previous one (host dependency order);
@@ -371,8 +439,17 @@ impl SsdDevice {
         self.play_chain_spans(chain, at, chained).1
     }
 
-    /// Like [`Self::play_chain`] but also reports when the first step
+    /// Like [`Self::play_chain`] but also reports when the earliest step
     /// actually began (for queueing/service latency decomposition).
+    ///
+    /// Return contract: `(first_start, release)`, where `first_start` is
+    /// the minimum `start` across the chain's steps — with `chained:
+    /// false` steps are issued concurrently and step 0 need not begin
+    /// earliest — and `release` is the chain's maximum resource-timeline
+    /// end: every plane and channel the chain touched is free again at
+    /// (or before) that time, so `release` is also the correct wake time
+    /// for schedulers gating on those resources (the wake-event contract
+    /// in DESIGN.md). An empty chain returns `(at, at)`.
     fn play_chain_spans(
         &mut self,
         chain: &OpChain,
@@ -381,8 +458,8 @@ impl SsdDevice {
     ) -> (SimTime, SimTime) {
         let mut t = at;
         let mut last = at;
-        let mut first_start = at;
-        for (i, step) in chain.steps().iter().enumerate() {
+        let mut first_start: Option<SimTime> = None;
+        for step in chain.steps() {
             let issue = if chained { t } else { at };
             let completion = match *step {
                 FlashStep::Read { plane } => self.hw.exec_read(plane, issue),
@@ -396,9 +473,10 @@ impl SsdDevice {
                     self.hw.exec_interplane_copy(src, dst, issue)
                 }
             };
-            if i == 0 {
-                first_start = completion.start;
-            }
+            first_start = Some(match first_start {
+                Some(f) => f.min(completion.start),
+                None => completion.start,
+            });
             let (p, q) = step.planes();
             self.plane_counts[p as usize] += 1;
             if let Some(q) = q {
@@ -407,6 +485,9 @@ impl SsdDevice {
             t = completion.end;
             last = last.max(completion.end);
         }
+        // With `chained`, each step starts at the previous step's end, so
+        // the final `t` is already the maximum resource release.
+        let first_start = first_start.unwrap_or(at);
         if chained {
             (first_start, t)
         } else {
@@ -431,15 +512,6 @@ impl SsdDevice {
     /// book resources into the future at admission, nothing here holds a
     /// resource before its work begins.
     fn run_gated(&mut self, requests: &[HostRequest]) -> RunReport {
-        struct QueuedOp {
-            req: usize,
-            lpn: u64,
-            host: OpChain,
-            gc: OpChain,
-            scan: OpChain,
-            arrival: SimTime,
-        }
-
         let lpn_space = self.flash.geometry().user_pages();
         let mut events: EventQueue<Option<usize>> = EventQueue::new();
         for (i, r) in requests.iter().enumerate() {
@@ -457,40 +529,26 @@ impl SsdDevice {
             if let Some(i) = ev.event {
                 // Arrival: translate every page op now (state effects are
                 // immediate, as in FlashSim) and queue its chains.
-                let req = requests[i].wrapped(lpn_space);
+                let req = &requests[i];
                 if req.pages == 0 {
                     // No page operations to queue: the request completes
                     // instantly at arrival with a zero response sample,
                     // exactly as the other replay modes count it (the
                     // per-op completion branch below would otherwise never
                     // fire and the request would vanish from the stats).
+                    stats.queue.track(req.arrival, req.arrival, req.arrival);
                     stats.complete(req.arrival, req.arrival);
                     continue;
                 }
-                for lpn in req.page_ops() {
-                    let lpn = lpn % lpn_space;
-                    self.host_chain.clear();
-                    self.gc_chain.clear();
-                    self.scan_chain.clear();
-                    let mut ctx = FtlContext {
-                        flash: &mut self.flash,
-                        dir: &mut self.dir,
-                        host_chain: &mut self.host_chain,
-                        gc_chain: &mut self.gc_chain,
-                        scan_chain: &mut self.scan_chain,
-                        phase: Phase::Host,
-                    };
-                    match req.op {
-                        HostOp::Read => self.ftl.read(lpn, &mut ctx),
-                        HostOp::Write => self.ftl.write(lpn, &mut ctx),
-                    }
+                for lpn in req.wrapped_page_ops(lpn_space) {
+                    let (host, gc, scan) = self.translate_page_op(lpn, req.op);
                     stats.count_page(req.op);
                     pending.push_back(QueuedOp {
                         req: i,
                         lpn,
-                        host: std::mem::take(&mut self.host_chain),
-                        gc: std::mem::take(&mut self.gc_chain),
-                        scan: std::mem::take(&mut self.scan_chain),
+                        host,
+                        gc,
+                        scan,
                         arrival: req.arrival,
                     });
                 }
@@ -515,43 +573,247 @@ impl SsdDevice {
                 let Some(op) = pending.pop_first_ready(ready) else {
                     break;
                 };
-                self.hw
-                    .set_span_context(SpanPhase::Host, Some(op.lpn), Some(op.req as u64));
-                let (host_start, host_done) = self.play_chain_spans(&op.host, now, true);
-                if !op.host.is_empty() {
-                    // Queueing delay spans arrival → first flash step (the
-                    // pending-queue wait plus any residual resource wait),
-                    // mirroring the open-arrival mode's decomposition.
-                    self.wait_ms
-                        .push(host_start.saturating_since(op.arrival).as_millis_f64());
-                    self.service_ms
-                        .push(host_done.saturating_since(host_start).as_millis_f64());
+                self.issue_queued_op(
+                    op,
+                    now,
+                    &mut stats,
+                    &mut req_done,
+                    &mut req_ops_left,
+                    &mut events,
+                );
+            }
+        }
+        assert!(pending.is_empty(), "ops left unissued at end of trace");
+
+        self.finish_report(requests.len() as u64, stats)
+    }
+
+    /// Issue one queued page operation at `now`: play its chains (host
+    /// gates the response; scan and GC only contend), record latency
+    /// attribution and the queue probe, finish the request when this was
+    /// its last op, and schedule wakes. Shared by the gated and NCQ
+    /// schedulers.
+    ///
+    /// Wake-event contract (DESIGN.md): **every resource-busy interval
+    /// ends with a scheduled wake.** The host chain's resources are free
+    /// by `done`, which gets a wake below; scan and background-GC chains
+    /// keep planes and channels busy *past* `done`, so each gets its own
+    /// wake at its resource-release time. (Historically only `done` was
+    /// woken, so ops gated on a scanned/collected plane stalled until the
+    /// next trace arrival — or tripped the end-of-trace assert when no
+    /// arrival came.)
+    fn issue_queued_op(
+        &mut self,
+        op: QueuedOp,
+        now: SimTime,
+        stats: &mut ReplayStats,
+        req_done: &mut [SimTime],
+        req_ops_left: &mut [u32],
+        events: &mut EventQueue<Option<usize>>,
+    ) {
+        self.hw
+            .set_span_context(SpanPhase::Host, Some(op.lpn), Some(op.req as u64));
+        let (host_start, host_done) = self.play_chain_spans(&op.host, now, true);
+        if !op.host.is_empty() {
+            // Queueing delay spans arrival → first flash step (the
+            // pending-queue wait plus any residual resource wait),
+            // mirroring the open-arrival mode's decomposition.
+            self.wait_ms
+                .push(host_start.saturating_since(op.arrival).as_millis_f64());
+            self.service_ms
+                .push(host_done.saturating_since(host_start).as_millis_f64());
+        }
+        self.hw
+            .set_span_context(SpanPhase::Scan, Some(op.lpn), Some(op.req as u64));
+        let scan_release = self.play_chain(&op.scan, now, false);
+        if scan_release > now {
+            events.push(scan_release, None);
+        }
+        self.hw
+            .set_span_context(SpanPhase::Gc, Some(op.lpn), Some(op.req as u64));
+        let done = if self.config.background_gc {
+            let gc_release = self.play_chain(&op.gc, host_done, false);
+            if gc_release > now {
+                events.push(gc_release, None);
+            }
+            host_done
+        } else {
+            let gc_done = self.play_chain(&op.gc, host_done, true);
+            if !op.gc.is_empty() {
+                self.gc_block_ms
+                    .push(gc_done.saturating_since(host_done).as_millis_f64());
+            }
+            gc_done
+        };
+        stats.queue.track(op.arrival, now, done);
+        req_done[op.req] = req_done[op.req].max(done);
+        req_ops_left[op.req] -= 1;
+        if req_ops_left[op.req] == 0 {
+            stats.complete(op.arrival, req_done[op.req]);
+        }
+        // Wake the scheduler when this op's work completes.
+        if done > now {
+            events.push(done, None);
+        }
+    }
+
+    /// NCQ-style replay. Thin wrapper over [`SsdDevice::run`] with
+    /// [`ReplayMode::Ncq`].
+    pub fn run_trace_ncq(&mut self, requests: &[HostRequest], queue_depth: usize) -> RunReport {
+        self.run(requests, ReplayMode::Ncq { queue_depth })
+    }
+
+    /// NCQ-style reordering replay: page operations are translated on
+    /// arrival (like [`Self::run_gated`]) into a sequence-numbered pending
+    /// list, but the scheduler may issue *any* of the oldest `queue_depth`
+    /// pending ops whose first host step's plane and channel are idle now
+    /// — preferring the op whose target plane has been idle longest, ties
+    /// broken by arrival order. Selection runs over a per-resource
+    /// readiness index (one FIFO lane per plane, keyed by the first host
+    /// step's primary plane, plus one lane for chain-less ops such as
+    /// unmapped reads), so each scheduling decision is O(planes), not
+    /// O(pending).
+    ///
+    /// Policy note: lanes are head-of-line — an op blocked on its
+    /// *secondary* resource (e.g. the far plane of an inter-plane copy)
+    /// also blocks younger ops on the same lane. Reordering happens
+    /// *across* planes, which is where the idle parallelism DLOOP's
+    /// allocation creates actually lives; within a plane, FIFO order is
+    /// what keeps selection cheap and deterministic.
+    fn run_ncq(&mut self, requests: &[HostRequest], queue_depth: usize) -> RunReport {
+        /// A queued op plus its global arrival sequence number (the
+        /// pending list stays sorted by it).
+        struct NcqOp {
+            seq: u64,
+            op: QueuedOp,
+        }
+
+        let lpn_space = self.flash.geometry().user_pages();
+        let planes = self.flash.geometry().total_planes() as usize;
+        let mut events: EventQueue<Option<usize>> = EventQueue::new();
+        for (i, r) in requests.iter().enumerate() {
+            events.push(r.arrival, Some(i));
+        }
+
+        let mut pending: PendingQueue<NcqOp> = PendingQueue::new();
+        // Readiness index: the front of lane `p` is the oldest pending op
+        // whose first host step starts on plane `p` (with that step cached
+        // for the resource check); `chainless` holds ops with no host
+        // steps, which need no resources at all.
+        let mut lanes: Vec<std::collections::VecDeque<(u64, FlashStep)>> =
+            vec![std::collections::VecDeque::new(); planes];
+        let mut chainless: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        let mut next_seq = 0u64;
+
+        let mut req_done: Vec<SimTime> = requests.iter().map(|r| r.arrival).collect();
+        let mut req_ops_left: Vec<u32> = requests.iter().map(|r| r.pages).collect();
+
+        let mut stats = ReplayStats::new();
+
+        while let Some(ev) = events.pop() {
+            let now = ev.at;
+            if let Some(i) = ev.event {
+                let req = &requests[i];
+                if req.pages == 0 {
+                    stats.queue.track(req.arrival, req.arrival, req.arrival);
+                    stats.complete(req.arrival, req.arrival);
+                    continue;
                 }
-                self.hw
-                    .set_span_context(SpanPhase::Scan, Some(op.lpn), Some(op.req as u64));
-                self.play_chain(&op.scan, now, false);
-                self.hw
-                    .set_span_context(SpanPhase::Gc, Some(op.lpn), Some(op.req as u64));
-                let done = if self.config.background_gc {
-                    self.play_chain(&op.gc, host_done, false);
-                    host_done
-                } else {
-                    let gc_done = self.play_chain(&op.gc, host_done, true);
-                    if !op.gc.is_empty() {
-                        self.gc_block_ms
-                            .push(gc_done.saturating_since(host_done).as_millis_f64());
+                for lpn in req.wrapped_page_ops(lpn_space) {
+                    let (host, gc, scan) = self.translate_page_op(lpn, req.op);
+                    stats.count_page(req.op);
+                    match host.steps().first() {
+                        None => chainless.push_back(next_seq),
+                        Some(step) => lanes[step.planes().0 as usize].push_back((next_seq, *step)),
                     }
-                    gc_done
+                    pending.push_back(NcqOp {
+                        seq: next_seq,
+                        op: QueuedOp {
+                            req: i,
+                            lpn,
+                            host,
+                            gc,
+                            scan,
+                            arrival: req.arrival,
+                        },
+                    });
+                    next_seq += 1;
+                }
+            }
+
+            // Issue every selectable op. The reorder window is the oldest
+            // `queue_depth` pending ops; `horizon` is the youngest
+            // sequence number inside it. Re-computed each iteration: an
+            // issue shrinks the pending list and slides the window.
+            loop {
+                let window = pending.len().min(queue_depth);
+                if window == 0 {
+                    break;
+                }
+                let horizon = pending.get(window - 1).expect("window within pending").seq;
+                // Chain-less ops need no resources: the oldest one inside
+                // the window issues immediately.
+                if let Some(&seq) = chainless.front() {
+                    if seq <= horizon {
+                        chainless.pop_front();
+                        let idx = pending
+                            .binary_search_by_key(&seq, |o| o.seq)
+                            .expect("indexed op is pending");
+                        let op = pending.remove_at(idx).expect("index in bounds").op;
+                        self.issue_queued_op(
+                            op,
+                            now,
+                            &mut stats,
+                            &mut req_done,
+                            &mut req_ops_left,
+                            &mut events,
+                        );
+                        continue;
+                    }
+                }
+                // Scan the lane fronts: among in-window ops whose first
+                // step's resources are all idle now, pick the one whose
+                // target plane has been idle longest (smallest ready-at),
+                // ties by sequence number. Lanes are visited in plane
+                // order and keys are totally ordered, so selection is
+                // deterministic.
+                let mut best: Option<(SimTime, u64, usize)> = None;
+                for (lane, q) in lanes.iter().enumerate() {
+                    let Some(&(seq, step)) = q.front() else {
+                        continue;
+                    };
+                    if seq > horizon {
+                        continue;
+                    }
+                    let (p, p2) = step.planes();
+                    let free = |plane| {
+                        self.hw.plane_ready_at(plane) <= now
+                            && self.hw.channel_ready_at(plane) <= now
+                    };
+                    if !free(p) || !p2.map(free).unwrap_or(true) {
+                        continue;
+                    }
+                    let key = (self.hw.plane_ready_at(p), seq);
+                    if best.map_or(true, |(t, s, _)| key < (t, s)) {
+                        best = Some((key.0, key.1, lane));
+                    }
+                }
+                let Some((_, seq, lane)) = best else {
+                    break;
                 };
-                req_done[op.req] = req_done[op.req].max(done);
-                req_ops_left[op.req] -= 1;
-                if req_ops_left[op.req] == 0 {
-                    stats.complete(op.arrival, req_done[op.req]);
-                }
-                // Wake the scheduler when this op's work completes.
-                if done > now {
-                    events.push(done, None);
-                }
+                lanes[lane].pop_front();
+                let idx = pending
+                    .binary_search_by_key(&seq, |o| o.seq)
+                    .expect("selected op is pending");
+                let op = pending.remove_at(idx).expect("index in bounds").op;
+                self.issue_queued_op(
+                    op,
+                    now,
+                    &mut stats,
+                    &mut req_done,
+                    &mut req_ops_left,
+                    &mut events,
+                );
             }
         }
         assert!(pending.is_empty(), "ops left unissued at end of trace");
@@ -595,6 +857,7 @@ impl SsdDevice {
             gc_block_ms: self.gc_block_ms.clone(),
             media: self.media_delta(),
             retry_ns: self.hw.retry_ns(),
+            queue_log: stats.queue,
         }
     }
 
@@ -901,6 +1164,71 @@ mod tests {
         );
         assert_eq!(r.response_ms.count(), 3);
         assert_eq!(r.response_ms.min().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ncq_depth_one_matches_gated_on_single_plane_writes() {
+        // With one lane of work (the toy FTL always writes plane 0) and a
+        // reorder window of 1, NCQ degenerates to the gated FIFO: same
+        // issue times, same response distribution.
+        let reqs: Vec<HostRequest> = (0..8).map(|i| write_req(i * 50, i, 1)).collect();
+        let gated = device().run_trace_gated(&reqs);
+        let ncq = device().run_trace_ncq(&reqs, 1);
+        assert_eq!(ncq.requests_completed, gated.requests_completed);
+        assert_eq!(ncq.pages_written, gated.pages_written);
+        assert_eq!(ncq.response_ms.mean(), gated.response_ms.mean());
+        assert_eq!(ncq.response_ms.max(), gated.response_ms.max());
+        assert_eq!(ncq.queue_log.tracked(), gated.queue_log.tracked());
+    }
+
+    #[test]
+    fn ncq_replay_is_deterministic() {
+        let reqs: Vec<HostRequest> = (0..20).map(|i| write_req(i * 10, i % 7, 1)).collect();
+        let a = device().run_trace_ncq(&reqs, 4);
+        let b = device().run_trace_ncq(&reqs, 4);
+        assert_eq!(a.response_ms.mean(), b.response_ms.mean());
+        assert_eq!(a.queue_log.tracked(), b.queue_log.tracked());
+        assert_eq!(a.sim_end, b.sim_end);
+    }
+
+    #[test]
+    fn every_mode_records_the_queue_probe() {
+        // 3 single-page requests + 1 zero-page request: each mode must log
+        // one probe entry per admitted unit (requests for the reserving
+        // modes, page ops for the queueing modes — equal counts here).
+        let reqs = [
+            write_req(0, 1, 1),
+            write_req(100, 2, 1),
+            write_req(200, 3, 0),
+            read_req(5000, 1, 1),
+        ];
+        for mode in [
+            ReplayMode::Open,
+            ReplayMode::Gated,
+            ReplayMode::Closed { queue_depth: 2 },
+            ReplayMode::Ncq { queue_depth: 2 },
+        ] {
+            let r = device().run(&reqs, mode);
+            assert_eq!(r.queue_log.len(), 4, "mode {mode:?}");
+            // The zero-page request is an instant in-and-out.
+            assert!(r
+                .queue_log
+                .tracked()
+                .iter()
+                .any(|&(a, i, d)| a == i && i == d && a == SimTime::from_micros(200)));
+            let csv = r.queue_depth_csv(4);
+            assert!(csv.starts_with("bucket_start_ms,"));
+            assert_eq!(csv.lines().count(), 5);
+        }
+    }
+
+    #[test]
+    fn open_probe_issue_equals_arrival() {
+        let reqs = [write_req(0, 1, 1), write_req(10, 2, 1)];
+        let r = device().run_trace(&reqs);
+        for &(arrival, issue, _) in r.queue_log.tracked() {
+            assert_eq!(arrival, issue, "open mode admits at arrival");
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod request;
 pub use cmt::{CachedMappingTable, Evicted};
 pub use config::{FtlKind, SsdConfig};
 pub use demand::{DemandCounters, DemandMap, UNMAPPED};
-pub use device::{ReplayMode, SsdDevice};
+pub use device::{ReplayMode, SsdDevice, DEFAULT_NCQ_DEPTH};
 pub use dir::{PageDirectory, PageOwner};
 pub use ftl::{FlashStep, Ftl, FtlContext, FtlCounters, OpChain};
 pub use gtd::Gtd;

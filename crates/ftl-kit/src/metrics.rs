@@ -13,7 +13,7 @@
 use crate::ftl::FtlCounters;
 use dloop_nand::{MediaCounters, OpCounters};
 use dloop_simkit::stats::std_dev_of_counts;
-use dloop_simkit::{Histogram, OnlineStats, SimTime};
+use dloop_simkit::{Histogram, OnlineStats, QueueDepthProbe, SimTime};
 
 /// Everything measured over one simulation run.
 #[derive(Debug, Clone)]
@@ -63,6 +63,11 @@ pub struct RunReport {
     /// Plane-busy nanoseconds added by read-retry ladders (the latency
     /// price of the raw bit-error rate).
     pub retry_ns: u64,
+    /// Host-queue occupancy log: one `(arrival, issue, done)` triple per
+    /// admitted unit of work (requests in the arrival-reserving modes,
+    /// page operations in the gated/NCQ modes). Every replay mode records
+    /// it; render with [`RunReport::queue_depth_csv`].
+    pub queue_log: QueueDepthProbe,
 }
 
 impl RunReport {
@@ -252,6 +257,13 @@ impl RunReport {
         )
     }
 
+    /// The queue-depth-over-time CSV ([`QueueDepthProbe::csv`]) for this
+    /// run, rendered over `buckets` equal sim-time windows. The header is
+    /// locked by [`QueueDepthProbe::csv_header`].
+    pub fn queue_depth_csv(&self, buckets: usize) -> String {
+        self.queue_log.csv(buckets)
+    }
+
     /// One human-readable summary line.
     pub fn summary(&self) -> String {
         format!(
@@ -320,6 +332,7 @@ mod tests {
                 ..MediaCounters::default()
             },
             retry_ns: 120_000,
+            queue_log: QueueDepthProbe::new(),
         }
     }
 
@@ -347,6 +360,13 @@ mod tests {
     #[test]
     fn summary_mentions_scheme() {
         assert!(report().summary().contains("TEST"));
+    }
+
+    #[test]
+    fn queue_depth_csv_has_locked_header_even_when_empty() {
+        let csv = report().queue_depth_csv(8);
+        assert!(csv.starts_with(QueueDepthProbe::csv_header()));
+        assert_eq!(csv.lines().count(), 9);
     }
 
     #[test]

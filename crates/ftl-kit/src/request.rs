@@ -75,6 +75,16 @@ impl HostRequest {
             ..*self
         }
     }
+
+    /// Iterate the single-page operations with every LPN folded into
+    /// `[0, lpn_space)`. This is what the replay drivers actually consume:
+    /// folding only the base LPN ([`HostRequest::wrapped`]) is not enough,
+    /// because `lpn + i` can cross the space boundary mid-request, so each
+    /// page op needs its own fold.
+    pub fn wrapped_page_ops(&self, lpn_space: u64) -> impl Iterator<Item = Lpn> + '_ {
+        debug_assert!(lpn_space > 0);
+        (0..self.pages as u64).map(move |i| (self.lpn + i) % lpn_space)
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +120,27 @@ mod tests {
         // 4 KB at offset 3 KB with 2 KB pages: touches pages 1,2,3.
         let r = HostRequest::from_bytes(SimTime::ZERO, 3 * 1024, 4 * 1024, HostOp::Write, 2048);
         assert_eq!((r.lpn, r.pages), (1, 3));
+    }
+
+    #[test]
+    fn wrapped_page_ops_fold_each_page() {
+        // Base LPN 998 with 4 pages in a 1000-page space: the request
+        // crosses the boundary mid-stream, so per-page folding matters.
+        let r = HostRequest {
+            arrival: SimTime::ZERO,
+            lpn: 998,
+            pages: 4,
+            op: HostOp::Write,
+        };
+        assert_eq!(
+            r.wrapped_page_ops(1000).collect::<Vec<_>>(),
+            [998, 999, 0, 1]
+        );
+        // Folding the base first makes no difference.
+        assert_eq!(
+            r.wrapped(1000).wrapped_page_ops(1000).collect::<Vec<_>>(),
+            [998, 999, 0, 1]
+        );
     }
 
     #[test]

@@ -53,5 +53,6 @@ pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
-    FlightRecorder, RingSink, Span, SpanKind, SpanPhase, StreamSink, TeeSink, TraceSink,
+    FlightRecorder, QueueDepthProbe, RingSink, Span, SpanKind, SpanPhase, StreamSink, TeeSink,
+    TraceSink,
 };

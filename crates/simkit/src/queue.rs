@@ -80,6 +80,32 @@ impl<T> PendingQueue<T> {
         self.items.iter()
     }
 
+    /// The item at position `idx` in priority order (0 = highest priority).
+    /// Bounded-window schedulers (NCQ-style reordering) use this to read
+    /// the tail of their lookahead window without draining the queue.
+    pub fn get(&self, idx: usize) -> Option<&T> {
+        self.items.get(idx)
+    }
+
+    /// Remove and return the item at position `idx` in priority order,
+    /// preserving the relative order of everything else.
+    pub fn remove_at(&mut self, idx: usize) -> Option<T> {
+        self.items.remove(idx)
+    }
+
+    /// Binary-search for the item whose key `f` extracts equals `key`.
+    /// The queue's items must be sorted by that key in priority order
+    /// (true for any queue only ever `push_back`ed with increasing keys,
+    /// such as a sequence-numbered pending list). Returns the position in
+    /// the same `Ok`/`Err` convention as [`slice::binary_search_by_key`].
+    pub fn binary_search_by_key<K: Ord, F: FnMut(&T) -> K>(
+        &self,
+        key: &K,
+        f: F,
+    ) -> Result<usize, usize> {
+        self.items.binary_search_by_key(key, f)
+    }
+
     /// Number of queued items.
     pub fn len(&self) -> usize {
         self.items.len()
@@ -137,6 +163,24 @@ mod tests {
         assert_eq!(evens, vec![0, 2, 4]);
         let rest: Vec<_> = q.iter().cloned().collect();
         assert_eq!(rest, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn indexed_access_and_removal_keep_order() {
+        let mut q = PendingQueue::new();
+        for i in 10..15 {
+            q.push_back(i);
+        }
+        assert_eq!(q.get(0), Some(&10));
+        assert_eq!(q.get(4), Some(&14));
+        assert_eq!(q.get(5), None);
+        // Sequence-keyed binary search over the sorted queue.
+        assert_eq!(q.binary_search_by_key(&12, |&x| x), Ok(2));
+        assert_eq!(q.binary_search_by_key(&99, |&x| x), Err(5));
+        assert_eq!(q.remove_at(2), Some(12));
+        let rest: Vec<_> = q.iter().copied().collect();
+        assert_eq!(rest, vec![10, 11, 13, 14]);
+        assert_eq!(q.remove_at(9), None);
     }
 
     #[test]

@@ -36,6 +36,13 @@
 //! so a run with tracing enabled is bit-identical (in every report field)
 //! to the same run with tracing disabled.
 //!
+//! Beyond the span pipeline, the module hosts [`QueueDepthProbe`], a host
+//! queue-occupancy recorder the replay drivers feed with one
+//! `(arrival, issue, done)` triple per unit of work; its
+//! [`QueueDepthProbe::csv`] exporter renders the queue-depth-over-time
+//! timeline (in-flight / pending counts plus admitted / completed deltas
+//! per sim-time bucket).
+//!
 //! The module also ships [`json_lint`], a minimal JSON syntax validator, so
 //! the exported timeline can be checked hermetically (no serde, no Python).
 
@@ -891,6 +898,118 @@ pub fn channel_utilization_csv(rec: &FlightRecorder, channels: usize, buckets: u
     })
 }
 
+/// Host-queue occupancy probe: one `(arrival, issue, done)` triple per
+/// tracked unit of work (a host request in the closed-loop driver, a page
+/// operation in the gated and NCQ drivers).
+///
+/// The replay drivers record into the probe as they admit and complete
+/// work; [`QueueDepthProbe::csv`] then renders the queue-depth-over-time
+/// timeline the triples imply. A unit is *pending* from `arrival` until
+/// `issue` (waiting in the host queue) and *in flight* from `issue` until
+/// `done` (occupying the device). Recording is pure observation — the
+/// probe never feeds back into scheduling, and an unused probe is an empty
+/// `Vec`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueueDepthProbe {
+    /// `(arrival, issue, done)` per tracked unit, in tracking order.
+    tracked: Vec<(SimTime, SimTime, SimTime)>,
+}
+
+impl QueueDepthProbe {
+    /// An empty probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Track one unit of work that arrived at `arrival`, was admitted
+    /// (issued to the device) at `issue`, and completed at `done`.
+    /// Times may be recorded out of order across units; the CSV export
+    /// sorts its sweep internally.
+    pub fn track(&mut self, arrival: SimTime, issue: SimTime, done: SimTime) {
+        debug_assert!(
+            arrival <= issue && issue <= done,
+            "queue probe times must be ordered: {arrival} <= {issue} <= {done}"
+        );
+        self.tracked.push((arrival, issue, done));
+    }
+
+    /// Number of tracked units.
+    pub fn len(&self) -> usize {
+        self.tracked.len()
+    }
+
+    /// Whether nothing was tracked.
+    pub fn is_empty(&self) -> bool {
+        self.tracked.is_empty()
+    }
+
+    /// The raw `(arrival, issue, done)` triples, in tracking order.
+    pub fn tracked(&self) -> &[(SimTime, SimTime, SimTime)] {
+        &self.tracked
+    }
+
+    /// The locked CSV header of [`QueueDepthProbe::csv`]. `in_flight` and
+    /// `pending` are the queue occupancies at the *end* of each bucket;
+    /// `admitted` and `completed` are the deltas within it. Changing this
+    /// header is a breaking change for downstream tooling — update the
+    /// schema note in EXPERIMENTS.md if you must.
+    pub fn csv_header() -> &'static str {
+        "bucket_start_ms,in_flight,pending,admitted,completed"
+    }
+
+    /// Render the queue-depth-over-time timeline: simulated time from zero
+    /// through the last completion is divided into `buckets` equal windows,
+    /// and each row reports the in-flight and pending counts at the end of
+    /// the window plus the number of admissions and completions inside it.
+    /// Fully deterministic; always exactly `buckets` rows (all-zero rows
+    /// for an empty probe), so consumers can rely on the shape.
+    pub fn csv(&self, buckets: usize) -> String {
+        let buckets = buckets.max(1);
+        let mut arrivals: Vec<u64> = self.tracked.iter().map(|t| t.0.as_nanos()).collect();
+        let mut issues: Vec<u64> = self.tracked.iter().map(|t| t.1.as_nanos()).collect();
+        let mut dones: Vec<u64> = self.tracked.iter().map(|t| t.2.as_nanos()).collect();
+        arrivals.sort_unstable();
+        issues.sort_unstable();
+        dones.sort_unstable();
+        let end_ns = dones.last().copied().unwrap_or(0);
+        let width = (end_ns / buckets as u64).max(1);
+        let mut out = String::from(Self::csv_header());
+        out.push('\n');
+        let (mut ai, mut ii, mut di) = (0usize, 0usize, 0usize);
+        for b in 0..buckets {
+            let start = b as u64 * width;
+            // The final bucket is closed on the right so the event at
+            // exactly `end_ns` (the last completion) is never dropped by
+            // integer bucketing.
+            let end = if b + 1 == buckets {
+                u64::MAX
+            } else {
+                start + width
+            };
+            let (issued_before, done_before) = (ii, di);
+            while ai < arrivals.len() && arrivals[ai] < end {
+                ai += 1;
+            }
+            while ii < issues.len() && issues[ii] < end {
+                ii += 1;
+            }
+            while di < dones.len() && dones[di] < end {
+                di += 1;
+            }
+            let _ = writeln!(
+                out,
+                "{:.6},{},{},{},{}",
+                start as f64 / 1e6,
+                ii - di,
+                ai - ii,
+                ii - issued_before,
+                di - done_before,
+            );
+        }
+        out
+    }
+}
+
 /// Minimal JSON syntax validator (hermetic substitute for `python -m
 /// json.tool` in the verify pipeline). Accepts exactly one JSON value plus
 /// surrounding whitespace; reports the byte offset of the first error.
@@ -1094,6 +1213,61 @@ mod tests {
         rec.clear();
         assert!(rec.is_empty());
         assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn queue_probe_csv_shape_and_conservation() {
+        let mut probe = QueueDepthProbe::new();
+        // Three units: arrivals at 0/10/20 µs, issues at 0/15/30, dones at
+        // 40/50/60 — recorded out of order to exercise the internal sort.
+        let t = SimTime::from_micros;
+        probe.track(t(10), t(15), t(50));
+        probe.track(t(0), t(0), t(40));
+        probe.track(t(20), t(30), t(60));
+        assert_eq!(probe.len(), 3);
+        assert!(!probe.is_empty());
+        assert_eq!(probe.tracked().len(), 3);
+
+        let csv = probe.csv(6);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(QueueDepthProbe::csv_header()));
+        let rows: Vec<Vec<String>> = lines
+            .map(|l| l.split(',').map(str::to_owned).collect())
+            .collect();
+        assert_eq!(rows.len(), 6);
+        let col = |r: &[String], c: usize| r[c].parse::<i64>().unwrap();
+        let (mut admitted, mut completed) = (0, 0);
+        for r in &rows {
+            assert_eq!(r.len(), 5);
+            assert!(col(r, 1) >= 0 && col(r, 2) >= 0);
+            admitted += col(r, 3);
+            completed += col(r, 4);
+        }
+        // Everything admitted and completed exactly once; queues drain.
+        assert_eq!(admitted, 3);
+        assert_eq!(completed, 3);
+        let last = rows.last().unwrap();
+        assert_eq!(col(last, 1), 0);
+        assert_eq!(col(last, 2), 0);
+        // Bucket width = 60 µs / 6 = 10 µs; bucket boundaries are
+        // end-exclusive, so unit 1's arrival at exactly 10 µs falls in
+        // bucket 1. End of bucket 0: unit 0 in flight, nothing pending.
+        assert_eq!(col(&rows[0], 1), 1);
+        assert_eq!(col(&rows[0], 2), 0);
+        // End of bucket 2 (t < 30 µs): units 0,1 issued, unit 2 pending.
+        assert_eq!(col(&rows[2], 1), 2);
+        assert_eq!(col(&rows[2], 2), 1);
+    }
+
+    #[test]
+    fn queue_probe_empty_still_emits_shape() {
+        let probe = QueueDepthProbe::new();
+        let csv = probe.csv(4);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for row in &lines[1..] {
+            assert!(row.ends_with(",0,0,0,0"), "expected all-zero row: {row}");
+        }
     }
 
     #[test]

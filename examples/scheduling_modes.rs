@@ -1,10 +1,14 @@
-//! The three replay modes side by side on one bursty workload:
+//! The four replay modes side by side on one bursty workload:
 //!
 //! * **open loop** — trace arrivals, unbounded outstanding requests
 //!   (DiskSim-style replay; backlog can grow without limit);
 //! * **closed loop** — at most QD requests outstanding (fio-style);
 //! * **issue-gated** — FlashSim's priority list: operations wait until
-//!   their plane and channel are idle, FIFO with skipping.
+//!   their plane and channel are idle, FIFO with skipping;
+//! * **NCQ** — bounded reordering: any of the oldest QD pending ops may
+//!   issue once its plane and channel are idle, coldest plane first.
+//!   QD=1 is the strict in-order queue; the gap from there down to the
+//!   gated row is what the reorder window buys.
 //!
 //! ```text
 //! cargo run --release --example scheduling_modes
@@ -60,4 +64,11 @@ fn main() {
     let r = d.run_trace_gated(&trace.requests);
     print_row("issue-gated (FlashSim)", &r);
     d.audit().unwrap();
+
+    for qd in [1usize, 8, 32] {
+        let mut d = fresh(&config);
+        let r = d.run_trace_ncq(&trace.requests, qd);
+        print_row(&format!("NCQ QD={qd}"), &r);
+        d.audit().unwrap();
+    }
 }

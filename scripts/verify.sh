@@ -56,6 +56,31 @@ head -n 3 "$trace_out/trace_spans.jsonl" | while IFS= read -r line; do
 done
 rm -rf "$trace_out"
 
+echo "==> NCQ replay smoke (trace --mode ncq, queue-depth CSV with locked header)"
+# The same trace subcommand under the NCQ scheduler: its in-process
+# asserts cover the queue-depth CSV's shape and conservation laws; here
+# we additionally pin the artifact to disk and its header byte-for-byte.
+ncq_out="$(mktemp -d)"
+cargo run --release --offline -q -p dloop-bench --bin dloop-experiments -- \
+    trace --mode ncq --depth 16 --scale 8 --requests 2000 --out "$ncq_out" >/dev/null
+[[ -s "$ncq_out/trace_queue_depth.csv" ]] || {
+    echo "error: NCQ trace smoke did not produce trace_queue_depth.csv" >&2
+    exit 1
+}
+queue_header="$(head -n 1 "$ncq_out/trace_queue_depth.csv")"
+[[ "$queue_header" == "bucket_start_ms,in_flight,pending,admitted,completed" ]] || {
+    echo "error: trace_queue_depth.csv header drifted: $queue_header" >&2
+    exit 1
+}
+rm -rf "$ncq_out"
+
+echo "==> background-GC gated soak (10k-op GC-heavy tail, wake-event contract)"
+# Replays a write burst whose tail is still collecting when arrivals run
+# out: before the wake-event fix the gated scheduler stalled there (or
+# tripped its end-of-trace assert). The test also proves issue times are
+# arrival-independent.
+cargo test -q --release --offline --test replay_modes gated_background_gc_soak
+
 echo "==> cargo doc --no-deps -p dloop-simkit (must be warning-free)"
 doc_log="$(cargo doc --no-deps --offline -p dloop-simkit 2>&1)" || {
     echo "$doc_log"

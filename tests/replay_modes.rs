@@ -1,14 +1,24 @@
 //! Replay-mode agreement and tracing-purity properties.
 //!
-//! The device offers three replay modes — open arrivals
+//! The device offers four replay modes — open arrivals
 //! ([`SsdDevice::run_trace`]), the FlashSim priority list
-//! ([`SsdDevice::run_trace_gated`]) and a bounded host queue
-//! ([`SsdDevice::run_trace_closed`]). They model different host-side
-//! scheduling, but all three translate the same requests in the same
+//! ([`SsdDevice::run_trace_gated`]), a bounded host queue
+//! ([`SsdDevice::run_trace_closed`]) and NCQ-style bounded reordering
+//! ([`SsdDevice::run_trace_ncq`]). They model different host-side
+//! scheduling, but all four translate the same requests in the same
 //! order, so they must agree on everything *stateful*: pages served,
 //! flash page states, per-block erase counts, and the cross-layer audit.
 //! With an unbounded queue the closed mode degenerates to open arrivals
-//! exactly, report and all.
+//! exactly, report and all — zero-page requests included, which is the
+//! regression gate for the closed driver's freed-slot drain.
+//!
+//! The gated scheduler additionally carries the wake-event contract:
+//! every resource-busy interval ends with a scheduled wake, so a replay
+//! whose tail is GC-heavy (background GC keeps planes busy *past* the
+//! host `done` time) must drain without stalling on the next arrival —
+//! and without tripping the end-of-trace assert when no arrival comes.
+//! The soak test below replays exactly that shape; `scripts/verify.sh`
+//! runs it by name as the background-GC soak.
 //!
 //! The flight recorder must be pure observation: every [`RunReport`]
 //! field is bit-identical with tracing on or off, fault plans included.
@@ -28,7 +38,7 @@ use dloop_repro::ftl_kit::metrics::RunReport;
 use dloop_repro::ftl_kit::request::{HostOp, HostRequest};
 use dloop_repro::simkit::check::{self, Checker, Generator};
 use dloop_repro::simkit::trace::attribution;
-use dloop_repro::simkit::{Histogram, OnlineStats, SimTime};
+use dloop_repro::simkit::{Histogram, OnlineStats, SimDuration, SimTime};
 use dloop_repro::{check_assert, check_assert_eq};
 use std::fmt::Write as _;
 
@@ -95,7 +105,11 @@ fn requests(ops: &[Op]) -> Vec<HostRequest> {
 enum Mode {
     Open,
     Gated,
-    Closed,
+    /// Bounded host queue at the given depth (`usize::MAX` = unbounded,
+    /// which must degenerate to open arrivals).
+    Closed(usize),
+    /// NCQ-style bounded reordering at the given queue depth.
+    Ncq(usize),
 }
 
 fn run_mode(
@@ -112,7 +126,8 @@ fn run_mode(
     let report = match mode {
         Mode::Open => device.run_trace(reqs),
         Mode::Gated => device.run_trace_gated(reqs),
-        Mode::Closed => device.run_trace_closed(reqs, reqs.len() + 1),
+        Mode::Closed(depth) => device.run_trace_closed(reqs, depth),
+        Mode::Ncq(depth) => device.run_trace_ncq(reqs, depth),
     };
     (device, report)
 }
@@ -195,6 +210,10 @@ fn fingerprint(r: &RunReport) -> Vec<u64> {
     ]);
     fp.extend(&r.media.retry_hist);
     fp.push(r.retry_ns);
+    fp.push(r.queue_log.len() as u64);
+    for &(arrival, issue, done) in r.queue_log.tracked() {
+        fp.extend([arrival.as_nanos(), issue.as_nanos(), done.as_nanos()]);
+    }
     fp
 }
 
@@ -202,9 +221,13 @@ fn hw_op_total(r: &RunReport) -> u64 {
     r.hw.reads + r.hw.writes + r.hw.erases + r.hw.copybacks + r.hw.interplane_copies
 }
 
-/// All three replay modes agree on what was *done*: request/page
+/// All four replay modes agree on what was *done*: request/page
 /// accounting, flash page states, erase counts, and a passing audit.
-/// Closed replay with an unbounded queue is bit-identical to open replay.
+/// Closed replay with an unbounded queue is bit-identical to open replay
+/// (the generator mixes in zero-page requests, so this also locks the
+/// closed driver's freed-slot drain: a stale `in_flight` count would
+/// shift issue times and break the bit-identity). A depth-1 closed queue
+/// serialises issue but must not change any flash state.
 #[test]
 fn replay_modes_agree_on_served_work_and_flash_state() {
     let gen = check::vec_of(op_gen(800), 1..200);
@@ -214,8 +237,16 @@ fn replay_modes_agree_on_served_work_and_flash_state() {
         for kind in [FtlKind::Dloop, FtlKind::Dftl] {
             let (d_open, r_open) = run_mode(kind, &config, &reqs, Mode::Open, false);
             let (d_gated, r_gated) = run_mode(kind, &config, &reqs, Mode::Gated, false);
-            let (d_closed, r_closed) = run_mode(kind, &config, &reqs, Mode::Closed, false);
-            for (mode, r) in [("gated", &r_gated), ("closed", &r_closed)] {
+            let (d_closed, r_closed) =
+                run_mode(kind, &config, &reqs, Mode::Closed(usize::MAX), false);
+            let (d_serial, r_serial) = run_mode(kind, &config, &reqs, Mode::Closed(1), false);
+            let (d_ncq, r_ncq) = run_mode(kind, &config, &reqs, Mode::Ncq(4), false);
+            for (mode, r) in [
+                ("gated", &r_gated),
+                ("closed", &r_closed),
+                ("closed(1)", &r_serial),
+                ("ncq", &r_ncq),
+            ] {
                 check_assert_eq!(r_open.pages_read, r.pages_read, "{:?} {}", kind, mode);
                 check_assert_eq!(r_open.pages_written, r.pages_written, "{:?} {}", kind, mode);
                 check_assert_eq!(
@@ -239,10 +270,18 @@ fn replay_modes_agree_on_served_work_and_flash_state() {
             let digest = flash_digest(&d_open);
             check_assert_eq!(digest, flash_digest(&d_gated), "{:?} gated digest", kind);
             check_assert_eq!(digest, flash_digest(&d_closed), "{:?} closed digest", kind);
-            for d in [&d_open, &d_gated, &d_closed] {
+            check_assert_eq!(
+                digest,
+                flash_digest(&d_serial),
+                "{:?} closed(1) digest",
+                kind
+            );
+            check_assert_eq!(digest, flash_digest(&d_ncq), "{:?} ncq digest", kind);
+            for d in [&d_open, &d_gated, &d_closed, &d_serial, &d_ncq] {
                 d.audit().map_err(|e| format!("{kind:?}: {e}"))?;
             }
-            // Unbounded closed queue == open arrivals, field for field.
+            // Unbounded closed queue == open arrivals, field for field —
+            // including the queue probe, which both record per request.
             check_assert_eq!(
                 fingerprint(&r_open),
                 fingerprint(&r_closed),
@@ -267,11 +306,12 @@ fn unified_driver_agrees_with_wrapper_entry_points() {
             (Mode::Open, ReplayMode::Open),
             (Mode::Gated, ReplayMode::Gated),
             (
-                Mode::Closed,
+                Mode::Closed(reqs.len() + 1),
                 ReplayMode::Closed {
                     queue_depth: reqs.len() + 1,
                 },
             ),
+            (Mode::Ncq(8), ReplayMode::Ncq { queue_depth: 8 }),
         ];
         for (wrapper_mode, replay_mode) in modes {
             let (d_w, r_w) = run_mode(FtlKind::Dloop, &config, &reqs, wrapper_mode, false);
@@ -306,7 +346,12 @@ fn tracing_never_perturbs_reports() {
         let plain = SsdConfig::micro_gc_test();
         let faulty = SsdConfig::micro_gc_test().with_fault(FaultConfig::light(0x7A11));
         for (label, config) in [("fault-free", &plain), ("faulty", &faulty)] {
-            for mode in [Mode::Open, Mode::Gated, Mode::Closed] {
+            for mode in [
+                Mode::Open,
+                Mode::Gated,
+                Mode::Closed(usize::MAX),
+                Mode::Ncq(8),
+            ] {
                 let (_, off) = run_mode(FtlKind::Dloop, config, &reqs, mode, false);
                 let (mut traced, on) = run_mode(FtlKind::Dloop, config, &reqs, mode, true);
                 check_assert_eq!(
@@ -367,4 +412,132 @@ fn attribution_reconciles_with_response_times() {
         );
         Ok(())
     });
+}
+
+/// NCQ replay is fully deterministic: the same requests replayed twice
+/// produce bit-identical reports (queue probe included) and identical
+/// flash state. The scheduler's tie-breaks are all total orders — plane
+/// ready-at, then sequence number, lanes visited in plane order — so
+/// nothing depends on allocation or iteration accidents.
+#[test]
+fn ncq_replay_is_deterministic() {
+    let gen = check::vec_of(op_gen(700), 1..180);
+    Checker::new().cases(8).run(&gen, |ops| {
+        let reqs = requests(ops);
+        let config = SsdConfig::micro_gc_test();
+        let (d_a, r_a) = run_mode(FtlKind::Dloop, &config, &reqs, Mode::Ncq(32), false);
+        let (d_b, r_b) = run_mode(FtlKind::Dloop, &config, &reqs, Mode::Ncq(32), false);
+        check_assert_eq!(
+            fingerprint(&r_a),
+            fingerprint(&r_b),
+            "two NCQ replays of the same trace diverged"
+        );
+        check_assert_eq!(
+            flash_digest(&d_a),
+            flash_digest(&d_b),
+            "two NCQ replays left different flash state"
+        );
+        Ok(())
+    });
+}
+
+/// With `queue_depth: 1` the reorder window holds only the queue head,
+/// so NCQ degenerates to the strict in-order queue. On a single-plane
+/// device the gated scheduler cannot skip either (every write needs the
+/// same plane and channel, so if the head is blocked everything is), so
+/// the two must be bit-identical there — reports, probe and flash state.
+#[test]
+fn ncq_depth_one_is_gated_without_skipping() {
+    let config = SsdConfig {
+        channels: 1,
+        packages_per_channel: 1,
+        chips_per_package: 1,
+        dies_per_chip: 1,
+        planes_per_die: 1,
+        ..SsdConfig::micro_gc_test()
+    };
+    let gen = check::vec_of(check::u64s(0..200), 1..150);
+    Checker::new().cases(10).run(&gen, |lpns| {
+        // Single-page writes arriving densely enough to queue: writes
+        // always carry a host chain, which keeps the gated ready-check on
+        // the one shared plane — the regime where skipping never fires.
+        let reqs: Vec<HostRequest> = lpns
+            .iter()
+            .enumerate()
+            .map(|(i, &lpn)| HostRequest {
+                arrival: SimTime::from_micros(20 * (i as u64 + 1)),
+                lpn,
+                pages: 1,
+                op: HostOp::Write,
+            })
+            .collect();
+        let (d_gated, r_gated) = run_mode(FtlKind::Dloop, &config, &reqs, Mode::Gated, false);
+        let (d_ncq, r_ncq) = run_mode(FtlKind::Dloop, &config, &reqs, Mode::Ncq(1), false);
+        check_assert_eq!(
+            fingerprint(&r_gated),
+            fingerprint(&r_ncq),
+            "NCQ{{1}} must replay exactly like the unskippable gated FIFO"
+        );
+        check_assert_eq!(flash_digest(&d_gated), flash_digest(&d_ncq));
+        Ok(())
+    });
+}
+
+/// Regression soak for the wake-event contract (the headline bugfix):
+/// a write burst dense enough to leave a GC-heavy tail, replayed gated
+/// with `background_gc: true`. Background-GC chains keep planes busy
+/// *past* the host `done` time; before the fix the scheduler only woke
+/// at `done`, so the queued tail either stalled until the next arrival
+/// or tripped the end-of-trace `pending.is_empty()` assert.
+///
+/// Two properties: the replay drains (no panic, every request completes),
+/// and issue times are arrival-independent — appending one far-future
+/// zero-page request must not change a single response sample, which it
+/// would if any queued op were waiting for an arrival to wake it.
+/// `scripts/verify.sh` runs this by name as the background-GC soak.
+#[test]
+fn gated_background_gc_soak() {
+    let config = SsdConfig {
+        background_gc: true,
+        ..SsdConfig::micro_gc_test()
+    };
+    // 10k single-page writes over a tiny LPN range: heavy overwrite
+    // pressure keeps the collector running right through the tail.
+    let mut reqs: Vec<HostRequest> = (0..10_000u64)
+        .map(|i| HostRequest {
+            arrival: SimTime::from_micros(2 * (i + 1)),
+            lpn: (i * 13) % 400,
+            pages: 1,
+            op: HostOp::Write,
+        })
+        .collect();
+    let (device, report) = run_mode(FtlKind::Dloop, &config, &reqs, Mode::Gated, false);
+    assert_eq!(report.requests_completed, reqs.len() as u64);
+    assert_eq!(report.response_ms.count(), reqs.len() as u64);
+    device.audit().expect("audit after the soak");
+
+    // Arrival independence: one zero-page straggler ten seconds later
+    // adds exactly its own zero sample and changes nothing else.
+    let last = reqs.last().unwrap().arrival;
+    reqs.push(HostRequest {
+        arrival: last + SimDuration::from_micros(10_000_000),
+        lpn: 0,
+        pages: 0,
+        op: HostOp::Read,
+    });
+    let (_, with_straggler) = run_mode(FtlKind::Dloop, &config, &reqs, Mode::Gated, false);
+    assert_eq!(
+        with_straggler.response_ms.count(),
+        report.response_ms.count() + 1
+    );
+    assert_eq!(
+        with_straggler.response_ms.sum().to_bits(),
+        report.response_ms.sum().to_bits(),
+        "a far-future arrival changed burst response times: some op was \
+         stalled waiting for an arrival instead of a scheduled wake"
+    );
+    assert_eq!(
+        with_straggler.response_ms.max().unwrap().to_bits(),
+        report.response_ms.max().unwrap().to_bits()
+    );
 }

@@ -1,9 +1,12 @@
 //! End-to-end replay of real trace-file formats: parse SPC / DiskSim text,
-//! run it through a device, verify request accounting.
+//! run it through a device, verify request accounting — plus the shape
+//! and conservation laws of the queue-depth CSV every replay driver can
+//! emit from its [`QueueDepthProbe`].
 
 use dloop_repro::dloop_ftl::DloopFtl;
 use dloop_repro::ftl_kit::config::SsdConfig;
-use dloop_repro::ftl_kit::device::SsdDevice;
+use dloop_repro::ftl_kit::device::{ReplayMode, SsdDevice};
+use dloop_repro::simkit::trace::QueueDepthProbe;
 use dloop_repro::workloads::{parse_disksim, parse_spc};
 
 #[test]
@@ -44,6 +47,65 @@ fn disksim_trace_replays_end_to_end() {
     let report = device.run_trace(&trace.requests);
     assert_eq!(report.requests_completed, 150);
     device.audit().unwrap();
+}
+
+/// The queue-depth CSV (`trace_queue_depth.csv`) has a locked schema:
+/// the exact header, one row per requested bucket, five integer-or-time
+/// columns. Its counters obey conservation — every tracked unit is
+/// admitted exactly once and completed exactly once, and both gauges
+/// drain to zero by the final bucket. Checked for a closed-loop and an
+/// NCQ replay of the same parsed SPC trace: the two drivers track
+/// different units (requests vs page ops), but the laws are the same.
+#[test]
+fn queue_depth_csv_shape_and_conservation() {
+    let mut text = String::new();
+    for i in 0..300u64 {
+        let lba = (i * 41) % 60_000;
+        let op = if i % 4 == 0 { "r" } else { "W" };
+        text.push_str(&format!("0,{lba},{},{op},{}\n", 4096, i as f64 * 0.0002));
+    }
+    let config = SsdConfig::micro_gc_test();
+    let trace = parse_spc(&text, "mini-spc", config.geometry().page_size, Some(0)).unwrap();
+
+    for (label, mode) in [
+        ("closed", ReplayMode::Closed { queue_depth: 4 }),
+        ("ncq", ReplayMode::Ncq { queue_depth: 4 }),
+    ] {
+        let mut device = SsdDevice::new(config.clone(), Box::new(DloopFtl::new(&config)));
+        let report = device.run(&trace.requests, mode);
+        let buckets = 32;
+        let csv = report.queue_depth_csv(buckets);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some(QueueDepthProbe::csv_header()),
+            "{label}: header drifted from the locked schema"
+        );
+        let (mut rows, mut admitted, mut completed) = (0usize, 0u64, 0u64);
+        let mut last_time = -1.0f64;
+        let mut final_gauges = (u64::MAX, u64::MAX);
+        for line in lines {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 5, "{label}: five columns per row");
+            let t: f64 = cols[0].parse().expect("bucket_start_ms is a float");
+            assert!(t > last_time, "{label}: bucket starts strictly increase");
+            last_time = t;
+            let n = |i: usize| cols[i].parse::<u64>().expect("integer column");
+            final_gauges = (n(1), n(2));
+            admitted += n(3);
+            completed += n(4);
+            rows += 1;
+        }
+        assert_eq!(rows, buckets, "{label}: one row per bucket");
+        assert!(report.queue_log.len() > 0, "{label}: probe tracked units");
+        assert_eq!(
+            admitted as usize,
+            report.queue_log.len(),
+            "{label}: every unit admitted exactly once"
+        );
+        assert_eq!(completed, admitted, "{label}: every unit completed");
+        assert_eq!(final_gauges, (0, 0), "{label}: queues drain by the end");
+    }
 }
 
 #[test]
