@@ -23,6 +23,7 @@ fn gc_burst(kind: FtlKind, copyback: bool) -> u64 {
             lpn: rng.below(user * 3 / 4),
             pages: 1,
             op: HostOp::Write,
+            ..HostRequest::default()
         })
         .collect();
     let report = device.run_trace(&reqs);

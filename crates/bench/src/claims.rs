@@ -12,10 +12,11 @@ use crate::table::Table;
 use dloop_ftl_kit::config::{FtlKind, SsdConfig};
 use dloop_ftl_kit::device::{ReplayMode, SsdDevice};
 use dloop_ftl_kit::metrics::RunReport;
+use dloop_ftl_kit::sched::QosSpec;
 use dloop_nand::TimingConfig;
 use dloop_simkit::trace::{attribution, RingSink, SpanPhase};
 use dloop_workloads::synth::sequential_fill;
-use dloop_workloads::WorkloadProfile;
+use dloop_workloads::{qos_mix, WorkloadProfile};
 
 use crate::experiments::ExpOptions;
 
@@ -322,6 +323,7 @@ pub fn verify(opts: &ExpOptions) -> Vec<ClaimResult> {
 
     results.push(check_gc_blocked_share(opts));
     results.push(check_ncq_vs_gated(opts));
+    results.push(check_qos_bounds(opts));
 
     results
 }
@@ -466,6 +468,127 @@ fn check_ncq_vs_gated_on(opts: &ExpOptions, config: SsdConfig, max_requests: u64
     }
 }
 
+/// C12 — QoS-policy sanity over the NCQ window, the C11 pattern applied
+/// to the pluggable scheduler: every policy ranks *within* the same
+/// bounded reorder window, so on the canonical three-tenant contention
+/// mix each policy's per-tenant mean turnaround must stay pinned between
+/// the same two baselines that bracket plain NCQ:
+///
+/// * **Naive in-order bound** (`Ncq { queue_depth: 1 }`): no policy may
+///   leave any tenant worse than the queue that never reorders at all —
+///   even a deprioritized tenant still rides the idle planes the window
+///   fills. A small factor absorbs per-tenant measurement noise.
+/// * **Oracle bound** (`Gated`): the unbounded skip-ahead window no
+///   finite policy can beat; aggregate turnaround must track it within a
+///   stated factor (2x — fair-share pays the most, trading locality for
+///   per-tenant isolation, and measures ~1.8x at the worst).
+///
+/// Fairness itself is *measured, not asserted* — the fair-share spread
+/// (max/min per-tenant turnaround) is reported as evidence, because
+/// which spread is "right" depends on the weights, not on the paper.
+fn check_qos_bounds(opts: &ExpOptions) -> ClaimResult {
+    let config = SsdConfig::paper_default().with_capacity_gb(1);
+    check_qos_bounds_on(opts, config, 4_000)
+}
+
+/// The C12 measurement itself, on an arbitrary device configuration (the
+/// unit test runs it on [`SsdConfig::micro_gc_test`] to stay cheap).
+fn check_qos_bounds_on(
+    opts: &ExpOptions,
+    config: SsdConfig,
+    requests_per_tenant: u64,
+) -> ClaimResult {
+    let geometry = config.geometry();
+    // Half the device's logical space: enough locality to queue without
+    // immediately thrashing GC on the micro config.
+    let footprint = geometry.user_pages() * geometry.page_size as u64 / 2;
+    let mix = qos_mix(
+        opts.seed,
+        geometry.page_size,
+        requests_per_tenant,
+        footprint,
+    );
+    let run = |mode: ReplayMode| {
+        let mut device = SsdDevice::new(config.clone(), build_ftl(FtlKind::Dloop, &config));
+        device.run(&mix.requests, mode)
+    };
+    let naive = run(ReplayMode::Ncq { queue_depth: 1 });
+    let oracle = run(ReplayMode::Gated);
+    let tenants = naive.queue_log.tenants();
+    // Per-tenant slowdown tolerance vs the in-order queue, and aggregate
+    // tracking factor vs the unbounded oracle window. Measured worst
+    // cases on the micro and 1 GB configs sit well inside these.
+    const NAIVE_FACTOR: f64 = 1.10;
+    const ORACLE_FACTOR: f64 = 2.00;
+    let mut pass = true;
+    let mut worst = String::new();
+    let mut fair_spread = 0.0f64;
+    for spec in QosSpec::all() {
+        let report = run(ReplayMode::Qos {
+            queue_depth: dloop_ftl_kit::DEFAULT_NCQ_DEPTH,
+            policy: spec,
+        });
+        // Identical flash work makes the turnaround comparison meaningful.
+        if report.pages_written != naive.pages_written || report.pages_read != naive.pages_read {
+            pass = false;
+            worst = format!("{}: flash work diverged from the baselines", spec.name());
+            continue;
+        }
+        for &t in &tenants {
+            let mrt = report.queue_log.tenant_mean_turnaround_ms(t);
+            let bound = naive.queue_log.tenant_mean_turnaround_ms(t);
+            if bound > 0.0 && mrt > bound * NAIVE_FACTOR {
+                pass = false;
+                worst = format!(
+                    "{} tenant {}: {:.4} ms > in-order {:.4} ms x{NAIVE_FACTOR}",
+                    spec.name(),
+                    t,
+                    mrt,
+                    bound
+                );
+            }
+        }
+        let agg = report.queue_log.mean_turnaround_ms();
+        let oracle_agg = oracle.queue_log.mean_turnaround_ms();
+        if oracle_agg > 0.0 && agg > oracle_agg * ORACLE_FACTOR {
+            pass = false;
+            worst = format!(
+                "{}: aggregate {:.4} ms > oracle {:.4} ms x{ORACLE_FACTOR}",
+                spec.name(),
+                agg,
+                oracle_agg
+            );
+        }
+        if matches!(spec, QosSpec::FairShare { .. }) {
+            let mrts: Vec<f64> = tenants
+                .iter()
+                .map(|&t| report.queue_log.tenant_mean_turnaround_ms(t))
+                .filter(|&m| m > 0.0)
+                .collect();
+            let max = mrts.iter().cloned().fold(0.0f64, f64::max);
+            let min = mrts.iter().cloned().fold(f64::INFINITY, f64::min);
+            if min.is_finite() && min > 0.0 {
+                fair_spread = max / min;
+            }
+        }
+    }
+    ClaimResult {
+        id: "C12",
+        claim: "every QoS policy stays between the in-order and oracle bounds per tenant",
+        pass: pass && !tenants.is_empty(),
+        detail: if pass {
+            format!(
+                "{} tenants x {} policies within bounds (naive x{NAIVE_FACTOR}, oracle \
+                 x{ORACLE_FACTOR}); fair-share turnaround spread {fair_spread:.2}x",
+                tenants.len(),
+                QosSpec::all().len(),
+            )
+        } else {
+            worst
+        },
+    }
+}
+
 /// Render the claim results as a table.
 pub fn to_table(results: &[ClaimResult]) -> Table {
     let mut table = Table::new(
@@ -538,5 +661,15 @@ mod tests {
         let config = dloop_ftl_kit::config::SsdConfig::micro_gc_test();
         let r = check_ncq_vs_gated_on(&opts, config, 2_000);
         assert!(r.pass, "C11 failed: {}", r.detail);
+    }
+
+    #[test]
+    fn c12_qos_policies_stay_between_the_bounds() {
+        // The micro device keeps seven replays of the three-tenant mix
+        // cheap while the contention still queues the reorder window.
+        let opts = ExpOptions::default();
+        let config = dloop_ftl_kit::config::SsdConfig::micro_gc_test();
+        let r = check_qos_bounds_on(&opts, config, 700);
+        assert!(r.pass, "C12 failed: {}", r.detail);
     }
 }

@@ -14,6 +14,7 @@
 //! | [`channels`] | §II.B trade-off: channel count vs plane depth |
 //! | [`faults`] | graceful degradation vs raw bit-error rate (beyond the paper) |
 //! | [`tracecmd`] | op-level flight-recorder artifacts (Chrome trace, utilization, attribution) |
+//! | [`qos`] | multi-tenant QoS policy sweep over the NCQ window (beyond the paper) |
 //!
 //! Absolute milliseconds differ from the paper (synthetic workloads, scaled
 //! devices); the *shape* — orderings, trends, crossovers — is the target.
@@ -27,6 +28,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod headline;
 pub mod params;
+pub mod qos;
 pub mod striping;
 pub mod sweep;
 pub mod tracecmd;
@@ -99,6 +101,10 @@ pub struct ExpOptions {
     pub mode: TraceMode,
     /// Host queue depth for the bounded modes (`--depth`).
     pub queue_depth: usize,
+    /// Narrow the `qos` sweep to one policy (`--policy`; None = all).
+    pub qos_policy: Option<dloop_ftl_kit::sched::QosSpec>,
+    /// Tenant streams in the `qos` sweep's contention mix (`--tenants`).
+    pub qos_tenants: u16,
 }
 
 impl Default for ExpOptions {
@@ -112,6 +118,8 @@ impl Default for ExpOptions {
             fill_fraction: 0.0,
             mode: TraceMode::Open,
             queue_depth: DEFAULT_NCQ_DEPTH,
+            qos_policy: None,
+            qos_tenants: 3,
         }
     }
 }

@@ -18,6 +18,8 @@
 //!   trace                 — trace-sink artifacts: flow-stitched Chrome
 //!                           trace JSON, plane/channel-utilization CSVs,
 //!                           streamed span JSONL, latency attribution
+//!   qos                   — multi-tenant QoS policy sweep over the NCQ
+//!                           window (per-tenant turnaround + fairness)
 //!   verify                — automated PASS/FAIL audit of the paper's claims
 //!   all                   — everything above (except trace: its artifacts
 //!                           are for interactive inspection, run it alone)
@@ -32,13 +34,17 @@
 //!   --mode M       replay admission policy for `trace`:
 //!                  open|gated|closed|ncq (default open)
 //!   --depth N      host queue depth for closed/ncq modes (default 32)
+//!   --policy P     narrow the qos sweep to one policy:
+//!                  ncq|window-fifo|priority|deadline|fair-share (default all)
+//!   --tenants N    tenant streams in the qos mix (default 3)
 //!   --quick        shorthand for --requests 20000
 //! ```
 
 use dloop_bench::experiments::{
-    ablation, channels, copyback, faults, fig10, fig8, fig9, headline, params, striping, tracecmd,
-    traces, ExpOptions, TraceMode,
+    ablation, channels, copyback, faults, fig10, fig8, fig9, headline, params, qos, striping,
+    tracecmd, traces, ExpOptions, TraceMode,
 };
+use dloop_ftl_kit::sched::QosSpec;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -47,9 +53,10 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
-const HELP: &str = "usage: dloop-experiments <params|traces|copyback|fig8|fig9|fig10|headline|ablation|striping|channels|faults|trace|verify|all> \
+const HELP: &str = "usage: dloop-experiments <params|traces|copyback|fig8|fig9|fig10|headline|ablation|striping|channels|faults|trace|qos|verify|all> \
 [--scale N] [--requests N] [--seed N] [--workers N] [--fill F] [--out DIR] \
-[--mode open|gated|closed|ncq] [--depth N] [--quick]";
+[--mode open|gated|closed|ncq] [--depth N] \
+[--policy ncq|window-fifo|priority|deadline|fair-share] [--tenants N] [--quick]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -126,6 +133,20 @@ fn main() -> ExitCode {
                 }
                 _ => false,
             }),
+            "--policy" => take(&mut |v| match QosSpec::parse(v) {
+                Some(p) => {
+                    opts.qos_policy = Some(p);
+                    true
+                }
+                None => false,
+            }),
+            "--tenants" => take(&mut |v| match v.parse() {
+                Ok(x) if x >= 1 => {
+                    opts.qos_tenants = x;
+                    true
+                }
+                _ => false,
+            }),
             "--quick" => {
                 opts.max_requests = 20_000;
                 true
@@ -159,6 +180,7 @@ fn main() -> ExitCode {
             "channels" => opts.emit(&channels::run(opts), "channels"),
             "faults" => opts.emit(&faults::run(opts), "faults_ber"),
             "trace" => opts.emit(&tracecmd::run(opts), "trace"),
+            "qos" => opts.emit(&qos::run(opts), "qos"),
             "verify" => {
                 let results = dloop_bench::claims::verify(opts);
                 let table = dloop_bench::claims::to_table(&results);
@@ -176,7 +198,7 @@ fn main() -> ExitCode {
     let ok = if cmd == "all" {
         for c in [
             "params", "traces", "copyback", "fig8", "fig9", "fig10", "headline", "ablation",
-            "striping", "channels", "faults", "verify",
+            "striping", "channels", "faults", "qos", "verify",
         ] {
             eprintln!(">> {c}");
             run_cmd(c, &opts);

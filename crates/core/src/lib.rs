@@ -40,6 +40,7 @@
 //!     lpn: 0,
 //!     pages: 8,
 //!     op: HostOp::Write,
+//!     ..HostRequest::default()
 //! }]);
 //! assert_eq!(report.pages_written, 8);
 //! device.audit().unwrap();

@@ -17,6 +17,7 @@ fn w(at_us: u64, lpn: u64, pages: u32) -> HostRequest {
         lpn,
         pages,
         op: HostOp::Write,
+        ..HostRequest::default()
     }
 }
 
@@ -26,6 +27,7 @@ fn r(at_us: u64, lpn: u64, pages: u32) -> HostRequest {
         lpn,
         pages,
         op: HostOp::Read,
+        ..HostRequest::default()
     }
 }
 

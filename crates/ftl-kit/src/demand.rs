@@ -17,7 +17,8 @@
 //! the schemes disagree on (DLOOP spreads by `tvpn % planes`, DFTL clusters
 //! from plane 0), so it is supplied as a closure: `place(ctx, tvpn) -> Ppn`
 //! must program a page somewhere, record it in the page directory, push the
-//! corresponding [`FlashStep::Write`], and return the new PPN.
+//! corresponding [`FlashStep::Write`](crate::ftl::FlashStep::Write), and
+//! return the new PPN.
 
 use crate::cmt::CachedMappingTable;
 use crate::ftl::FtlContext;

@@ -16,7 +16,8 @@ use crate::config::SsdConfig;
 use crate::dir::{PageDirectory, PageOwner};
 use crate::ftl::{FlashStep, Ftl, FtlContext, FtlCounters, OpChain, Phase};
 use crate::metrics::RunReport;
-use crate::request::{HostOp, HostRequest};
+use crate::request::{HostOp, HostRequest, TenantId};
+use crate::sched::{NcqPolicy, QosCandidate, QosPolicy, QosSpec};
 use dloop_nand::{FlashState, HardwareModel, MediaCounters, PageState};
 use dloop_simkit::trace::{FlightRecorder, QueueDepthProbe, RingSink, SpanPhase, TraceSink};
 use dloop_simkit::{EventQueue, Histogram, OnlineStats, PendingQueue, SimTime};
@@ -27,7 +28,7 @@ pub const DEFAULT_NCQ_DEPTH: usize = 32;
 
 /// How a trace's host requests are admitted to the device during replay.
 ///
-/// All four policies feed the same request-splitting, translation and
+/// All five modes feed the same request-splitting, translation and
 /// chain-playing machinery ([`SsdDevice::run`]); they differ only in *when*
 /// a request's flash work may begin:
 ///
@@ -49,6 +50,11 @@ pub const DEFAULT_NCQ_DEPTH: usize = 32;
 ///   longest (ties by arrival order; fully deterministic). Reordering can
 ///   only fill planes the FIFO would have left idle, which is exactly the
 ///   plane-level parallelism DLOOP's allocation spreads writes across.
+/// * [`ReplayMode::Qos { queue_depth, policy }`](ReplayMode::Qos) — the
+///   same reorder window, but the selection rule among issuable ops is a
+///   pluggable [`QosPolicy`] described by a
+///   [`QosSpec`]: priority classes, deadlines, or per-tenant fair shares.
+///   `Qos` with [`QosSpec::Ncq`] is bit-identical to `Ncq`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplayMode {
     /// Open arrivals (unbounded backlog): resources are booked at arrival.
@@ -65,6 +71,15 @@ pub enum ReplayMode {
         /// Reorder-window size (must be ≥ 1); [`DEFAULT_NCQ_DEPTH`] is
         /// the conventional choice.
         queue_depth: usize,
+    },
+    /// NCQ window with a QoS selection policy arbitrating inside it. For
+    /// a custom or stateful policy instance (e.g. to inspect token buckets
+    /// afterwards), use [`SsdDevice::run_qos`] directly instead.
+    Qos {
+        /// Reorder-window size (must be ≥ 1).
+        queue_depth: usize,
+        /// Which selection policy arbitrates inside the window.
+        policy: QosSpec,
     },
 }
 
@@ -126,6 +141,10 @@ struct QueuedOp {
     gc: OpChain,
     scan: OpChain,
     arrival: SimTime,
+    /// The host stream of the parent request, for the per-tenant queue
+    /// probe (the QoS policies rank by the richer
+    /// [`QosCandidate`] built at enqueue time instead).
+    tenant: TenantId,
 }
 
 /// A simulated SSD: flash state + hardware timing + one FTL.
@@ -275,7 +294,14 @@ impl SsdDevice {
             }
             ReplayMode::Ncq { queue_depth } => {
                 assert!(queue_depth >= 1, "queue depth must be at least 1");
-                self.run_ncq(requests, queue_depth)
+                self.run_queued(requests, queue_depth, &mut NcqPolicy)
+            }
+            ReplayMode::Qos {
+                queue_depth,
+                policy,
+            } => {
+                assert!(queue_depth >= 1, "queue depth must be at least 1");
+                self.run_queued(requests, queue_depth, policy.build().as_mut())
             }
         }
     }
@@ -346,7 +372,7 @@ impl SsdDevice {
             if req.pages > 0 && queue_depth.is_some() {
                 in_flight.push(std::cmp::Reverse(req_done));
             }
-            stats.queue.track(req.arrival, issue, req_done);
+            stats.queue.track(req.tenant, req.arrival, issue, req_done);
             stats.complete(req.arrival, req_done);
         }
 
@@ -536,7 +562,9 @@ impl SsdDevice {
                     // exactly as the other replay modes count it (the
                     // per-op completion branch below would otherwise never
                     // fire and the request would vanish from the stats).
-                    stats.queue.track(req.arrival, req.arrival, req.arrival);
+                    stats
+                        .queue
+                        .track(req.tenant, req.arrival, req.arrival, req.arrival);
                     stats.complete(req.arrival, req.arrival);
                     continue;
                 }
@@ -550,6 +578,7 @@ impl SsdDevice {
                         gc,
                         scan,
                         arrival: req.arrival,
+                        tenant: req.tenant,
                     });
                 }
             }
@@ -645,7 +674,7 @@ impl SsdDevice {
             }
             gc_done
         };
-        stats.queue.track(op.arrival, now, done);
+        stats.queue.track(op.tenant, op.arrival, now, done);
         req_done[op.req] = req_done[op.req].max(done);
         req_ops_left[op.req] -= 1;
         if req_ops_left[op.req] == 0 {
@@ -663,29 +692,70 @@ impl SsdDevice {
         self.run(requests, ReplayMode::Ncq { queue_depth })
     }
 
-    /// NCQ-style reordering replay: page operations are translated on
-    /// arrival (like [`Self::run_gated`]) into a sequence-numbered pending
-    /// list, but the scheduler may issue *any* of the oldest `queue_depth`
-    /// pending ops whose first host step's plane and channel are idle now
-    /// — preferring the op whose target plane has been idle longest, ties
-    /// broken by arrival order. Selection runs over a per-resource
-    /// readiness index (one FIFO lane per plane, keyed by the first host
-    /// step's primary plane, plus one lane for chain-less ops such as
-    /// unmapped reads), so each scheduling decision is O(planes), not
-    /// O(pending).
+    /// QoS replay with a caller-owned policy instance: like
+    /// [`ReplayMode::Qos`] but the policy object outlives the run, so
+    /// stateful policies (e.g. [`crate::sched::FairSharePolicy`]) can be
+    /// inspected afterwards — token balances, issue counts — and custom
+    /// [`QosPolicy`] implementations outside this crate can plug in.
+    pub fn run_qos(
+        &mut self,
+        requests: &[HostRequest],
+        queue_depth: usize,
+        policy: &mut dyn QosPolicy,
+    ) -> RunReport {
+        assert!(queue_depth >= 1, "queue depth must be at least 1");
+        self.run_queued(requests, queue_depth, policy)
+    }
+
+    /// NCQ-style reordering replay with a pluggable selection policy: page
+    /// operations are translated on arrival (like [`Self::run_gated`])
+    /// into a sequence-numbered pending list, but the scheduler may issue
+    /// *any* of the oldest `queue_depth` pending ops whose first host
+    /// step's plane and channel are idle now. Selection runs over a
+    /// per-resource readiness index (one lane per plane, keyed by the
+    /// first host step's primary plane, plus one lane for chain-less ops
+    /// such as unmapped reads), so each scheduling decision is O(planes),
+    /// not O(pending).
     ///
-    /// Policy note: lanes are head-of-line — an op blocked on its
-    /// *secondary* resource (e.g. the far plane of an inter-plane copy)
-    /// also blocks younger ops on the same lane. Reordering happens
-    /// *across* planes, which is where the idle parallelism DLOOP's
-    /// allocation creates actually lives; within a plane, FIFO order is
-    /// what keeps selection cheap and deterministic.
-    fn run_ncq(&mut self, requests: &[HostRequest], queue_depth: usize) -> RunReport {
+    /// The policy shapes exactly two things (see [`crate::sched`]):
+    /// within-lane order — lanes are kept sorted by
+    /// `(policy.lane_key, seq)` — and the cross-lane choice, ranked by
+    /// `(policy.rank, plane_ready_at, seq)`. With [`NcqPolicy`] (constant
+    /// rank, FIFO lanes) this is *exactly* the PR-5 NCQ scheduler: among
+    /// issuable in-window ops, prefer the op whose target plane has been
+    /// idle longest, ties by arrival order.
+    ///
+    /// Policy note: lanes are head-of-line in *key* order — each lane
+    /// offers only its first in-window entry as a candidate, so an op
+    /// blocked on its *secondary* resource (e.g. the far plane of an
+    /// inter-plane copy) also blocks lower-ranked ops on the same lane.
+    /// Reordering happens *across* planes, which is where the idle
+    /// parallelism DLOOP's allocation creates actually lives; within a
+    /// plane, the single sorted candidate is what keeps selection cheap,
+    /// deterministic, and (for the deadline policy) inversion-free.
+    ///
+    /// Chain-less ops occupy no resources: the oldest one inside the
+    /// window always issues immediately, bypassing the policy entirely
+    /// (they are not ranked and not charged by `on_issue`).
+    fn run_queued(
+        &mut self,
+        requests: &[HostRequest],
+        queue_depth: usize,
+        policy: &mut dyn QosPolicy,
+    ) -> RunReport {
         /// A queued op plus its global arrival sequence number (the
         /// pending list stays sorted by it).
         struct NcqOp {
             seq: u64,
             op: QueuedOp,
+        }
+        /// A readiness-lane entry: the policy's lane sort key, the
+        /// candidate view handed back to the policy at ranking time, and
+        /// the first host step cached for the resource check.
+        struct LaneEntry {
+            key: u64,
+            cand: QosCandidate,
+            step: FlashStep,
         }
 
         let lpn_space = self.flash.geometry().user_pages();
@@ -696,12 +766,11 @@ impl SsdDevice {
         }
 
         let mut pending: PendingQueue<NcqOp> = PendingQueue::new();
-        // Readiness index: the front of lane `p` is the oldest pending op
-        // whose first host step starts on plane `p` (with that step cached
-        // for the resource check); `chainless` holds ops with no host
-        // steps, which need no resources at all.
-        let mut lanes: Vec<std::collections::VecDeque<(u64, FlashStep)>> =
-            vec![std::collections::VecDeque::new(); planes];
+        // Readiness index: lane `p` holds the pending ops whose first host
+        // step starts on plane `p`, sorted by `(lane_key, seq)`;
+        // `chainless` holds ops with no host steps, which need no
+        // resources at all.
+        let mut lanes: Vec<Vec<LaneEntry>> = (0..planes).map(|_| Vec::new()).collect();
         let mut chainless: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
         let mut next_seq = 0u64;
 
@@ -715,7 +784,9 @@ impl SsdDevice {
             if let Some(i) = ev.event {
                 let req = &requests[i];
                 if req.pages == 0 {
-                    stats.queue.track(req.arrival, req.arrival, req.arrival);
+                    stats
+                        .queue
+                        .track(req.tenant, req.arrival, req.arrival, req.arrival);
                     stats.complete(req.arrival, req.arrival);
                     continue;
                 }
@@ -724,7 +795,28 @@ impl SsdDevice {
                     stats.count_page(req.op);
                     match host.steps().first() {
                         None => chainless.push_back(next_seq),
-                        Some(step) => lanes[step.planes().0 as usize].push_back((next_seq, *step)),
+                        Some(step) => {
+                            let cand = QosCandidate {
+                                seq: next_seq,
+                                tenant: req.tenant,
+                                op: req.op,
+                                deadline: req.deadline,
+                                arrival: req.arrival,
+                                plane: step.planes().0,
+                            };
+                            let key = policy.lane_key(&cand);
+                            let lane = &mut lanes[step.planes().0 as usize];
+                            let pos =
+                                lane.partition_point(|e| (e.key, e.cand.seq) < (key, next_seq));
+                            lane.insert(
+                                pos,
+                                LaneEntry {
+                                    key,
+                                    cand,
+                                    step: *step,
+                                },
+                            );
+                        }
                     }
                     pending.push_back(NcqOp {
                         seq: next_seq,
@@ -735,6 +827,7 @@ impl SsdDevice {
                             gc,
                             scan,
                             arrival: req.arrival,
+                            tenant: req.tenant,
                         },
                     });
                     next_seq += 1;
@@ -745,6 +838,7 @@ impl SsdDevice {
             // `queue_depth` pending ops; `horizon` is the youngest
             // sequence number inside it. Re-computed each iteration: an
             // issue shrinks the pending list and slides the window.
+            policy.tick(now);
             loop {
                 let window = pending.len().min(queue_depth);
                 if window == 0 {
@@ -771,21 +865,22 @@ impl SsdDevice {
                         continue;
                     }
                 }
-                // Scan the lane fronts: among in-window ops whose first
-                // step's resources are all idle now, pick the one whose
-                // target plane has been idle longest (smallest ready-at),
-                // ties by sequence number. Lanes are visited in plane
-                // order and keys are totally ordered, so selection is
-                // deterministic.
-                let mut best: Option<(SimTime, u64, usize)> = None;
-                for (lane, q) in lanes.iter().enumerate() {
-                    let Some(&(seq, step)) = q.front() else {
+                // Each lane offers its first in-window entry (in lane-key
+                // order) whose first step's resources are all idle now;
+                // among the offers, pick the lowest
+                // `(rank, plane_ready_at, seq)`. Lanes are visited in
+                // plane order and keys are totally ordered, so selection
+                // is deterministic.
+                let mut best: Option<((u64, u64, SimTime, u64), usize, usize)> = None;
+                for (lane, entries) in lanes.iter().enumerate() {
+                    let Some((pos, entry)) = entries
+                        .iter()
+                        .enumerate()
+                        .find(|(_, e)| e.cand.seq <= horizon)
+                    else {
                         continue;
                     };
-                    if seq > horizon {
-                        continue;
-                    }
-                    let (p, p2) = step.planes();
+                    let (p, p2) = entry.step.planes();
                     let free = |plane| {
                         self.hw.plane_ready_at(plane) <= now
                             && self.hw.channel_ready_at(plane) <= now
@@ -793,17 +888,19 @@ impl SsdDevice {
                     if !free(p) || !p2.map(free).unwrap_or(true) {
                         continue;
                     }
-                    let key = (self.hw.plane_ready_at(p), seq);
-                    if best.map_or(true, |(t, s, _)| key < (t, s)) {
-                        best = Some((key.0, key.1, lane));
+                    let (r0, r1) = policy.rank(now, &entry.cand);
+                    let key = (r0, r1, self.hw.plane_ready_at(p), entry.cand.seq);
+                    if best.map_or(true, |(k, _, _)| key < k) {
+                        best = Some((key, lane, pos));
                     }
                 }
-                let Some((_, seq, lane)) = best else {
+                let Some((_, lane, pos)) = best else {
                     break;
                 };
-                lanes[lane].pop_front();
+                let entry = lanes[lane].remove(pos);
+                policy.on_issue(now, &entry.cand);
                 let idx = pending
-                    .binary_search_by_key(&seq, |o| o.seq)
+                    .binary_search_by_key(&entry.cand.seq, |o| o.seq)
                     .expect("selected op is pending");
                 let op = pending.remove_at(idx).expect("index in bounds").op;
                 self.issue_queued_op(
@@ -1034,6 +1131,7 @@ mod tests {
             lpn,
             pages,
             op: HostOp::Write,
+            ..HostRequest::default()
         }
     }
 
@@ -1043,6 +1141,7 @@ mod tests {
             lpn,
             pages,
             op: HostOp::Read,
+            ..HostRequest::default()
         }
     }
 
@@ -1207,6 +1306,10 @@ mod tests {
             ReplayMode::Gated,
             ReplayMode::Closed { queue_depth: 2 },
             ReplayMode::Ncq { queue_depth: 2 },
+            ReplayMode::Qos {
+                queue_depth: 2,
+                policy: QosSpec::Priority,
+            },
         ] {
             let r = device().run(&reqs, mode);
             assert_eq!(r.queue_log.len(), 4, "mode {mode:?}");
@@ -1215,7 +1318,7 @@ mod tests {
                 .queue_log
                 .tracked()
                 .iter()
-                .any(|&(a, i, d)| a == i && i == d && a == SimTime::from_micros(200)));
+                .any(|&(_, a, i, d)| a == i && i == d && a == SimTime::from_micros(200)));
             let csv = r.queue_depth_csv(4);
             assert!(csv.starts_with("bucket_start_ms,"));
             assert_eq!(csv.lines().count(), 5);
@@ -1226,7 +1329,7 @@ mod tests {
     fn open_probe_issue_equals_arrival() {
         let reqs = [write_req(0, 1, 1), write_req(10, 2, 1)];
         let r = device().run_trace(&reqs);
-        for &(arrival, issue, _) in r.queue_log.tracked() {
+        for &(_, arrival, issue, _) in r.queue_log.tracked() {
             assert_eq!(arrival, issue, "open mode admits at arrival");
         }
     }

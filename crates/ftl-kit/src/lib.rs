@@ -10,6 +10,7 @@
 //! * [`gtd`] — the Global Translation Directory.
 //! * [`dir`] — the reverse page directory (ppn → owner) used by GC.
 //! * [`device`] — the SSD controller: trace replay, dispatch, audits.
+//! * [`sched`] — pluggable QoS policies for the NCQ reorder window.
 //! * [`metrics`] — [`metrics::RunReport`]: mean response time, SDRPP, WAF…
 //! * [`config`] — Table-I parameters as a value ([`config::SsdConfig`]).
 
@@ -22,6 +23,7 @@ pub mod ftl;
 pub mod gtd;
 pub mod metrics;
 pub mod request;
+pub mod sched;
 
 pub use cmt::{CachedMappingTable, Evicted};
 pub use config::{FtlKind, SsdConfig};
@@ -31,4 +33,8 @@ pub use dir::{PageDirectory, PageOwner};
 pub use ftl::{FlashStep, Ftl, FtlContext, FtlCounters, OpChain};
 pub use gtd::Gtd;
 pub use metrics::RunReport;
-pub use request::{HostOp, HostRequest};
+pub use request::{HostOp, HostRequest, TenantId};
+pub use sched::{
+    DeadlinePolicy, FairSharePolicy, NcqPolicy, PriorityPolicy, QosCandidate, QosPolicy, QosSpec,
+    WindowFifoPolicy,
+};

@@ -8,7 +8,7 @@
 //! operations.
 
 use dloop_nand::Lpn;
-use dloop_simkit::SimTime;
+use dloop_simkit::{SimDuration, SimTime};
 
 /// Direction of a host request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -19,7 +19,26 @@ pub enum HostOp {
     Write,
 }
 
+/// Host stream / tenant identifier.
+///
+/// A production device multiplexes many host streams (NVMe submission
+/// queues, cgroups, virtual machines); the QoS scheduling policies
+/// ([`crate::sched`]) arbitrate between them inside the NCQ reorder
+/// window. Tenant `0` is the conventional "untagged" stream — a trace
+/// whose requests all carry tenant `0` behaves exactly like a
+/// single-stream trace.
+pub type TenantId = u16;
+
 /// A page-aligned host request.
+///
+/// Beyond the classic trace fields (arrival, address, size, direction) a
+/// request carries two QoS tags consumed only by the scheduling policies
+/// in [`crate::sched`]: the [`tenant`](HostRequest::tenant) stream it
+/// belongs to and an optional absolute completion
+/// [`deadline`](HostRequest::deadline). Both default to the neutral
+/// values (`0`, `None`), so `..HostRequest::default()` keeps untagged
+/// construction terse and replay behaviour identical to the pre-QoS
+/// request model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HostRequest {
     /// Arrival time at the flash controller.
@@ -30,6 +49,28 @@ pub struct HostRequest {
     pub pages: u32,
     /// Read or write.
     pub op: HostOp,
+    /// The host stream this request belongs to (`0` = untagged).
+    pub tenant: TenantId,
+    /// Absolute completion deadline, if the stream has one. Only the
+    /// earliest-deadline-first policy reads it; `None` means best-effort
+    /// and sorts after every finite deadline.
+    pub deadline: Option<SimTime>,
+}
+
+impl Default for HostRequest {
+    /// The neutral "blank" request: a zero-page untagged read at time
+    /// zero. Exists so literals can splat the QoS tags —
+    /// `HostRequest { arrival, lpn, pages, op, ..Default::default() }`.
+    fn default() -> Self {
+        HostRequest {
+            arrival: SimTime::ZERO,
+            lpn: 0,
+            pages: 0,
+            op: HostOp::Read,
+            tenant: 0,
+            deadline: None,
+        }
+    }
 }
 
 impl HostRequest {
@@ -58,6 +99,21 @@ impl HostRequest {
             lpn: first,
             pages: (last - first + 1) as u32,
             op,
+            ..HostRequest::default()
+        }
+    }
+
+    /// Tag this request with a tenant/stream id (builder style).
+    pub fn with_tenant(self, tenant: TenantId) -> Self {
+        HostRequest { tenant, ..self }
+    }
+
+    /// Give this request an absolute completion deadline `rel` after its
+    /// arrival (builder style).
+    pub fn with_deadline_after(self, rel: SimDuration) -> Self {
+        HostRequest {
+            deadline: Some(self.arrival + rel),
+            ..self
         }
     }
 
@@ -131,6 +187,7 @@ mod tests {
             lpn: 998,
             pages: 4,
             op: HostOp::Write,
+            ..HostRequest::default()
         };
         assert_eq!(
             r.wrapped_page_ops(1000).collect::<Vec<_>>(),
@@ -150,9 +207,28 @@ mod tests {
             lpn: 1_000_005,
             pages: 2,
             op: HostOp::Write,
+            ..HostRequest::default()
         };
         let w = r.wrapped(1000);
         assert_eq!(w.lpn, 5);
         assert_eq!(w.pages, 2);
+    }
+
+    #[test]
+    fn qos_tags_default_to_neutral_and_survive_wrapping() {
+        let r = HostRequest::from_bytes(SimTime::ZERO, 0, 4096, HostOp::Write, 2048);
+        assert_eq!(r.tenant, 0);
+        assert_eq!(r.deadline, None);
+        let tagged = r
+            .with_tenant(7)
+            .with_deadline_after(SimDuration::from_micros(500));
+        assert_eq!(tagged.tenant, 7);
+        assert_eq!(
+            tagged.deadline,
+            Some(SimTime::ZERO + SimDuration::from_micros(500))
+        );
+        // Address folding keeps the QoS tags intact.
+        let w = tagged.wrapped(1);
+        assert_eq!((w.tenant, w.deadline), (tagged.tenant, tagged.deadline));
     }
 }

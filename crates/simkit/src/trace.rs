@@ -898,21 +898,27 @@ pub fn channel_utilization_csv(rec: &FlightRecorder, channels: usize, buckets: u
     })
 }
 
-/// Host-queue occupancy probe: one `(arrival, issue, done)` triple per
-/// tracked unit of work (a host request in the closed-loop driver, a page
-/// operation in the gated and NCQ drivers).
+/// Host-queue occupancy probe: one `(tenant, arrival, issue, done)` record
+/// per tracked unit of work (a host request in the closed-loop driver, a
+/// page operation in the gated and NCQ/QoS drivers).
 ///
 /// The replay drivers record into the probe as they admit and complete
 /// work; [`QueueDepthProbe::csv`] then renders the queue-depth-over-time
-/// timeline the triples imply. A unit is *pending* from `arrival` until
+/// timeline the records imply. A unit is *pending* from `arrival` until
 /// `issue` (waiting in the host queue) and *in flight* from `issue` until
 /// `done` (occupying the device). Recording is pure observation — the
 /// probe never feeds back into scheduling, and an unused probe is an empty
 /// `Vec`.
+///
+/// The tenant tag identifies the host stream the unit belongs to (`0` =
+/// untagged). Untagged runs render exactly the legacy aggregate CSV;
+/// multi-tenant runs additionally get one per-tenant gauge block appended
+/// after the locked aggregate columns (see [`QueueDepthProbe::csv`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueueDepthProbe {
-    /// `(arrival, issue, done)` per tracked unit, in tracking order.
-    tracked: Vec<(SimTime, SimTime, SimTime)>,
+    /// `(tenant, arrival, issue, done)` per tracked unit, in tracking
+    /// order.
+    tracked: Vec<(u16, SimTime, SimTime, SimTime)>,
 }
 
 impl QueueDepthProbe {
@@ -921,16 +927,17 @@ impl QueueDepthProbe {
         Self::default()
     }
 
-    /// Track one unit of work that arrived at `arrival`, was admitted
-    /// (issued to the device) at `issue`, and completed at `done`.
+    /// Track one unit of work for `tenant` that arrived at `arrival`, was
+    /// admitted (issued to the device) at `issue`, and completed at `done`.
     /// Times may be recorded out of order across units; the CSV export
-    /// sorts its sweep internally.
-    pub fn track(&mut self, arrival: SimTime, issue: SimTime, done: SimTime) {
+    /// sorts its sweep internally. Drivers with no stream information pass
+    /// tenant `0`.
+    pub fn track(&mut self, tenant: u16, arrival: SimTime, issue: SimTime, done: SimTime) {
         debug_assert!(
             arrival <= issue && issue <= done,
             "queue probe times must be ordered: {arrival} <= {issue} <= {done}"
         );
-        self.tracked.push((arrival, issue, done));
+        self.tracked.push((tenant, arrival, issue, done));
     }
 
     /// Number of tracked units.
@@ -943,16 +950,59 @@ impl QueueDepthProbe {
         self.tracked.is_empty()
     }
 
-    /// The raw `(arrival, issue, done)` triples, in tracking order.
-    pub fn tracked(&self) -> &[(SimTime, SimTime, SimTime)] {
+    /// The raw `(tenant, arrival, issue, done)` records, in tracking order.
+    pub fn tracked(&self) -> &[(u16, SimTime, SimTime, SimTime)] {
         &self.tracked
     }
 
-    /// The locked CSV header of [`QueueDepthProbe::csv`]. `in_flight` and
-    /// `pending` are the queue occupancies at the *end* of each bucket;
-    /// `admitted` and `completed` are the deltas within it. Changing this
-    /// header is a breaking change for downstream tooling — update the
-    /// schema note in EXPERIMENTS.md if you must.
+    /// Distinct tenant ids seen by the probe, ascending.
+    pub fn tenants(&self) -> Vec<u16> {
+        let mut ids: Vec<u16> = self.tracked.iter().map(|t| t.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Number of units tracked for one tenant.
+    pub fn tenant_len(&self, tenant: u16) -> usize {
+        self.tracked.iter().filter(|t| t.0 == tenant).count()
+    }
+
+    /// Mean turnaround (`done - arrival`, queueing plus service) across
+    /// all tracked units, in milliseconds; `0.0` for an empty probe. This
+    /// is the probe-side mean response time the QoS claims compare across
+    /// policies.
+    pub fn mean_turnaround_ms(&self) -> f64 {
+        Self::mean_ms(self.tracked.iter())
+    }
+
+    /// Mean turnaround in milliseconds for a single tenant's units; `0.0`
+    /// when the tenant tracked nothing.
+    pub fn tenant_mean_turnaround_ms(&self, tenant: u16) -> f64 {
+        Self::mean_ms(self.tracked.iter().filter(|t| t.0 == tenant))
+    }
+
+    fn mean_ms<'a>(units: impl Iterator<Item = &'a (u16, SimTime, SimTime, SimTime)>) -> f64 {
+        let (mut sum_ns, mut n) = (0u128, 0u64);
+        for &(_, arrival, _, done) in units {
+            sum_ns += (done.as_nanos() - arrival.as_nanos()) as u128;
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum_ns as f64 / n as f64 / 1e6
+        }
+    }
+
+    /// The locked CSV header *prefix* of [`QueueDepthProbe::csv`].
+    /// `in_flight` and `pending` are the queue occupancies at the *end* of
+    /// each bucket; `admitted` and `completed` are the deltas within it.
+    /// Multi-tenant runs append per-tenant column blocks strictly *after*
+    /// these five columns (the workspace schema-extension rule), so
+    /// downstream tooling must match this as a prefix, not the whole
+    /// header. Changing the prefix itself is a breaking change — update
+    /// the schema note in EXPERIMENTS.md if you must.
     pub fn csv_header() -> &'static str {
         "bucket_start_ms,in_flight,pending,admitted,completed"
     }
@@ -961,21 +1011,94 @@ impl QueueDepthProbe {
     /// through the last completion is divided into `buckets` equal windows,
     /// and each row reports the in-flight and pending counts at the end of
     /// the window plus the number of admissions and completions inside it.
+    ///
+    /// When every tracked unit is untagged (tenant `0`) the output is
+    /// exactly the legacy five-column aggregate. When any unit carries a
+    /// non-zero tenant id, each distinct tenant (ascending) appends a
+    /// four-column gauge block `t{id}_in_flight,t{id}_pending,
+    /// t{id}_admitted,t{id}_completed` after the locked prefix; the
+    /// aggregate columns always equal the sum of the per-tenant blocks.
+    ///
     /// Fully deterministic; always exactly `buckets` rows (all-zero rows
     /// for an empty probe), so consumers can rely on the shape.
     pub fn csv(&self, buckets: usize) -> String {
+        // One event sweep per rendered column block: sorted event arrays
+        // plus a cursor triple advanced bucket by bucket.
+        struct Sweep {
+            arrivals: Vec<u64>,
+            issues: Vec<u64>,
+            dones: Vec<u64>,
+            ai: usize,
+            ii: usize,
+            di: usize,
+        }
+        impl Sweep {
+            fn new<'a>(units: impl Iterator<Item = &'a (u16, SimTime, SimTime, SimTime)>) -> Self {
+                let (mut arrivals, mut issues, mut dones) = (Vec::new(), Vec::new(), Vec::new());
+                for &(_, a, i, d) in units {
+                    arrivals.push(a.as_nanos());
+                    issues.push(i.as_nanos());
+                    dones.push(d.as_nanos());
+                }
+                arrivals.sort_unstable();
+                issues.sort_unstable();
+                dones.sort_unstable();
+                Sweep {
+                    arrivals,
+                    issues,
+                    dones,
+                    ai: 0,
+                    ii: 0,
+                    di: 0,
+                }
+            }
+            /// Advance to bucket end; returns
+            /// `(in_flight, pending, admitted, completed)`.
+            fn advance(&mut self, end: u64) -> (usize, usize, usize, usize) {
+                let (issued_before, done_before) = (self.ii, self.di);
+                while self.ai < self.arrivals.len() && self.arrivals[self.ai] < end {
+                    self.ai += 1;
+                }
+                while self.ii < self.issues.len() && self.issues[self.ii] < end {
+                    self.ii += 1;
+                }
+                while self.di < self.dones.len() && self.dones[self.di] < end {
+                    self.di += 1;
+                }
+                (
+                    self.ii - self.di,
+                    self.ai - self.ii,
+                    self.ii - issued_before,
+                    self.di - done_before,
+                )
+            }
+        }
+
         let buckets = buckets.max(1);
-        let mut arrivals: Vec<u64> = self.tracked.iter().map(|t| t.0.as_nanos()).collect();
-        let mut issues: Vec<u64> = self.tracked.iter().map(|t| t.1.as_nanos()).collect();
-        let mut dones: Vec<u64> = self.tracked.iter().map(|t| t.2.as_nanos()).collect();
-        arrivals.sort_unstable();
-        issues.sort_unstable();
-        dones.sort_unstable();
-        let end_ns = dones.last().copied().unwrap_or(0);
+        let tenants = self.tenants();
+        // Per-tenant blocks only exist once a real (non-zero) stream id
+        // shows up — untagged runs keep the legacy aggregate-only schema.
+        let per_tenant: Vec<u16> = if tenants.iter().any(|&t| t != 0) {
+            tenants
+        } else {
+            Vec::new()
+        };
+        let mut aggregate = Sweep::new(self.tracked.iter());
+        let mut tenant_sweeps: Vec<Sweep> = per_tenant
+            .iter()
+            .map(|&t| Sweep::new(self.tracked.iter().filter(move |u| u.0 == t)))
+            .collect();
+
+        let end_ns = aggregate.dones.last().copied().unwrap_or(0);
         let width = (end_ns / buckets as u64).max(1);
         let mut out = String::from(Self::csv_header());
+        for t in &per_tenant {
+            let _ = write!(
+                out,
+                ",t{t}_in_flight,t{t}_pending,t{t}_admitted,t{t}_completed"
+            );
+        }
         out.push('\n');
-        let (mut ai, mut ii, mut di) = (0usize, 0usize, 0usize);
         for b in 0..buckets {
             let start = b as u64 * width;
             // The final bucket is closed on the right so the event at
@@ -986,25 +1109,13 @@ impl QueueDepthProbe {
             } else {
                 start + width
             };
-            let (issued_before, done_before) = (ii, di);
-            while ai < arrivals.len() && arrivals[ai] < end {
-                ai += 1;
+            let (fl, pe, ad, co) = aggregate.advance(end);
+            let _ = write!(out, "{:.6},{fl},{pe},{ad},{co}", start as f64 / 1e6);
+            for sweep in &mut tenant_sweeps {
+                let (fl, pe, ad, co) = sweep.advance(end);
+                let _ = write!(out, ",{fl},{pe},{ad},{co}");
             }
-            while ii < issues.len() && issues[ii] < end {
-                ii += 1;
-            }
-            while di < dones.len() && dones[di] < end {
-                di += 1;
-            }
-            let _ = writeln!(
-                out,
-                "{:.6},{},{},{},{}",
-                start as f64 / 1e6,
-                ii - di,
-                ai - ii,
-                ii - issued_before,
-                di - done_before,
-            );
+            out.push('\n');
         }
         out
     }
@@ -1221,9 +1332,9 @@ mod tests {
         // Three units: arrivals at 0/10/20 µs, issues at 0/15/30, dones at
         // 40/50/60 — recorded out of order to exercise the internal sort.
         let t = SimTime::from_micros;
-        probe.track(t(10), t(15), t(50));
-        probe.track(t(0), t(0), t(40));
-        probe.track(t(20), t(30), t(60));
+        probe.track(0, t(10), t(15), t(50));
+        probe.track(0, t(0), t(0), t(40));
+        probe.track(0, t(20), t(30), t(60));
         assert_eq!(probe.len(), 3);
         assert!(!probe.is_empty());
         assert_eq!(probe.tracked().len(), 3);
@@ -1265,8 +1376,44 @@ mod tests {
         let csv = probe.csv(4);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0], QueueDepthProbe::csv_header());
         for row in &lines[1..] {
             assert!(row.ends_with(",0,0,0,0"), "expected all-zero row: {row}");
+        }
+    }
+
+    #[test]
+    fn queue_probe_tenant_blocks_extend_the_locked_prefix() {
+        let mut probe = QueueDepthProbe::new();
+        let t = SimTime::from_micros;
+        probe.track(1, t(0), t(0), t(40));
+        probe.track(2, t(10), t(15), t(50));
+        probe.track(1, t(20), t(30), t(60));
+        assert_eq!(probe.tenants(), vec![1, 2]);
+        assert_eq!(probe.tenant_len(1), 2);
+        assert_eq!(probe.tenant_len(2), 1);
+        // Turnarounds: tenant 1 has 40 µs and 40 µs, tenant 2 has 40 µs.
+        assert!((probe.tenant_mean_turnaround_ms(1) - 0.040).abs() < 1e-12);
+        assert!((probe.mean_turnaround_ms() - 0.040).abs() < 1e-12);
+        assert_eq!(probe.tenant_mean_turnaround_ms(9), 0.0);
+
+        let csv = probe.csv(3);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with(QueueDepthProbe::csv_header()));
+        assert_eq!(
+            header,
+            "bucket_start_ms,in_flight,pending,admitted,completed,\
+             t1_in_flight,t1_pending,t1_admitted,t1_completed,\
+             t2_in_flight,t2_pending,t2_admitted,t2_completed"
+        );
+        for row in lines {
+            let cols: Vec<i64> = row.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
+            assert_eq!(cols.len(), 12);
+            // Aggregate columns are the sum of the per-tenant blocks.
+            for g in 0..4 {
+                assert_eq!(cols[g], cols[4 + g] + cols[8 + g], "gauge {g}: {row}");
+            }
         }
     }
 

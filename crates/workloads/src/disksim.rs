@@ -87,13 +87,19 @@ pub fn parse_disksim(
         } else {
             HostOp::Write
         };
-        requests.push(HostRequest::from_bytes(
-            SimTime::from_secs_f64(time_ms / 1e3),
-            blkno * DISKSIM_SECTOR,
-            bcount * DISKSIM_SECTOR,
-            op,
-            page_size,
-        ));
+        requests.push(
+            HostRequest::from_bytes(
+                SimTime::from_secs_f64(time_ms / 1e3),
+                blkno * DISKSIM_SECTOR,
+                bcount * DISKSIM_SECTOR,
+                op,
+                page_size,
+            )
+            // Device number doubles as the tenant id: multi-device
+            // DiskSim traces replayed without a filter become multi-tenant
+            // host streams for the QoS policies.
+            .with_tenant(devno as u16),
+        );
     }
     requests.sort_by_key(|r| r.arrival);
     Ok(Trace::new(name, requests))
@@ -119,6 +125,9 @@ mod tests {
         assert_eq!(t.requests[0].pages, 2);
         assert_eq!(t.requests[0].lpn, 10240 * 512 / 2048);
         assert_eq!(t.requests[1].arrival, SimTime::from_secs_f64(0.00525));
+        // Device number becomes the tenant id.
+        assert_eq!(t.requests[0].tenant, 0);
+        assert_eq!(t.requests[2].tenant, 1);
     }
 
     #[test]

@@ -85,13 +85,19 @@ pub fn parse_spc(
                 continue;
             }
         }
-        requests.push(HostRequest::from_bytes(
-            SimTime::from_secs_f64(ts),
-            lba * SPC_SECTOR,
-            size,
-            op,
-            page_size,
-        ));
+        requests.push(
+            HostRequest::from_bytes(
+                SimTime::from_secs_f64(ts),
+                lba * SPC_SECTOR,
+                size,
+                op,
+                page_size,
+            )
+            // The ASU is the natural tenant boundary in SPC traces: each
+            // application storage unit is a distinct host stream, so QoS
+            // policies can arbitrate between them directly.
+            .with_tenant(asu as u16),
+        );
     }
     requests.sort_by_key(|r| r.arrival);
     Ok(Trace::new(name, requests))
@@ -110,7 +116,8 @@ pub fn write_spc(trace: &Trace, page_size: u32) -> String {
             HostOp::Write => 'W',
         };
         out.push_str(&format!(
-            "0,{lba},{bytes},{op},{:.6}\n",
+            "{},{lba},{bytes},{op},{:.6}\n",
+            r.tenant,
             r.arrival.as_secs_f64()
         ));
     }
@@ -141,6 +148,9 @@ mod tests {
         assert_eq!(t.requests[0].arrival, SimTime::from_secs_f64(0.551706));
         // LBA 20941264 sectors * 512 / 2048 = page 5235316.
         assert_eq!(t.requests[0].lpn, 20941264 * 512 / 2048);
+        // ASU becomes the tenant id.
+        assert_eq!(t.requests[0].tenant, 0);
+        assert_eq!(t.requests[2].tenant, 1);
     }
 
     #[test]

@@ -215,6 +215,7 @@ impl WorkloadProfile {
                 lpn,
                 pages,
                 op,
+                ..HostRequest::default()
             });
         }
         Trace::new(self.name, requests)
@@ -276,6 +277,7 @@ pub fn uniform_random(params: &UniformParams, seed: u64) -> Trace {
                 } else {
                     HostOp::Read
                 },
+                ..HostRequest::default()
             }
         })
         .collect();
@@ -297,6 +299,7 @@ pub fn sequential_fill(user_pages: u64, fraction: f64, chunk_pages: u32) -> Trac
             lpn,
             pages,
             op: HostOp::Write,
+            ..HostRequest::default()
         });
         lpn += pages as u64;
         t += 1_000; // 1 µs apart: fill as fast as the device allows

@@ -1,0 +1,152 @@
+//! Multi-tenant workload composition for the QoS experiments.
+//!
+//! A multi-tenant trace is a deterministic merge of per-tenant sub-traces:
+//! each [`TenantSpec`] names a host stream (tenant id), the synthetic
+//! profile that drives it, how many requests it contributes, and an
+//! optional per-request deadline budget for the EDF policy. The merge is a
+//! *stable* sort by arrival time, so same-instant arrivals keep spec
+//! order and the whole composition is seed-replayable — the same
+//! `(specs, seed)` pair always produces the same byte-identical trace,
+//! which is what the QoS determinism tests in `tests/replay_modes.rs`
+//! lean on.
+//!
+//! [`qos_mix`] is the canonical three-tenant contention mix used by the
+//! `qos` experiment sweep and the C12 claim: a latency-sensitive
+//! read-dominant stream with deadlines, a throughput-oriented write-heavy
+//! stream, and a background bulk stream.
+
+use crate::synth::WorkloadProfile;
+use crate::trace::Trace;
+use dloop_ftl_kit::request::TenantId;
+use dloop_simkit::SimDuration;
+
+/// One tenant's contribution to a multi-tenant trace.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Host stream id carried on every generated request (use non-zero
+    /// ids: 0 is the untagged/neutral stream).
+    pub tenant: TenantId,
+    /// Synthetic profile driving this tenant's sub-trace.
+    pub profile: WorkloadProfile,
+    /// Requests this tenant contributes.
+    pub requests: u64,
+    /// Per-request deadline budget (arrival + budget), for the EDF
+    /// policy. `None` leaves requests best-effort.
+    pub deadline: Option<SimDuration>,
+}
+
+impl TenantSpec {
+    /// A best-effort tenant: `requests` drawn from `profile`, no deadline.
+    pub fn new(tenant: TenantId, profile: WorkloadProfile, requests: u64) -> Self {
+        TenantSpec {
+            tenant,
+            profile,
+            requests,
+            deadline: None,
+        }
+    }
+
+    /// Attach a per-request deadline budget.
+    pub fn with_deadline(mut self, budget: SimDuration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+}
+
+/// Per-tenant seed derivation: decorrelate the sub-traces without losing
+/// determinism (SplitMix64's odd multiplier over the tenant id).
+fn tenant_seed(seed: u64, tenant: TenantId) -> u64 {
+    seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(tenant as u64 + 1)
+}
+
+/// Merge per-tenant sub-traces into one tenant-tagged [`Trace`].
+///
+/// Each spec generates its sub-trace with a tenant-decorrelated seed,
+/// tags every request with the spec's tenant id (and deadline budget, if
+/// any), and the union is stable-sorted by arrival. Deterministic: same
+/// specs + seed, same trace.
+pub fn multi_tenant(name: &str, specs: &[TenantSpec], seed: u64, page_size: u32) -> Trace {
+    let mut requests = Vec::new();
+    for spec in specs {
+        let sub =
+            spec.profile
+                .generate_scaled(tenant_seed(seed, spec.tenant), page_size, spec.requests);
+        for r in sub.requests {
+            let mut r = r.with_tenant(spec.tenant);
+            if let Some(budget) = spec.deadline {
+                r = r.with_deadline_after(budget);
+            }
+            requests.push(r);
+        }
+    }
+    // Stable by arrival: simultaneous arrivals keep spec order.
+    requests.sort_by_key(|r| r.arrival);
+    Trace::new(name, requests)
+}
+
+/// The canonical three-tenant QoS contention mix.
+///
+/// | tenant | stream | profile | deadline |
+/// |---|---|---|---|
+/// | 1 | latency-sensitive, read-dominant | Financial2 | 5 ms |
+/// | 2 | throughput-oriented, write-heavy | Financial1 | — |
+/// | 3 | background bulk, large transfers | Build | — |
+///
+/// Every profile's footprint is clamped to `footprint_bytes` so the mix
+/// fits whatever device the caller replays it on (the Table II footprints
+/// are tens of gigabytes; scaled experiment devices are much smaller).
+pub fn qos_mix(seed: u64, page_size: u32, requests_per_tenant: u64, footprint_bytes: u64) -> Trace {
+    let clamp = |mut p: WorkloadProfile| {
+        p.footprint_bytes = p.footprint_bytes.min(footprint_bytes);
+        p
+    };
+    let specs = [
+        TenantSpec::new(1, clamp(WorkloadProfile::financial2()), requests_per_tenant)
+            .with_deadline(SimDuration::from_millis(5)),
+        TenantSpec::new(2, clamp(WorkloadProfile::financial1()), requests_per_tenant),
+        TenantSpec::new(3, clamp(WorkloadProfile::build()), requests_per_tenant),
+    ];
+    multi_tenant("qos-mix", &specs, seed, page_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_sorted_tagged_and_deadlined() {
+        let t = qos_mix(7, 2048, 50, 1 << 26);
+        assert_eq!(t.len(), 150);
+        assert!(t.requests.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        for r in &t.requests {
+            assert!((1..=3).contains(&r.tenant));
+            match r.tenant {
+                1 => {
+                    let d = r.deadline.expect("tenant 1 carries deadlines");
+                    assert_eq!(d, r.arrival + SimDuration::from_millis(5));
+                }
+                _ => assert!(r.deadline.is_none()),
+            }
+        }
+        // All three streams actually show up.
+        for tenant in 1..=3u16 {
+            assert!(t.requests.iter().any(|r| r.tenant == tenant));
+        }
+    }
+
+    #[test]
+    fn composition_is_deterministic_and_seed_sensitive() {
+        let a = qos_mix(11, 2048, 40, 1 << 26);
+        let b = qos_mix(11, 2048, 40, 1 << 26);
+        assert_eq!(a.requests, b.requests);
+        let c = qos_mix(12, 2048, 40, 1 << 26);
+        assert_ne!(a.requests, c.requests);
+    }
+
+    #[test]
+    fn footprint_clamp_bounds_the_address_space() {
+        let t = qos_mix(3, 2048, 60, 1 << 22); // 4 MB = 2048 pages
+        let pages = (1u64 << 22) / 2048;
+        assert!(t.requests.iter().all(|r| r.lpn < pages));
+    }
+}

@@ -108,6 +108,7 @@ mod tests {
             lpn: 0,
             pages,
             op,
+            ..HostRequest::default()
         }
     }
 

@@ -46,6 +46,7 @@ fn main() {
                         lpn: rng.below(user / 2),
                         pages: 1,
                         op: HostOp::Write,
+                        ..HostRequest::default()
                     }
                 })
                 .collect();

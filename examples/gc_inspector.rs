@@ -44,6 +44,7 @@ fn main() {
                     lpn,
                     pages: 1,
                     op: HostOp::Write,
+                    ..HostRequest::default()
                 }
             })
             .collect();

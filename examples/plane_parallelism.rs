@@ -86,6 +86,7 @@ fn main() {
         lpn: 0,
         pages: 64,
         op: HostOp::Write,
+        ..HostRequest::default()
     }]);
     println!(
         "\nend-to-end: one 64-page (128 KB) DLOOP write completes in {:.3} ms \

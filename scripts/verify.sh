@@ -81,16 +81,43 @@ echo "==> background-GC gated soak (10k-op GC-heavy tail, wake-event contract)"
 # arrival-independent.
 cargo test -q --release --offline --test replay_modes gated_background_gc_soak
 
-echo "==> cargo doc --no-deps -p dloop-simkit (must be warning-free)"
-doc_log="$(cargo doc --no-deps --offline -p dloop-simkit 2>&1)" || {
-    echo "$doc_log"
+echo "==> QoS sweep smoke (qos subcommand, policy rows + per-tenant columns)"
+# One pass of the multi-tenant policy sweep on a small mix: exercises
+# every shipped policy plus both C12 bounds through the CLI and pins
+# the per-tenant columns of the emitted table.
+qos_out="$(mktemp -d)"
+cargo run --release --offline -q -p dloop-bench --bin dloop-experiments -- \
+    qos --scale 8 --requests 3000 --out "$qos_out" >/dev/null
+[[ -s "$qos_out/qos_0.csv" ]] || {
+    echo "error: qos smoke did not produce qos_0.csv" >&2
     exit 1
 }
-if grep -q "^warning" <<<"$doc_log"; then
-    echo "$doc_log"
-    echo "error: rustdoc warnings in dloop-simkit" >&2
+qos_header="$(head -n 1 "$qos_out/qos_0.csv")"
+for col in policy "t1 ms" "t2 ms" "t3 ms" spread; do
+    [[ "$qos_header" == *"$col"* ]] || {
+        echo "error: qos_0.csv missing column '$col': $qos_header" >&2
+        exit 1
+    }
+done
+grep -q "fair-share" "$qos_out/qos_0.csv" || {
+    echo "error: qos_0.csv missing the fair-share policy row" >&2
     exit 1
-fi
+}
+rm -rf "$qos_out"
+
+echo "==> cargo doc --no-deps (every workspace crate, must be warning-free)"
+for crate in dloop-simkit dloop-faults dloop-nand dloop-ftl-kit dloop \
+    dloop-baselines dloop-workloads dloop-bench dloop-repro; do
+    doc_log="$(cargo doc --no-deps --offline -p "$crate" 2>&1)" || {
+        echo "$doc_log"
+        exit 1
+    }
+    if grep -q "^warning" <<<"$doc_log"; then
+        echo "$doc_log"
+        echo "error: rustdoc warnings in $crate" >&2
+        exit 1
+    fi
+done
 
 if [[ "${1:-}" == "--with-bench" ]]; then
     echo "==> cargo bench -p dloop-bench (smoke: SIMKIT_BENCH_SAMPLES=3)"

@@ -12,11 +12,13 @@
 //! * [`nand`] — NAND flash SSD hardware model (geometry, timing, state,
 //!   resource contention, advanced commands incl. intra-plane copy-back).
 //! * [`ftl_kit`] — FTL framework: `Ftl` trait, cached mapping table, global
-//!   translation directory, the SSD device controller, and metrics.
+//!   translation directory, the SSD device controller, the QoS scheduling
+//!   policies over the NCQ window, and metrics.
 //! * [`dloop`] — the paper's contribution: the DLOOP FTL.
 //! * [`baselines`] — DFTL, FAST and an ideal page-mapping FTL.
-//! * [`workloads`] — synthetic enterprise workload generators (Table II)
-//!   and trace-file parsers.
+//! * [`workloads`] — synthetic enterprise workload generators (Table II),
+//!   multi-tenant composition for the QoS policies, and trace-file
+//!   parsers.
 //!
 //! ## Quickstart
 //!
@@ -34,6 +36,7 @@
 //!     lpn: 0,
 //!     pages: 16,
 //!     op: HostOp::Write,
+//!     ..HostRequest::default()
 //! }];
 //! let report = device.run(&requests, ReplayMode::Open);
 //! assert_eq!(report.pages_written, 16);
@@ -57,7 +60,11 @@ pub mod prelude {
     pub use dloop_ftl_kit::device::{ReplayMode, SsdDevice};
     pub use dloop_ftl_kit::ftl::Ftl;
     pub use dloop_ftl_kit::metrics::RunReport;
-    pub use dloop_ftl_kit::request::{HostOp, HostRequest};
+    pub use dloop_ftl_kit::request::{HostOp, HostRequest, TenantId};
+    pub use dloop_ftl_kit::sched::{
+        DeadlinePolicy, FairSharePolicy, NcqPolicy, PriorityPolicy, QosCandidate, QosPolicy,
+        QosSpec, WindowFifoPolicy,
+    };
     pub use dloop_nand::geometry::Geometry;
     pub use dloop_nand::timing::TimingConfig;
     pub use dloop_simkit::{RingSink, SimDuration, SimTime, StreamSink, TeeSink, TraceSink};

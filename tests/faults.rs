@@ -88,6 +88,7 @@ fn requests(ops: &[Op]) -> Vec<HostRequest> {
             lpn,
             pages: pages as u32,
             op: kind,
+            ..HostRequest::default()
         });
     }
     reqs

@@ -74,6 +74,7 @@ fn drive(kind: FtlKind, ops: &[Op]) -> (SsdDevice, BTreeMap<u64, bool>) {
                     lpn,
                     pages: pages as u32,
                     op: HostOp::Write,
+                    ..HostRequest::default()
                 });
             }
             Op::Read { lpn, pages } => {
@@ -82,6 +83,7 @@ fn drive(kind: FtlKind, ops: &[Op]) -> (SsdDevice, BTreeMap<u64, bool>) {
                     lpn,
                     pages: pages as u32,
                     op: HostOp::Read,
+                    ..HostRequest::default()
                 });
             }
         }
@@ -206,6 +208,7 @@ fn report_accounting_is_exact() {
                 lpn,
                 pages: pages as u32,
                 op: kind,
+                ..HostRequest::default()
             });
         }
         let report = device.run_trace(&reqs);

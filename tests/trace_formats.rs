@@ -6,6 +6,7 @@
 use dloop_repro::dloop_ftl::DloopFtl;
 use dloop_repro::ftl_kit::config::SsdConfig;
 use dloop_repro::ftl_kit::device::{ReplayMode, SsdDevice};
+use dloop_repro::ftl_kit::sched::QosSpec;
 use dloop_repro::simkit::trace::QueueDepthProbe;
 use dloop_repro::workloads::{parse_disksim, parse_spc};
 
@@ -106,6 +107,95 @@ fn queue_depth_csv_shape_and_conservation() {
         assert_eq!(completed, admitted, "{label}: every unit completed");
         assert_eq!(final_gauges, (0, 0), "{label}: queues drain by the end");
     }
+}
+
+/// Per-tenant extension of the queue-depth CSV: a tenant-tagged replay
+/// (here real SPC text with three ASUs, which the parser maps straight to
+/// tenant ids) appends one four-column gauge block per distinct tenant
+/// after the locked five-column prefix. The blocks obey the same laws as
+/// the aggregate — admitted exactly once, completed exactly once, gauges
+/// drain — and the aggregate columns equal the sum of the blocks in
+/// every row.
+#[test]
+fn queue_depth_csv_per_tenant_blocks_shape_and_conservation() {
+    let mut text = String::new();
+    for i in 0..300u64 {
+        let asu = 1 + i % 3;
+        let lba = (i * 41) % 60_000;
+        let op = if i % 4 == 0 { "r" } else { "W" };
+        text.push_str(&format!(
+            "{asu},{lba},{},{op},{}\n",
+            4096,
+            i as f64 * 0.0002
+        ));
+    }
+    let config = SsdConfig::micro_gc_test();
+    let trace = parse_spc(&text, "mini-spc", config.geometry().page_size, None).unwrap();
+    assert!(trace.requests.iter().all(|r| (1..=3).contains(&r.tenant)));
+
+    let mut device = SsdDevice::new(config.clone(), Box::new(DloopFtl::new(&config)));
+    let report = device.run(
+        &trace.requests,
+        ReplayMode::Qos {
+            queue_depth: 4,
+            policy: QosSpec::fair_share(),
+        },
+    );
+    let buckets = 32;
+    let csv = report.queue_depth_csv(buckets);
+    let mut lines = csv.lines();
+    let header = lines.next().expect("header row");
+    assert!(
+        header.starts_with(QueueDepthProbe::csv_header()),
+        "locked prefix drifted: {header}"
+    );
+    assert_eq!(
+        header,
+        format!(
+            "{}{}",
+            QueueDepthProbe::csv_header(),
+            ",t1_in_flight,t1_pending,t1_admitted,t1_completed\
+             ,t2_in_flight,t2_pending,t2_admitted,t2_completed\
+             ,t3_in_flight,t3_pending,t3_admitted,t3_completed"
+        )
+    );
+    let mut rows = 0usize;
+    let mut admitted = [0u64; 3];
+    let mut completed = [0u64; 3];
+    let mut final_gauges = [u64::MAX; 6];
+    for line in lines {
+        let cols: Vec<u64> = line
+            .split(',')
+            .skip(1) // bucket_start_ms is a float
+            .map(|c| c.parse().expect("integer column"))
+            .collect();
+        assert_eq!(cols.len(), 16, "4 aggregate + 3 tenant blocks");
+        // Aggregate columns are the sum of the tenant blocks.
+        for g in 0..4 {
+            let sum: u64 = (0..3).map(|t| cols[4 + t * 4 + g]).sum();
+            assert_eq!(cols[g], sum, "aggregate col {g} != tenant sum");
+        }
+        for t in 0..3 {
+            admitted[t] += cols[4 + t * 4 + 2];
+            completed[t] += cols[4 + t * 4 + 3];
+            final_gauges[t * 2] = cols[4 + t * 4];
+            final_gauges[t * 2 + 1] = cols[4 + t * 4 + 1];
+        }
+        rows += 1;
+    }
+    assert_eq!(rows, buckets);
+    for t in 0..3u16 {
+        let tracked = report.queue_log.tenant_len(t + 1);
+        assert!(tracked > 0, "tenant {} tracked nothing", t + 1);
+        assert_eq!(
+            admitted[t as usize] as usize,
+            tracked,
+            "tenant {} admitted exactly once per unit",
+            t + 1
+        );
+        assert_eq!(completed[t as usize], admitted[t as usize]);
+    }
+    assert_eq!(final_gauges, [0; 6], "per-tenant queues drain by the end");
 }
 
 #[test]

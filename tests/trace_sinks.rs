@@ -45,6 +45,7 @@ fn requests(ops: &[(u64, u8, bool)]) -> Vec<HostRequest> {
             lpn,
             pages: pages as u32,
             op: if write { HostOp::Write } else { HostOp::Read },
+            ..HostRequest::default()
         })
         .collect()
 }
