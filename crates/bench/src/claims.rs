@@ -13,10 +13,11 @@ use dloop_ftl_kit::config::{FtlKind, SsdConfig};
 use dloop_ftl_kit::device::{ReplayMode, SsdDevice};
 use dloop_ftl_kit::metrics::RunReport;
 use dloop_ftl_kit::sched::QosSpec;
+use dloop_host::{report_fingerprint, HostConfig, HostStack};
 use dloop_nand::TimingConfig;
 use dloop_simkit::trace::{attribution, RingSink, SpanPhase};
 use dloop_workloads::synth::sequential_fill;
-use dloop_workloads::{qos_mix, WorkloadProfile};
+use dloop_workloads::{host_mix, qos_mix, WorkloadProfile};
 
 use crate::experiments::ExpOptions;
 
@@ -324,6 +325,7 @@ pub fn verify(opts: &ExpOptions) -> Vec<ClaimResult> {
     results.push(check_gc_blocked_share(opts));
     results.push(check_ncq_vs_gated(opts));
     results.push(check_qos_bounds(opts));
+    results.push(check_host_stack(opts));
 
     results
 }
@@ -589,6 +591,141 @@ fn check_qos_bounds_on(
     }
 }
 
+/// C13 — host-stack contract for the `dloop-host` crate, in three legs:
+///
+/// * **Pass-through identity.** With [`HostConfig::passthrough`] every
+///   pipeline stage is an exact identity transform, so the device report
+///   under the host stack must be fingerprint-identical (locked CSV row,
+///   queue-depth timeline, per-request completion log) to calling
+///   `SsdDevice::run` directly — in *every* replay mode. This is the
+///   regression gate that keeps the host layer observational: adding a
+///   stage that perturbs the forwarded trace breaks the digest.
+/// * **Exact phase tiling.** On a fully-enabled (buffered) stack, each
+///   request's host-queue + cache + device + completion durations must
+///   sum to its end-to-end residence *in integer nanoseconds* — the
+///   attribution table telescopes from syscall to cell with no slack.
+///   The leg also demands the stack actually engaged: cache hits,
+///   amortized doorbells, and coalesced interrupts all observed.
+/// * **Determinism.** Re-running the buffered stack on the same trace
+///   reproduces the same [`HostRunReport`](dloop_host::HostRunReport)
+///   digest, timelines and counters included.
+fn check_host_stack(opts: &ExpOptions) -> ClaimResult {
+    let config = SsdConfig::paper_default().with_capacity_gb(1);
+    check_host_stack_on(opts, config, 1_500)
+}
+
+/// The C13 measurement itself, on an arbitrary device configuration (the
+/// unit test runs it on [`SsdConfig::micro_gc_test`] to stay cheap).
+fn check_host_stack_on(
+    opts: &ExpOptions,
+    config: SsdConfig,
+    requests_per_tenant: u64,
+) -> ClaimResult {
+    let geometry = config.geometry();
+    let footprint = geometry.user_pages() * geometry.page_size as u64 / 2;
+    let mix = host_mix(
+        opts.seed,
+        geometry.page_size,
+        requests_per_tenant,
+        footprint,
+    );
+    let mut pass = true;
+    let mut worst = String::new();
+
+    // Leg 1: pass-through identity, every replay mode.
+    let modes = [
+        ReplayMode::Open,
+        ReplayMode::Gated,
+        ReplayMode::Closed { queue_depth: 16 },
+        ReplayMode::Ncq {
+            queue_depth: dloop_ftl_kit::DEFAULT_NCQ_DEPTH,
+        },
+        ReplayMode::Qos {
+            queue_depth: dloop_ftl_kit::DEFAULT_NCQ_DEPTH,
+            policy: QosSpec::Priority,
+        },
+    ];
+    for mode in modes {
+        let mut raw = SsdDevice::new(config.clone(), build_ftl(FtlKind::Dloop, &config));
+        let raw_report = raw.run(&mix.requests, mode);
+        let mut wrapped = SsdDevice::new(config.clone(), build_ftl(FtlKind::Dloop, &config));
+        let host = HostStack::new(HostConfig::passthrough()).run(&mut wrapped, &mix.requests, mode);
+        if report_fingerprint(&raw_report) != report_fingerprint(&host.device) {
+            pass = false;
+            worst = format!("pass-through device report diverged under {mode:?}");
+        }
+    }
+
+    // Leg 2: exact phase tiling with every stage engaged.
+    let cache_pages = (geometry.user_pages() / 8).max(64);
+    let run_buffered = || {
+        let mut device = SsdDevice::new(config.clone(), build_ftl(FtlKind::Dloop, &config));
+        HostStack::new(HostConfig::buffered(cache_pages)).run(
+            &mut device,
+            &mix.requests,
+            ReplayMode::Open,
+        )
+    };
+    let buffered = run_buffered();
+    for (i, r) in buffered.requests.iter().enumerate() {
+        let tiled = r.host_queue_ns() + r.cache_ns() + r.device_ns() + r.completion_ns();
+        if tiled != r.end_to_end_ns() {
+            pass = false;
+            worst = format!(
+                "request {i}: phases sum to {tiled} ns but end-to-end is {} ns",
+                r.end_to_end_ns()
+            );
+            break;
+        }
+    }
+    let (hq, cache, dev, compl, e2e) = buffered.phase_totals_ns();
+    if hq + cache + dev + compl != e2e {
+        pass = false;
+        worst =
+            format!("phase totals {hq}+{cache}+{dev}+{compl} ns do not tile end-to-end {e2e} ns");
+    }
+    let engaged = buffered.cache.read_hits > 0
+        && buffered.cache.writes_absorbed > 0
+        && buffered.queues.mean_batch() > 1.0
+        && buffered.queues.mean_coalesced() > 1.0;
+    if !engaged {
+        pass = false;
+        worst = format!(
+            "buffered stack did not engage: {} hits, {} absorbed, batch {:.2}, coalesced {:.2}",
+            buffered.cache.read_hits,
+            buffered.cache.writes_absorbed,
+            buffered.queues.mean_batch(),
+            buffered.queues.mean_coalesced()
+        );
+    }
+
+    // Leg 3: rerun determinism of the full host report.
+    let rerun = run_buffered();
+    if buffered.fingerprint() != rerun.fingerprint() {
+        pass = false;
+        worst = "buffered host report not deterministic across reruns".into();
+    }
+
+    ClaimResult {
+        id: "C13",
+        claim: "pass-through host stack is fingerprint-identical; host phases tile end-to-end",
+        pass,
+        detail: if pass {
+            format!(
+                "{} modes identical; {} requests tiled exactly ({:.1}% cache-served, \
+                 batch {:.2}, coalesced {:.2}); rerun digest stable",
+                modes.len(),
+                buffered.requests.len(),
+                buffered.cache_served_fraction() * 100.0,
+                buffered.queues.mean_batch(),
+                buffered.queues.mean_coalesced(),
+            )
+        } else {
+            worst
+        },
+    }
+}
+
 /// Render the claim results as a table.
 pub fn to_table(results: &[ClaimResult]) -> Table {
     let mut table = Table::new(
@@ -671,5 +808,16 @@ mod tests {
         let config = dloop_ftl_kit::config::SsdConfig::micro_gc_test();
         let r = check_qos_bounds_on(&opts, config, 700);
         assert!(r.pass, "C12 failed: {}", r.detail);
+    }
+
+    #[test]
+    fn c13_host_stack_passthrough_and_tiling() {
+        // The micro device keeps the six pass-through replays plus the
+        // two buffered runs cheap; the host mix still engages the cache
+        // (tenant 1's hot set) and the batching queues.
+        let opts = ExpOptions::default();
+        let config = dloop_ftl_kit::config::SsdConfig::micro_gc_test();
+        let r = check_host_stack_on(&opts, config, 400);
+        assert!(r.pass, "C13 failed: {}", r.detail);
     }
 }

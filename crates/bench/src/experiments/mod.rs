@@ -15,6 +15,7 @@
 //! | [`faults`] | graceful degradation vs raw bit-error rate (beyond the paper) |
 //! | [`tracecmd`] | op-level flight-recorder artifacts (Chrome trace, utilization, attribution) |
 //! | [`qos`] | multi-tenant QoS policy sweep over the NCQ window (beyond the paper) |
+//! | [`host`] | host-stack coalescing and dirty-ratio sweeps through `dloop-host` (beyond the paper) |
 //!
 //! Absolute milliseconds differ from the paper (synthetic workloads, scaled
 //! devices); the *shape* — orderings, trends, crossovers — is the target.
@@ -27,6 +28,7 @@ pub mod fig10;
 pub mod fig8;
 pub mod fig9;
 pub mod headline;
+pub mod host;
 pub mod params;
 pub mod qos;
 pub mod striping;

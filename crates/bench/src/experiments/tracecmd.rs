@@ -193,7 +193,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             "total_ms",
         ],
     );
-    for phase in [SpanPhase::Host, SpanPhase::Gc, SpanPhase::Scan] {
+    for phase in SpanPhase::all() {
         let r = attr.row(phase);
         table.row(vec![
             phase.name().to_string(),
@@ -264,7 +264,10 @@ mod tests {
         let tables = run(&opts);
         assert_eq!(tables.len(), 2);
         // Host spans exist on any non-empty workload.
-        assert!(tables[0].len() == 3, "one attribution row per phase");
+        assert!(
+            tables[0].len() == SpanPhase::all().len(),
+            "one attribution row per phase"
+        );
     }
 
     /// Same self-checks under the NCQ scheduler — the mode the verify.sh

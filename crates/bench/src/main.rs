@@ -20,6 +20,9 @@
 //!                           streamed span JSONL, latency attribution
 //!   qos                   — multi-tenant QoS policy sweep over the NCQ
 //!                           window (per-tenant turnaround + fairness)
+//!   host                  — host-stack sweeps through dloop-host:
+//!                           interrupt coalescing and cache dirty ratio,
+//!                           with per-phase latency decomposition
 //!   verify                — automated PASS/FAIL audit of the paper's claims
 //!   all                   — everything above (except trace: its artifacts
 //!                           are for interactive inspection, run it alone)
@@ -41,7 +44,7 @@
 //! ```
 
 use dloop_bench::experiments::{
-    ablation, channels, copyback, faults, fig10, fig8, fig9, headline, params, qos, striping,
+    ablation, channels, copyback, faults, fig10, fig8, fig9, headline, host, params, qos, striping,
     tracecmd, traces, ExpOptions, TraceMode,
 };
 use dloop_ftl_kit::sched::QosSpec;
@@ -53,7 +56,7 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
-const HELP: &str = "usage: dloop-experiments <params|traces|copyback|fig8|fig9|fig10|headline|ablation|striping|channels|faults|trace|qos|verify|all> \
+const HELP: &str = "usage: dloop-experiments <params|traces|copyback|fig8|fig9|fig10|headline|ablation|striping|channels|faults|trace|qos|host|verify|all> \
 [--scale N] [--requests N] [--seed N] [--workers N] [--fill F] [--out DIR] \
 [--mode open|gated|closed|ncq] [--depth N] \
 [--policy ncq|window-fifo|priority|deadline|fair-share] [--tenants N] [--quick]";
@@ -181,6 +184,7 @@ fn main() -> ExitCode {
             "faults" => opts.emit(&faults::run(opts), "faults_ber"),
             "trace" => opts.emit(&tracecmd::run(opts), "trace"),
             "qos" => opts.emit(&qos::run(opts), "qos"),
+            "host" => opts.emit(&host::run(opts), "host"),
             "verify" => {
                 let results = dloop_bench::claims::verify(opts);
                 let table = dloop_bench::claims::to_table(&results);
@@ -198,7 +202,7 @@ fn main() -> ExitCode {
     let ok = if cmd == "all" {
         for c in [
             "params", "traces", "copyback", "fig8", "fig9", "fig10", "headline", "ablation",
-            "striping", "channels", "faults", "qos", "verify",
+            "striping", "channels", "faults", "qos", "host", "verify",
         ] {
             eprintln!(">> {c}");
             run_cmd(c, &opts);

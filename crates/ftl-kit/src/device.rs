@@ -95,6 +95,11 @@ struct ReplayStats {
     pages_read: u64,
     pages_written: u64,
     sim_end: SimTime,
+    /// Per-request completion log: `(request index, arrival, done)`, in
+    /// completion-record order. This is what lets a wrapping layer (the
+    /// `dloop-host` stack) map each request of the slice it replayed to
+    /// its exact completion instant.
+    completions: Vec<(u64, SimTime, SimTime)>,
     /// Host-queue occupancy log: `(arrival, issue, done)` per admitted
     /// unit of work. Every driver records it (so Open ≡ Closed{∞} holds
     /// field-for-field); the arrival-reserving drivers track whole
@@ -110,6 +115,7 @@ impl ReplayStats {
             pages_read: 0,
             pages_written: 0,
             sim_end: SimTime::ZERO,
+            completions: Vec::new(),
             queue: QueueDepthProbe::new(),
         }
     }
@@ -122,9 +128,11 @@ impl ReplayStats {
         }
     }
 
-    /// Record a request that arrived at `arrival` and finished at `done`.
-    fn complete(&mut self, arrival: SimTime, done: SimTime) {
+    /// Record request `req` (its index in the replayed slice) arriving at
+    /// `arrival` and finishing at `done`.
+    fn complete(&mut self, req: u64, arrival: SimTime, done: SimTime) {
         self.sim_end = self.sim_end.max(done);
+        self.completions.push((req, arrival, done));
         let resp = done.saturating_since(arrival);
         self.response_ms.push(resp.as_millis_f64());
         self.hist.record(resp.as_micros_f64());
@@ -373,7 +381,7 @@ impl SsdDevice {
                 in_flight.push(std::cmp::Reverse(req_done));
             }
             stats.queue.track(req.tenant, req.arrival, issue, req_done);
-            stats.complete(req.arrival, req_done);
+            stats.complete(ev.event as u64, req.arrival, req_done);
         }
 
         self.finish_report(requests.len() as u64, stats)
@@ -565,7 +573,7 @@ impl SsdDevice {
                     stats
                         .queue
                         .track(req.tenant, req.arrival, req.arrival, req.arrival);
-                    stats.complete(req.arrival, req.arrival);
+                    stats.complete(i as u64, req.arrival, req.arrival);
                     continue;
                 }
                 for lpn in req.wrapped_page_ops(lpn_space) {
@@ -678,7 +686,7 @@ impl SsdDevice {
         req_done[op.req] = req_done[op.req].max(done);
         req_ops_left[op.req] -= 1;
         if req_ops_left[op.req] == 0 {
-            stats.complete(op.arrival, req_done[op.req]);
+            stats.complete(op.req as u64, op.arrival, req_done[op.req]);
         }
         // Wake the scheduler when this op's work completes.
         if done > now {
@@ -787,7 +795,7 @@ impl SsdDevice {
                     stats
                         .queue
                         .track(req.tenant, req.arrival, req.arrival, req.arrival);
-                    stats.complete(req.arrival, req.arrival);
+                    stats.complete(i as u64, req.arrival, req.arrival);
                     continue;
                 }
                 for lpn in req.wrapped_page_ops(lpn_space) {
@@ -954,6 +962,7 @@ impl SsdDevice {
             gc_block_ms: self.gc_block_ms.clone(),
             media: self.media_delta(),
             retry_ns: self.hw.retry_ns(),
+            completions: stats.completions,
             queue_log: stats.queue,
         }
     }

@@ -63,6 +63,13 @@ pub struct RunReport {
     /// Plane-busy nanoseconds added by read-retry ladders (the latency
     /// price of the raw bit-error rate).
     pub retry_ns: u64,
+    /// Per-request completion log: `(request index, arrival, done)` for
+    /// every request of the replayed slice, in the order the driver
+    /// recorded them. Zero-page requests complete at their arrival. The
+    /// `dloop-host` stack reads this to map device completions back onto
+    /// host requests (and from there into interrupt-coalescing delivery
+    /// times).
+    pub completions: Vec<(u64, SimTime, SimTime)>,
     /// Host-queue occupancy log: one `(arrival, issue, done)` triple per
     /// admitted unit of work (requests in the arrival-reserving modes,
     /// page operations in the gated/NCQ modes). Every replay mode records
@@ -332,6 +339,7 @@ mod tests {
                 ..MediaCounters::default()
             },
             retry_ns: 120_000,
+            completions: vec![(0, SimTime::ZERO, SimTime::from_micros(100))],
             queue_log: QueueDepthProbe::new(),
         }
     }

@@ -1,0 +1,236 @@
+//! Block layer: split large host I/Os into bounded device commands and
+//! merge adjacent ones back together.
+//!
+//! Both transforms preserve the set of `(host request, page)` pairs —
+//! they only re-shape command boundaries — and both carry the
+//! contributing host-request indices along, so the stack can always map
+//! a device completion back to the host requests it finishes.
+
+use crate::cache::Writeback;
+use dloop_ftl_kit::request::{HostOp, HostRequest};
+
+/// A device-bound command being assembled: the request the device will
+/// see plus the host requests whose completion depends on it (empty for
+/// cache write-backs, which no host response waits on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    /// What the device will be asked to do.
+    pub req: HostRequest,
+    /// Indices (into the original host trace) of the requests this
+    /// command serves.
+    pub hosts: Vec<u32>,
+}
+
+impl Command {
+    /// A command serving exactly one host request.
+    pub fn for_host(req: HostRequest, host: u32) -> Self {
+        Command {
+            req,
+            hosts: vec![host],
+        }
+    }
+
+    /// A background command no host response waits on.
+    pub fn background(req: HostRequest) -> Self {
+        Command {
+            req,
+            hosts: Vec::new(),
+        }
+    }
+}
+
+/// Split `cmd` into chunks of at most `max_pages` pages (`0` = no
+/// splitting). Every chunk inherits the arrival, tenant, deadline and
+/// host mapping; only the page window moves.
+pub fn split(cmd: Command, max_pages: u32, out: &mut Vec<Command>) -> u64 {
+    if max_pages == 0 || cmd.req.pages <= max_pages {
+        out.push(cmd);
+        return 0;
+    }
+    let mut offset = 0u64;
+    let mut chunks = 0u64;
+    while offset < cmd.req.pages as u64 {
+        let pages = (cmd.req.pages as u64 - offset).min(max_pages as u64) as u32;
+        out.push(Command {
+            req: HostRequest {
+                lpn: cmd.req.lpn + offset,
+                pages,
+                ..cmd.req
+            },
+            hosts: cmd.hosts.clone(),
+        });
+        offset += pages as u64;
+        chunks += 1;
+    }
+    chunks
+}
+
+/// Merge adjacent commands of one doorbell batch in place: consecutive
+/// commands fuse when they share direction and tenant and the second
+/// starts exactly where the first ends. The merged command keeps the
+/// first command's arrival (the earlier one — the batch rings as a unit
+/// anyway), the earliest deadline, and the union of host mappings.
+/// Returns how many commands were absorbed into a neighbour.
+pub fn merge_adjacent(batch: &mut Vec<Command>) -> u64 {
+    let mut merged = 0u64;
+    let mut out: Vec<Command> = Vec::with_capacity(batch.len());
+    for cmd in batch.drain(..) {
+        if let Some(prev) = out.last_mut() {
+            let contiguous = prev.req.op == cmd.req.op
+                && prev.req.tenant == cmd.req.tenant
+                && prev.req.pages > 0
+                && cmd.req.pages > 0
+                && prev.req.lpn + prev.req.pages as u64 == cmd.req.lpn;
+            if contiguous {
+                prev.req.pages += cmd.req.pages;
+                prev.req.deadline = match (prev.req.deadline, cmd.req.deadline) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                for h in cmd.hosts {
+                    if !prev.hosts.contains(&h) {
+                        prev.hosts.push(h);
+                    }
+                }
+                merged += 1;
+                continue;
+            }
+        }
+        out.push(cmd);
+    }
+    *batch = out;
+    merged
+}
+
+/// Group a write-back page list into per-tenant contiguous runs, each
+/// becoming one device write command. Pages are sorted by `(tenant,
+/// lpn)` first, so the grouping is deterministic regardless of the order
+/// evictions produced them in.
+pub fn writeback_runs(mut pages: Vec<Writeback>, base: HostRequest) -> Vec<Command> {
+    pages.sort_by_key(|w| (w.tenant, w.lpn));
+    pages.dedup();
+    let mut out = Vec::new();
+    for w in pages {
+        if let Some(last) = out.last_mut() {
+            let Command { req, .. } = last;
+            if req.tenant == w.tenant && req.lpn + req.pages as u64 == w.lpn {
+                req.pages += 1;
+                continue;
+            }
+        }
+        out.push(Command::background(HostRequest {
+            lpn: w.lpn,
+            pages: 1,
+            op: HostOp::Write,
+            tenant: w.tenant,
+            deadline: None,
+            ..base
+        }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dloop_simkit::SimTime;
+
+    fn req(lpn: u64, pages: u32, op: HostOp) -> HostRequest {
+        HostRequest {
+            arrival: SimTime::from_micros(5),
+            lpn,
+            pages,
+            op,
+            ..HostRequest::default()
+        }
+    }
+
+    #[test]
+    fn split_bounds_every_chunk_and_covers_all_pages() {
+        let mut out = Vec::new();
+        let chunks = split(
+            Command::for_host(req(100, 10, HostOp::Write), 3),
+            4,
+            &mut out,
+        );
+        assert_eq!(chunks, 3);
+        assert_eq!(
+            out.iter()
+                .map(|c| (c.req.lpn, c.req.pages))
+                .collect::<Vec<_>>(),
+            vec![(100, 4), (104, 4), (108, 2)]
+        );
+        assert!(out.iter().all(|c| c.hosts == vec![3]));
+        assert!(out.iter().all(|c| c.req.arrival == SimTime::from_micros(5)));
+    }
+
+    #[test]
+    fn split_disabled_or_small_is_identity() {
+        for max in [0, 10, 100] {
+            let mut out = Vec::new();
+            let cmd = Command::for_host(req(7, 10, HostOp::Read), 0);
+            assert_eq!(split(cmd.clone(), max, &mut out), 0);
+            assert_eq!(out, vec![cmd]);
+        }
+    }
+
+    #[test]
+    fn merge_fuses_contiguous_same_direction_commands() {
+        let mut batch = vec![
+            Command::for_host(req(10, 2, HostOp::Write), 0),
+            Command::for_host(req(12, 3, HostOp::Write), 1),
+            Command::for_host(req(15, 1, HostOp::Read), 2), // direction break
+            Command::for_host(req(16, 1, HostOp::Read), 3),
+        ];
+        let merged = merge_adjacent(&mut batch);
+        assert_eq!(merged, 2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!((batch[0].req.lpn, batch[0].req.pages), (10, 5));
+        assert_eq!(batch[0].hosts, vec![0, 1]);
+        assert_eq!((batch[1].req.lpn, batch[1].req.pages), (15, 2));
+        assert_eq!(batch[1].hosts, vec![2, 3]);
+    }
+
+    #[test]
+    fn merge_respects_tenant_and_gap_boundaries() {
+        let mut batch = vec![
+            Command::for_host(req(10, 2, HostOp::Write).with_tenant(1), 0),
+            Command::for_host(req(12, 2, HostOp::Write).with_tenant(2), 1), // tenant break
+            Command::for_host(req(20, 2, HostOp::Write).with_tenant(2), 2), // address gap
+        ];
+        assert_eq!(merge_adjacent(&mut batch), 0);
+        assert_eq!(batch.len(), 3);
+    }
+
+    #[test]
+    fn merge_keeps_earliest_deadline() {
+        let a = req(0, 1, HostOp::Write)
+            .with_deadline_after(dloop_simkit::SimDuration::from_micros(90));
+        let b = req(1, 1, HostOp::Write)
+            .with_deadline_after(dloop_simkit::SimDuration::from_micros(40));
+        let mut batch = vec![Command::for_host(a, 0), Command::for_host(b, 1)];
+        assert_eq!(merge_adjacent(&mut batch), 1);
+        assert_eq!(batch[0].req.deadline, b.deadline);
+    }
+
+    #[test]
+    fn writeback_runs_group_contiguous_pages_per_tenant() {
+        let base = req(0, 0, HostOp::Write);
+        let pages = vec![
+            Writeback { lpn: 12, tenant: 2 },
+            Writeback { lpn: 5, tenant: 1 },
+            Writeback { lpn: 6, tenant: 1 },
+            Writeback { lpn: 11, tenant: 2 },
+            Writeback { lpn: 20, tenant: 1 },
+        ];
+        let runs = writeback_runs(pages, base);
+        assert_eq!(
+            runs.iter()
+                .map(|c| (c.req.tenant, c.req.lpn, c.req.pages))
+                .collect::<Vec<_>>(),
+            vec![(1, 5, 2), (1, 20, 1), (2, 11, 2)]
+        );
+        assert!(runs.iter().all(|c| c.hosts.is_empty()));
+        assert!(runs.iter().all(|c| c.req.op == HostOp::Write));
+    }
+}

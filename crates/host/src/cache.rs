@@ -1,0 +1,326 @@
+//! Write-back host page cache with deterministic LRU eviction.
+//!
+//! The cache is a pure function of the request stream: lookups use a
+//! `HashMap` (never iterated), while recency order lives in a `BTreeMap`
+//! keyed by a monotone touch sequence, so eviction order, write-back
+//! order and every statistic are identical across reruns — the
+//! determinism rule the host-stack chapter of DESIGN.md pins down.
+//!
+//! State machine per page: *absent* → (`read` miss) → *clean* → (`write`)
+//! → *dirty* → (dirty-ratio flush / drain) → *clean* → (LRU eviction) →
+//! *absent*. Evicting a dirty page emits a write-back; evicting a clean
+//! page is free.
+
+use dloop_ftl_kit::request::TenantId;
+use std::collections::{BTreeMap, HashMap};
+
+/// A page the cache decided to write back, tagged with the tenant that
+/// last dirtied it (so device-side QoS accounting still sees the right
+/// stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Writeback {
+    /// Logical page to write.
+    pub lpn: u64,
+    /// Stream that last wrote the page.
+    pub tenant: TenantId,
+}
+
+/// Counters the cache accumulates over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read page lookups served from the cache.
+    pub read_hits: u64,
+    /// Read page lookups that went to the device.
+    pub read_misses: u64,
+    /// Write pages absorbed by the write-back cache.
+    pub writes_absorbed: u64,
+    /// Pages written back because the dirty ratio tripped.
+    pub flushed: u64,
+    /// Dirty pages written back because LRU eviction pushed them out.
+    pub evicted_dirty: u64,
+    /// Clean pages silently evicted.
+    pub evicted_clean: u64,
+    /// Pages written back by the end-of-trace drain.
+    pub drained: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    seq: u64,
+    dirty: bool,
+    tenant: TenantId,
+}
+
+/// The write-back page cache. `capacity == 0` disables it entirely (every
+/// operation misses and nothing is retained).
+#[derive(Debug)]
+pub struct PageCache {
+    capacity: u64,
+    dirty_ratio: f64,
+    entries: HashMap<u64, Entry>,
+    lru: BTreeMap<u64, u64>,
+    seq: u64,
+    dirty: u64,
+    /// Run counters, readable at any time.
+    pub stats: CacheStats,
+}
+
+impl PageCache {
+    /// A cache of `capacity` pages flushing once the dirty fraction
+    /// exceeds `dirty_ratio`.
+    pub fn new(capacity: u64, dirty_ratio: f64) -> Self {
+        PageCache {
+            capacity,
+            dirty_ratio: dirty_ratio.clamp(0.0, 1.0),
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            seq: 0,
+            dirty: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Whether the cache retains anything at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Resident pages.
+    pub fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resident dirty pages.
+    pub fn dirty_pages(&self) -> u64 {
+        self.dirty
+    }
+
+    fn touch(&mut self, lpn: u64) {
+        if let Some(e) = self.entries.get_mut(&lpn) {
+            self.lru.remove(&e.seq);
+            self.seq += 1;
+            e.seq = self.seq;
+            self.lru.insert(self.seq, lpn);
+        }
+    }
+
+    fn insert(&mut self, lpn: u64, dirty: bool, tenant: TenantId, out: &mut Vec<Writeback>) {
+        self.seq += 1;
+        if let Some(old) = self.entries.insert(
+            lpn,
+            Entry {
+                seq: self.seq,
+                dirty,
+                tenant,
+            },
+        ) {
+            self.lru.remove(&old.seq);
+            if old.dirty {
+                self.dirty -= 1;
+            }
+        }
+        self.lru.insert(self.seq, lpn);
+        if dirty {
+            self.dirty += 1;
+        }
+        // LRU eviction down to capacity; dirty victims are written back.
+        while self.entries.len() as u64 > self.capacity {
+            let (&seq, &victim) = self.lru.iter().next().expect("non-empty over capacity");
+            self.lru.remove(&seq);
+            let e = self.entries.remove(&victim).expect("lru entry resident");
+            if e.dirty {
+                self.dirty -= 1;
+                self.stats.evicted_dirty += 1;
+                out.push(Writeback {
+                    lpn: victim,
+                    tenant: e.tenant,
+                });
+            } else {
+                self.stats.evicted_clean += 1;
+            }
+        }
+    }
+
+    /// Absorb one written page (write-back: the device sees nothing until
+    /// a flush, eviction or drain pushes the page out). Any write-backs
+    /// the insertion forces are appended to `out`.
+    pub fn write(&mut self, lpn: u64, tenant: TenantId, out: &mut Vec<Writeback>) {
+        if !self.enabled() {
+            return;
+        }
+        self.stats.writes_absorbed += 1;
+        self.insert(lpn, true, tenant, out);
+    }
+
+    /// Look up one read page: `true` is a hit (recency refreshed),
+    /// `false` a miss — the page is installed clean (read-allocate) and
+    /// the caller forwards the read to the device. Evictions forced by
+    /// the fill are appended to `out`.
+    pub fn read(&mut self, lpn: u64, tenant: TenantId, out: &mut Vec<Writeback>) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        if self.entries.contains_key(&lpn) {
+            self.stats.read_hits += 1;
+            self.touch(lpn);
+            true
+        } else {
+            self.stats.read_misses += 1;
+            self.insert(lpn, false, tenant, out);
+            false
+        }
+    }
+
+    /// Write back *all* dirty pages (oldest first) if the dirty fraction
+    /// exceeded the configured ratio. The pages stay resident, now clean.
+    pub fn maybe_flush(&mut self, out: &mut Vec<Writeback>) {
+        if !self.enabled() || (self.dirty as f64) <= self.dirty_ratio * self.capacity as f64 {
+            return;
+        }
+        self.flush_dirty(out, false);
+    }
+
+    /// Write back every dirty page unconditionally (end-of-trace drain).
+    pub fn drain(&mut self, out: &mut Vec<Writeback>) {
+        self.flush_dirty(out, true);
+    }
+
+    fn flush_dirty(&mut self, out: &mut Vec<Writeback>, draining: bool) {
+        // BTreeMap order = touch order: the write-back stream is
+        // deterministic and oldest-dirty-first.
+        let victims: Vec<(u64, u64, TenantId)> = self
+            .lru
+            .iter()
+            .filter_map(|(&seq, &lpn)| {
+                let e = self.entries[&lpn];
+                e.dirty.then_some((seq, lpn, e.tenant))
+            })
+            .collect();
+        for (seq, lpn, tenant) in victims {
+            let _ = seq;
+            let e = self.entries.get_mut(&lpn).expect("dirty page resident");
+            e.dirty = false;
+            self.dirty -= 1;
+            if draining {
+                self.stats.drained += 1;
+            } else {
+                self.stats.flushed += 1;
+            }
+            out.push(Writeback { lpn, tenant });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_cache_misses_everything() {
+        let mut c = PageCache::new(0, 0.5);
+        let mut out = Vec::new();
+        assert!(!c.read(7, 1, &mut out));
+        c.write(7, 1, &mut out);
+        assert!(!c.read(7, 1, &mut out));
+        assert!(out.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats.writes_absorbed, 0);
+    }
+
+    #[test]
+    fn read_allocates_then_hits() {
+        let mut c = PageCache::new(4, 1.0);
+        let mut out = Vec::new();
+        assert!(!c.read(3, 1, &mut out));
+        assert!(c.read(3, 1, &mut out));
+        assert_eq!((c.stats.read_hits, c.stats.read_misses), (1, 1));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_writes_back_dirty_victims() {
+        let mut c = PageCache::new(2, 1.0);
+        let mut out = Vec::new();
+        c.write(1, 9, &mut out); // dirty
+        assert!(!c.read(2, 1, &mut out)); // clean fill
+        assert!(!c.read(3, 1, &mut out)); // evicts page 1 (oldest, dirty)
+        assert_eq!(out, vec![Writeback { lpn: 1, tenant: 9 }]);
+        assert!(!c.read(4, 1, &mut out)); // evicts page 2 (clean): no writeback
+        assert_eq!(out.len(), 1);
+        assert_eq!(c.stats.evicted_dirty, 1);
+        assert_eq!(c.stats.evicted_clean, 1);
+    }
+
+    #[test]
+    fn touch_order_protects_recently_used_pages() {
+        let mut c = PageCache::new(2, 1.0);
+        let mut out = Vec::new();
+        c.write(1, 1, &mut out);
+        c.write(2, 1, &mut out);
+        assert!(c.read(1, 1, &mut out)); // refresh page 1
+        c.write(3, 1, &mut out); // must evict page 2, not 1
+        assert_eq!(out, vec![Writeback { lpn: 2, tenant: 1 }]);
+        assert!(c.read(1, 1, &mut out));
+    }
+
+    #[test]
+    fn dirty_ratio_flushes_all_dirty_oldest_first() {
+        let mut c = PageCache::new(10, 0.25);
+        let mut out = Vec::new();
+        c.write(5, 2, &mut out);
+        c.write(4, 2, &mut out);
+        c.maybe_flush(&mut out);
+        assert!(out.is_empty(), "2/10 dirty is below 0.25");
+        c.write(3, 2, &mut out);
+        c.maybe_flush(&mut out); // 3/10 > 0.25: flush everything
+        assert_eq!(
+            out.iter().map(|w| w.lpn).collect::<Vec<_>>(),
+            vec![5, 4, 3],
+            "oldest dirty first"
+        );
+        assert_eq!(c.dirty_pages(), 0);
+        assert_eq!(c.len(), 3, "flushed pages stay resident");
+        assert_eq!(c.stats.flushed, 3);
+        // Re-flushing is a no-op: the pages are clean now.
+        out.clear();
+        c.maybe_flush(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rewrite_of_resident_page_keeps_one_dirty_copy() {
+        let mut c = PageCache::new(4, 1.0);
+        let mut out = Vec::new();
+        c.write(1, 1, &mut out);
+        c.write(1, 2, &mut out); // rewrite, new tenant owns the page
+        assert_eq!(c.dirty_pages(), 1);
+        c.drain(&mut out);
+        assert_eq!(out, vec![Writeback { lpn: 1, tenant: 2 }]);
+        assert_eq!(c.stats.drained, 1);
+    }
+
+    #[test]
+    fn determinism_across_reruns() {
+        let run = || {
+            let mut c = PageCache::new(8, 0.4);
+            let mut out = Vec::new();
+            for i in 0..200u64 {
+                let lpn = (i * 37) % 23;
+                if i % 3 == 0 {
+                    c.read(lpn, (i % 4) as TenantId, &mut out);
+                } else {
+                    c.write(lpn, (i % 4) as TenantId, &mut out);
+                }
+                c.maybe_flush(&mut out);
+            }
+            c.drain(&mut out);
+            (out, c.stats)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,49 @@
+//! `dloop-host` — the host I/O path in front of the simulated SSD.
+//!
+//! Every replay driver in `dloop-ftl-kit` feeds the device raw page
+//! operations; this crate models the layer a real application actually
+//! talks through — NVMe-style submission/completion queue pairs with
+//! doorbell batching and interrupt coalescing, a write-back host page
+//! cache with dirty-ratio write-back, and block-layer request
+//! splitting/merging — and drives the existing device **unchanged**
+//! underneath.
+//!
+//! ```text
+//! syscall → page cache → block layer → SQ doorbell → SsdDevice::run
+//!                                                          │
+//! interrupt ← CQ coalescing ← per-command completion log ──┘
+//! ```
+//!
+//! The entry point is [`HostStack::run`], which wraps one
+//! [`SsdDevice::run`](dloop_ftl_kit::device::SsdDevice::run) and returns
+//! a [`HostRunReport`]: the wrapped device report plus a four-instant
+//! timeline per host request (`arrival ≤ submit ≤ done ≤ deliver`) whose
+//! phase differences tile end-to-end residence exactly, host-queue and
+//! cache [`Span`](dloop_simkit::trace::Span)s ready to join a device
+//! flight recording, and cache / queue-pair counters.
+//!
+//! Two contracts pin the model down (claim C13 in `dloop-bench`):
+//!
+//! - **Pass-through identity** — [`HostConfig::passthrough`] makes every
+//!   pipeline stage the identity, so the device sees the input trace
+//!   bit-for-bit and its report is fingerprint-identical to calling the
+//!   device directly. There is no shortcut branch; the identity is a
+//!   property of the generic pipeline.
+//! - **Exact phase tiling** — per request, `host_queue + cache + device
+//!   + completion == end_to_end` in integer nanoseconds.
+//!
+//! Determinism: the stack holds no global state, iterates no hash map,
+//! and derives every decision from the (config, trace) pair — equal
+//! inputs give byte-identical [`HostRunReport`]s across reruns.
+
+pub mod block;
+pub mod cache;
+pub mod config;
+pub mod queue;
+pub mod report;
+pub mod stack;
+
+pub use cache::{CacheStats, PageCache, Writeback};
+pub use config::HostConfig;
+pub use report::{report_fingerprint, HostRequestLog, HostRunReport, QueueStats};
+pub use stack::HostStack;

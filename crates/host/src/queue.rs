@@ -1,0 +1,290 @@
+//! NVMe-style queue-pair timing primitives: doorbell batching on the
+//! submission side and interrupt coalescing on the completion side.
+//!
+//! Both follow the same *threshold or timeout* shape. A doorbell batch
+//! rings when it fills (`batch` submissions) or when the oldest pending
+//! submission has waited `timeout`, whichever comes first; an interrupt
+//! fires when `threshold` completions have aggregated or the oldest
+//! pending completion has waited `timeout`. With threshold 1 and no
+//! timeout both collapse to the identity (ring/deliver immediately) —
+//! the pass-through contract.
+//!
+//! Items are fed in nondecreasing time order (arrival order on the
+//! submission side, completion order on the completion side) and the
+//! timeout check runs *before* each push, so every pending item is
+//! strictly younger than the expiry it might be released at — ring and
+//! delivery times never precede the items they release.
+
+use dloop_simkit::{SimDuration, SimTime};
+
+/// One submission-side doorbell batcher (one per submission queue).
+#[derive(Debug)]
+pub struct DoorbellQueue {
+    batch: usize,
+    timeout: Option<SimDuration>,
+    /// Pending `(arrival, command id)` submissions, arrival-ordered.
+    pending: Vec<(SimTime, u64)>,
+    /// Doorbell rings this queue has produced.
+    pub rings: u64,
+}
+
+/// A doorbell ring: the commands released and the time the device learns
+/// about them (their effective device arrival).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring {
+    /// When the doorbell was rung.
+    pub at: SimTime,
+    /// The released command ids, submission order.
+    pub commands: Vec<u64>,
+}
+
+impl DoorbellQueue {
+    /// A batcher ringing after `batch` submissions or `timeout` of wait.
+    pub fn new(batch: u32, timeout: Option<SimDuration>) -> Self {
+        DoorbellQueue {
+            batch: batch.max(1) as usize,
+            timeout,
+            pending: Vec::new(),
+            rings: 0,
+        }
+    }
+
+    fn ring(&mut self, at: SimTime, out: &mut Vec<Ring>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.rings += 1;
+        out.push(Ring {
+            at,
+            commands: self.pending.drain(..).map(|(_, id)| id).collect(),
+        });
+    }
+
+    /// Submit command `id` at `arrival`; any rings this causes (a timeout
+    /// expiring before it, or the batch filling) are appended to `out`.
+    pub fn push(&mut self, arrival: SimTime, id: u64, out: &mut Vec<Ring>) {
+        if let (Some(t), Some(&(first, _))) = (self.timeout, self.pending.first()) {
+            let expiry = first + t;
+            if expiry <= arrival {
+                self.ring(expiry, out);
+            }
+        }
+        self.pending.push((arrival, id));
+        if self.pending.len() >= self.batch {
+            self.ring(arrival, out);
+        }
+    }
+
+    /// End of trace: ring whatever is still pending. With a timeout the
+    /// partial batch rings at its natural expiry (which is after every
+    /// pending arrival — expired batches were flushed on push); without
+    /// one there is no later arrival to wait for, so it rings at the last
+    /// pending arrival.
+    pub fn flush(&mut self, out: &mut Vec<Ring>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let first = self.pending[0].0;
+        let last = self.pending.last().expect("non-empty").0;
+        let at = match self.timeout {
+            Some(t) => (first + t).max(last),
+            None => last,
+        };
+        self.ring(at, out);
+    }
+}
+
+/// One completion-side interrupt coalescer (one per completion queue).
+#[derive(Debug)]
+pub struct Coalescer {
+    threshold: usize,
+    timeout: Option<SimDuration>,
+    /// Pending `(done, command id)` completions, done-ordered.
+    pending: Vec<(SimTime, u64)>,
+    /// Interrupts this queue has delivered.
+    pub interrupts: u64,
+}
+
+impl Coalescer {
+    /// A coalescer interrupting after `threshold` completions or
+    /// `timeout` of aggregation.
+    pub fn new(threshold: u32, timeout: Option<SimDuration>) -> Self {
+        Coalescer {
+            threshold: threshold.max(1) as usize,
+            timeout,
+            pending: Vec::new(),
+            interrupts: 0,
+        }
+    }
+
+    fn deliver(&mut self, at: SimTime, out: &mut Vec<(u64, SimTime)>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.interrupts += 1;
+        out.extend(self.pending.drain(..).map(|(_, id)| (id, at)));
+    }
+
+    /// Record command `id` completing at `done`; `(command, delivery)`
+    /// pairs for every interrupt this fires are appended to `out`.
+    pub fn push(&mut self, done: SimTime, id: u64, out: &mut Vec<(u64, SimTime)>) {
+        if let (Some(t), Some(&(first, _))) = (self.timeout, self.pending.first()) {
+            let expiry = first + t;
+            if expiry <= done {
+                self.deliver(expiry, out);
+            }
+        }
+        self.pending.push((done, id));
+        if self.pending.len() >= self.threshold {
+            self.deliver(done, out);
+        }
+    }
+
+    /// End of run: deliver whatever is still aggregating (at its timeout
+    /// expiry if one is set, else at the final completion — no further
+    /// completion will ever trip the threshold).
+    pub fn flush(&mut self, out: &mut Vec<(u64, SimTime)>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let first = self.pending[0].0;
+        let last = self.pending.last().expect("non-empty").0;
+        let at = match self.timeout {
+            Some(t) => (first + t).max(last),
+            None => last,
+        };
+        self.deliver(at, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn batch_of_one_rings_immediately() {
+        let mut q = DoorbellQueue::new(1, None);
+        let mut out = Vec::new();
+        for (i, t) in [3u64, 9, 10].iter().enumerate() {
+            q.push(us(*t), i as u64, &mut out);
+        }
+        q.flush(&mut out);
+        assert_eq!(
+            out,
+            vec![
+                Ring {
+                    at: us(3),
+                    commands: vec![0]
+                },
+                Ring {
+                    at: us(9),
+                    commands: vec![1]
+                },
+                Ring {
+                    at: us(10),
+                    commands: vec![2]
+                },
+            ]
+        );
+        assert_eq!(q.rings, 3);
+    }
+
+    #[test]
+    fn full_batch_rings_at_filling_arrival() {
+        let mut q = DoorbellQueue::new(3, None);
+        let mut out = Vec::new();
+        q.push(us(1), 0, &mut out);
+        q.push(us(2), 1, &mut out);
+        assert!(out.is_empty());
+        q.push(us(5), 2, &mut out);
+        assert_eq!(
+            out,
+            vec![Ring {
+                at: us(5),
+                commands: vec![0, 1, 2]
+            }]
+        );
+    }
+
+    #[test]
+    fn timeout_rings_partial_batch_at_expiry() {
+        let mut q = DoorbellQueue::new(8, Some(SimDuration::from_micros(10)));
+        let mut out = Vec::new();
+        q.push(us(0), 0, &mut out);
+        q.push(us(4), 1, &mut out);
+        assert!(out.is_empty());
+        q.push(us(25), 2, &mut out); // expiry at 10 µs precedes this arrival
+        assert_eq!(
+            out,
+            vec![Ring {
+                at: us(10),
+                commands: vec![0, 1]
+            }]
+        );
+        q.flush(&mut out);
+        assert_eq!(
+            out[1],
+            Ring {
+                at: us(35),
+                commands: vec![2]
+            }
+        );
+    }
+
+    #[test]
+    fn flush_without_timeout_rings_at_last_arrival() {
+        let mut q = DoorbellQueue::new(8, None);
+        let mut out = Vec::new();
+        q.push(us(2), 0, &mut out);
+        q.push(us(7), 1, &mut out);
+        q.flush(&mut out);
+        assert_eq!(
+            out,
+            vec![Ring {
+                at: us(7),
+                commands: vec![0, 1]
+            }]
+        );
+    }
+
+    #[test]
+    fn threshold_one_delivers_at_completion_time() {
+        let mut c = Coalescer::new(1, None);
+        let mut out = Vec::new();
+        c.push(us(5), 7, &mut out);
+        c.push(us(6), 8, &mut out);
+        c.flush(&mut out);
+        assert_eq!(out, vec![(7, us(5)), (8, us(6))]);
+        assert_eq!(c.interrupts, 2);
+    }
+
+    #[test]
+    fn coalesced_completions_share_one_delivery() {
+        let mut c = Coalescer::new(3, None);
+        let mut out = Vec::new();
+        c.push(us(1), 0, &mut out);
+        c.push(us(2), 1, &mut out);
+        assert!(out.is_empty());
+        c.push(us(9), 2, &mut out);
+        assert_eq!(out, vec![(0, us(9)), (1, us(9)), (2, us(9))]);
+        assert_eq!(c.interrupts, 1);
+        // Delivery never precedes any coalesced completion.
+        assert!(out.iter().all(|&(_, d)| d >= us(1)));
+    }
+
+    #[test]
+    fn coalescer_timeout_bounds_the_added_latency() {
+        let mut c = Coalescer::new(16, Some(SimDuration::from_micros(50)));
+        let mut out = Vec::new();
+        c.push(us(10), 0, &mut out);
+        c.push(us(30), 1, &mut out);
+        c.push(us(100), 2, &mut out); // 10+50=60 µs expiry fires first
+        assert_eq!(out, vec![(0, us(60)), (1, us(60))]);
+        c.flush(&mut out);
+        assert_eq!(out[2], (2, us(150)));
+    }
+}

@@ -1,0 +1,318 @@
+//! What a host-stack run reports: the wrapped device report, per-request
+//! syscall-to-cell timestamps, cache and queue-pair counters, and the
+//! host-phase spans ready to join a device flight recording.
+//!
+//! The per-request timeline is four monotone instants —
+//! `arrival ≤ submit ≤ done ≤ deliver` — and the phase durations are
+//! their exact integer-nanosecond differences, so host-queue + cache +
+//! device + completion *tiles* each request's end-to-end residence with
+//! no rounding slack. Claim C13 re-checks that identity request by
+//! request.
+
+use crate::cache::CacheStats;
+use dloop_ftl_kit::metrics::RunReport;
+use dloop_simkit::trace::{Span, TraceSink};
+use dloop_simkit::SimTime;
+
+/// The syscall-to-cell timeline of one host request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostRequestLog {
+    /// When the host issued the request (trace arrival).
+    pub arrival: SimTime,
+    /// When its (first) device command's doorbell rang. Cache-served
+    /// requests never submit; their `submit == done`.
+    pub submit: SimTime,
+    /// When its last device command completed (cache-served: when the
+    /// cache acknowledged).
+    pub done: SimTime,
+    /// When the completion interrupt reached the host (cache-served:
+    /// same as `done` — no interrupt is involved).
+    pub deliver: SimTime,
+    /// Whether the cache served the request without any device command.
+    pub cache_served: bool,
+}
+
+impl HostRequestLog {
+    /// Nanoseconds spent waiting for the doorbell (submission queueing).
+    pub fn host_queue_ns(&self) -> u64 {
+        if self.cache_served {
+            0
+        } else {
+            (self.submit - self.arrival).as_nanos()
+        }
+    }
+
+    /// Nanoseconds of cache service (zero for device-served requests —
+    /// partial hits are charged to the device phase they wait on).
+    pub fn cache_ns(&self) -> u64 {
+        if self.cache_served {
+            (self.done - self.arrival).as_nanos()
+        } else {
+            0
+        }
+    }
+
+    /// Nanoseconds between doorbell and last device completion.
+    pub fn device_ns(&self) -> u64 {
+        if self.cache_served {
+            0
+        } else {
+            (self.done - self.submit).as_nanos()
+        }
+    }
+
+    /// Nanoseconds the completion sat coalescing before its interrupt.
+    pub fn completion_ns(&self) -> u64 {
+        (self.deliver - self.done).as_nanos()
+    }
+
+    /// End-to-end residence: arrival to interrupt delivery. Equals the
+    /// sum of the four phase durations exactly (integer nanoseconds).
+    pub fn end_to_end_ns(&self) -> u64 {
+        (self.deliver - self.arrival).as_nanos()
+    }
+}
+
+/// Queue-pair counters over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Device commands submitted across all queues (after the block
+    /// layer, including cache write-backs).
+    pub submissions: u64,
+    /// Doorbell rings across all submission queues.
+    pub doorbells: u64,
+    /// Completion interrupts delivered across all completion queues.
+    pub interrupts: u64,
+}
+
+impl QueueStats {
+    /// Mean submissions released per doorbell ring.
+    pub fn mean_batch(&self) -> f64 {
+        if self.doorbells == 0 {
+            0.0
+        } else {
+            self.submissions as f64 / self.doorbells as f64
+        }
+    }
+
+    /// Mean completions aggregated per interrupt.
+    pub fn mean_coalesced(&self) -> f64 {
+        if self.interrupts == 0 {
+            0.0
+        } else {
+            self.submissions as f64 / self.interrupts as f64
+        }
+    }
+}
+
+/// Everything a [`HostStack::run`](crate::HostStack::run) measures.
+#[derive(Debug, Clone)]
+pub struct HostRunReport {
+    /// The wrapped device report (exactly what `SsdDevice::run` returned
+    /// for the forwarded command stream).
+    pub device: RunReport,
+    /// One timeline per host request, trace order.
+    pub requests: Vec<HostRequestLog>,
+    /// Page-cache counters.
+    pub cache: CacheStats,
+    /// Queue-pair counters.
+    pub queues: QueueStats,
+    /// Device commands forwarded (host-mapped + write-backs).
+    pub forwarded: u64,
+    /// Commands the block layer split out of oversized host I/Os.
+    pub split_commands: u64,
+    /// Commands the block layer absorbed into a neighbour.
+    pub merged_commands: u64,
+    /// Background write-back commands the cache emitted.
+    pub writeback_commands: u64,
+    /// Host-phase spans (host-queue waits, cache service), ready to be
+    /// replayed into the same sink as the device spans via
+    /// [`HostRunReport::emit_spans`].
+    pub host_spans: Vec<Span>,
+}
+
+impl HostRunReport {
+    /// Mean end-to-end (syscall-to-interrupt) latency in milliseconds.
+    pub fn mean_end_to_end_ms(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.requests.iter().map(|r| r.end_to_end_ns()).sum();
+        total as f64 / 1e6 / self.requests.len() as f64
+    }
+
+    /// Summed phase durations over all requests, in nanoseconds:
+    /// `(host_queue, cache, device, completion, end_to_end)`. The first
+    /// four tile the fifth exactly.
+    pub fn phase_totals_ns(&self) -> (u64, u64, u64, u64, u64) {
+        let mut t = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for r in &self.requests {
+            t.0 += r.host_queue_ns();
+            t.1 += r.cache_ns();
+            t.2 += r.device_ns();
+            t.3 += r.completion_ns();
+            t.4 += r.end_to_end_ns();
+        }
+        t
+    }
+
+    /// Fraction of host requests the cache served without any device
+    /// command.
+    pub fn cache_served_fraction(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        let served = self.requests.iter().filter(|r| r.cache_served).count();
+        served as f64 / self.requests.len() as f64
+    }
+
+    /// Replay the host-phase spans into `sink` (typically the same
+    /// recorder that captured the device spans, so the attribution table
+    /// telescopes from syscall to cell).
+    pub fn emit_spans(&self, sink: &mut dyn TraceSink) {
+        for span in &self.host_spans {
+            sink.record(span);
+        }
+    }
+
+    /// Order-sensitive digest of the whole host report (device
+    /// fingerprint, per-request timelines, counters). Equal digests ⇒
+    /// same observable run; used by the determinism leg of claim C13.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write(report_fingerprint(&self.device));
+        h.write(self.requests.len() as u64);
+        for r in &self.requests {
+            h.write(r.arrival.as_nanos());
+            h.write(r.submit.as_nanos());
+            h.write(r.done.as_nanos());
+            h.write(r.deliver.as_nanos());
+            h.write(r.cache_served as u64);
+        }
+        for v in [
+            self.cache.read_hits,
+            self.cache.read_misses,
+            self.cache.writes_absorbed,
+            self.cache.flushed,
+            self.cache.evicted_dirty,
+            self.cache.evicted_clean,
+            self.cache.drained,
+            self.queues.submissions,
+            self.queues.doorbells,
+            self.queues.interrupts,
+            self.forwarded,
+            self.split_commands,
+            self.merged_commands,
+            self.writeback_commands,
+            self.host_spans.len() as u64,
+        ] {
+            h.write(v);
+        }
+        h.finish()
+    }
+}
+
+/// Order-sensitive digest of a device [`RunReport`]: the locked metrics
+/// CSV row, the queue-depth timeline, and the per-request completion log.
+/// Two reports with equal digests agree on every surfaced measurement —
+/// this is the fingerprint claim C13's pass-through identity compares
+/// (the exhaustive field-by-field fingerprint lives in
+/// `tests/replay_modes.rs`).
+pub fn report_fingerprint(report: &RunReport) -> u64 {
+    let mut h = Fnv::new();
+    h.write_bytes(report.csv_row().as_bytes());
+    h.write_bytes(report.queue_depth_csv(64).as_bytes());
+    h.write(report.completions.len() as u64);
+    for &(req, arrival, done) in &report.completions {
+        h.write(req);
+        h.write(arrival.as_nanos());
+        h.write(done.as_nanos());
+    }
+    h.finish()
+}
+
+/// Minimal FNV-1a accumulator (the workspace is dependency-free).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(arrival_us: u64, submit_us: u64, done_us: u64, deliver_us: u64) -> HostRequestLog {
+        HostRequestLog {
+            arrival: SimTime::from_micros(arrival_us),
+            submit: SimTime::from_micros(submit_us),
+            done: SimTime::from_micros(done_us),
+            deliver: SimTime::from_micros(deliver_us),
+            cache_served: false,
+        }
+    }
+
+    #[test]
+    fn phases_tile_end_to_end_exactly() {
+        let r = log(10, 25, 90, 140);
+        assert_eq!(r.host_queue_ns(), 15_000);
+        assert_eq!(r.device_ns(), 65_000);
+        assert_eq!(r.completion_ns(), 50_000);
+        assert_eq!(r.cache_ns(), 0);
+        assert_eq!(
+            r.host_queue_ns() + r.cache_ns() + r.device_ns() + r.completion_ns(),
+            r.end_to_end_ns()
+        );
+    }
+
+    #[test]
+    fn cache_served_charges_only_the_cache_phase() {
+        let mut r = log(10, 12, 12, 12);
+        r.cache_served = true;
+        assert_eq!(r.host_queue_ns(), 0);
+        assert_eq!(r.device_ns(), 0);
+        assert_eq!(r.completion_ns(), 0);
+        assert_eq!(r.cache_ns(), 2_000);
+        assert_eq!(r.end_to_end_ns(), 2_000);
+    }
+
+    #[test]
+    fn queue_stats_means() {
+        let q = QueueStats {
+            submissions: 12,
+            doorbells: 3,
+            interrupts: 4,
+        };
+        assert_eq!(q.mean_batch(), 4.0);
+        assert_eq!(q.mean_coalesced(), 3.0);
+        assert_eq!(QueueStats::default().mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn fnv_distinguishes_order() {
+        let mut a = Fnv::new();
+        a.write(1);
+        a.write(2);
+        let mut b = Fnv::new();
+        b.write(2);
+        b.write(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,408 @@
+//! The host stack: the pipeline that turns a host trace into a device
+//! command stream and maps device completions back into per-request
+//! syscall-to-cell timelines.
+//!
+//! Stages, in order:
+//!
+//! 1. **Page cache** — write-back absorbs writes (acknowledged after the
+//!    DRAM-copy cost), read hits are served in place, misses and
+//!    write-backs become device-bound commands.
+//! 2. **Block layer** — oversized commands split into bounded chunks;
+//!    adjacent commands of one doorbell batch merge.
+//! 3. **Submission queues** — commands land on `tenant % queues`;
+//!    doorbell batching sets each command's effective device arrival to
+//!    its ring time.
+//! 4. **Device** — one ordinary [`SsdDevice::run`] over the forwarded
+//!    stream; the host stack never reaches into the device.
+//! 5. **Completion queues** — per-command completion times (from the
+//!    device report's completion log) aggregate under interrupt
+//!    coalescing into per-command delivery times.
+//!
+//! Every stage is an exact identity under its neutral configuration, so
+//! [`HostConfig::passthrough`] forwards the input trace bit-for-bit —
+//! there is deliberately **no** pass-through shortcut branch; the
+//! identity falls out of the generic pipeline, which is what claim C13
+//! verifies.
+
+use crate::block::{merge_adjacent, split, writeback_runs, Command};
+use crate::cache::{PageCache, Writeback};
+use crate::config::HostConfig;
+use crate::queue::{Coalescer, DoorbellQueue, Ring};
+use crate::report::{HostRequestLog, HostRunReport, QueueStats};
+use dloop_ftl_kit::device::{ReplayMode, SsdDevice};
+use dloop_ftl_kit::request::{HostOp, HostRequest};
+use dloop_simkit::trace::{Span, SpanKind, SpanPhase};
+use dloop_simkit::{SimDuration, SimTime};
+
+/// The host I/O path in front of an [`SsdDevice`]. Stateless between
+/// runs: all state (cache contents, queue occupancy) is per-run, so two
+/// runs at equal configuration are identical — the determinism leg of
+/// claim C13.
+#[derive(Debug, Clone)]
+pub struct HostStack {
+    config: HostConfig,
+}
+
+impl HostStack {
+    /// A stack with `config` (degenerate values clamped to neutral).
+    pub fn new(config: HostConfig) -> Self {
+        HostStack {
+            config: config.normalized(),
+        }
+    }
+
+    /// The (normalized) configuration this stack runs.
+    pub fn config(&self) -> &HostConfig {
+        &self.config
+    }
+
+    /// Drive `requests` through the host path and the device.
+    ///
+    /// `mode` is the device replay mode; a finite
+    /// [`HostConfig::queue_depth`] turns the open-loop mode into a
+    /// `Closed` window of `queues * depth` (see the config docs).
+    /// Requests must be arrival-sorted (every composer in this workspace
+    /// produces sorted traces).
+    pub fn run(
+        &self,
+        device: &mut SsdDevice,
+        requests: &[HostRequest],
+        mode: ReplayMode,
+    ) -> HostRunReport {
+        let cfg = &self.config;
+        debug_assert!(
+            requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "host stack expects an arrival-sorted trace"
+        );
+
+        // Stage 1+2: cache, then block-layer split, producing the command
+        // arena in deterministic trace order.
+        let hit = SimDuration::from_nanos(cfg.cache_hit_ns);
+        let mut cache = PageCache::new(cfg.cache_pages, cfg.dirty_ratio);
+        let mut staged: Vec<Command> = Vec::with_capacity(requests.len());
+        let mut cache_served: Vec<Option<SimTime>> = vec![None; requests.len()];
+        let mut split_commands = 0u64;
+        let mut writeback_commands = 0u64;
+        let mut scratch: Vec<Command> = Vec::new();
+        let mut push_split = |cmd: Command, staged: &mut Vec<Command>, split_commands: &mut u64| {
+            scratch.clear();
+            *split_commands += split(cmd, cfg.split_pages, &mut scratch);
+            staged.append(&mut scratch);
+        };
+        let mut wb: Vec<Writeback> = Vec::new();
+        for (i, r) in requests.iter().enumerate() {
+            wb.clear();
+            if r.pages == 0 || !cache.enabled() {
+                // Bare commands and the cache-less path forward verbatim.
+                push_split(
+                    Command::for_host(*r, i as u32),
+                    &mut staged,
+                    &mut split_commands,
+                );
+                continue;
+            }
+            match r.op {
+                HostOp::Write => {
+                    for lpn in r.page_ops() {
+                        cache.write(lpn, r.tenant, &mut wb);
+                    }
+                    cache.maybe_flush(&mut wb);
+                    cache_served[i] = Some(r.arrival + hit);
+                }
+                HostOp::Read => {
+                    let mut misses: Vec<u64> = Vec::new();
+                    for lpn in r.page_ops() {
+                        if !cache.read(lpn, r.tenant, &mut wb) {
+                            misses.push(lpn);
+                        }
+                    }
+                    if misses.is_empty() {
+                        cache_served[i] = Some(r.arrival + hit);
+                    } else {
+                        // Contiguous miss runs become read commands.
+                        let mut run_start = misses[0];
+                        let mut run_len = 1u32;
+                        for &lpn in &misses[1..] {
+                            if lpn == run_start + run_len as u64 {
+                                run_len += 1;
+                            } else {
+                                push_split(
+                                    Command::for_host(
+                                        HostRequest {
+                                            lpn: run_start,
+                                            pages: run_len,
+                                            ..*r
+                                        },
+                                        i as u32,
+                                    ),
+                                    &mut staged,
+                                    &mut split_commands,
+                                );
+                                run_start = lpn;
+                                run_len = 1;
+                            }
+                        }
+                        push_split(
+                            Command::for_host(
+                                HostRequest {
+                                    lpn: run_start,
+                                    pages: run_len,
+                                    ..*r
+                                },
+                                i as u32,
+                            ),
+                            &mut staged,
+                            &mut split_commands,
+                        );
+                    }
+                }
+            }
+            for cmd in writeback_runs(
+                std::mem::take(&mut wb),
+                HostRequest {
+                    arrival: r.arrival,
+                    ..HostRequest::default()
+                },
+            ) {
+                writeback_commands += 1;
+                push_split(cmd, &mut staged, &mut split_commands);
+            }
+        }
+        if cfg.drain_cache && cache.enabled() {
+            wb.clear();
+            cache.drain(&mut wb);
+            let end = requests.last().map(|r| r.arrival).unwrap_or(SimTime::ZERO);
+            for cmd in writeback_runs(
+                std::mem::take(&mut wb),
+                HostRequest {
+                    arrival: end,
+                    ..HostRequest::default()
+                },
+            ) {
+                writeback_commands += 1;
+                push_split(cmd, &mut staged, &mut split_commands);
+            }
+        }
+
+        // Stage 3: doorbell batching per submission queue (commands keep
+        // their staging order inside a batch; the ring rewrites arrivals).
+        let nq = cfg.queues as usize;
+        let mut bells: Vec<DoorbellQueue> = (0..nq)
+            .map(|_| DoorbellQueue::new(cfg.doorbell_batch, cfg.doorbell_timeout))
+            .collect();
+        let mut arena: Vec<Option<Command>> = staged.into_iter().map(Some).collect();
+        let mut forwarded: Vec<Command> = Vec::with_capacity(arena.len());
+        let mut merged_commands = 0u64;
+        let mut rings: Vec<Ring> = Vec::new();
+        let ring_out = |ring: Ring,
+                        arena: &mut Vec<Option<Command>>,
+                        forwarded: &mut Vec<Command>,
+                        merged_commands: &mut u64| {
+            let mut batch: Vec<Command> = ring
+                .commands
+                .iter()
+                .map(|&id| arena[id as usize].take().expect("command rung once"))
+                .collect();
+            if cfg.merge {
+                *merged_commands += merge_adjacent(&mut batch);
+            }
+            for mut cmd in batch {
+                cmd.req.arrival = ring.at;
+                forwarded.push(cmd);
+            }
+        };
+        for id in 0..arena.len() {
+            let (arrival, tenant) = {
+                let cmd = arena[id].as_ref().expect("not yet rung");
+                (cmd.req.arrival, cmd.req.tenant)
+            };
+            rings.clear();
+            bells[tenant as usize % nq].push(arrival, id as u64, &mut rings);
+            for ring in rings.drain(..) {
+                ring_out(ring, &mut arena, &mut forwarded, &mut merged_commands);
+            }
+        }
+        for bell in &mut bells {
+            rings.clear();
+            bell.flush(&mut rings);
+            for ring in rings.drain(..) {
+                ring_out(ring, &mut arena, &mut forwarded, &mut merged_commands);
+            }
+        }
+        debug_assert!(arena.iter().all(|c| c.is_none()), "every command rung");
+        // Device arrivals may interleave across queues; restore global
+        // arrival order (stable: equal arrivals keep ring order).
+        forwarded.sort_by_key(|c| c.req.arrival);
+        let doorbells: u64 = bells.iter().map(|b| b.rings).sum();
+
+        // Stage 4: the device run, unchanged underneath.
+        let fwd_reqs: Vec<HostRequest> = forwarded.iter().map(|c| c.req).collect();
+        let eff_mode = match (cfg.queue_depth, mode) {
+            (Some(d), ReplayMode::Open) => ReplayMode::Closed {
+                queue_depth: (cfg.queues as usize) * d as usize,
+            },
+            _ => mode,
+        };
+        let device_report = device.run(&fwd_reqs, eff_mode);
+
+        // Stage 5: per-command completion times from the device's
+        // completion log.
+        let mut done_of: Vec<SimTime> = vec![SimTime::ZERO; forwarded.len()];
+        let mut seen = vec![false; forwarded.len()];
+        for &(req, _arrival, done) in &device_report.completions {
+            done_of[req as usize] = done;
+            seen[req as usize] = true;
+        }
+        debug_assert!(seen.iter().all(|&s| s), "every command completed once");
+
+        // Stage 6: interrupt coalescing per completion queue, over
+        // completions in (done, command) order.
+        let mut order: Vec<usize> = (0..forwarded.len()).collect();
+        order.sort_by_key(|&i| (done_of[i], i));
+        let mut cqs: Vec<Coalescer> = (0..nq)
+            .map(|_| Coalescer::new(cfg.coalesce_threshold, cfg.coalesce_timeout))
+            .collect();
+        let mut delivered: Vec<(u64, SimTime)> = Vec::new();
+        for i in order {
+            let q = forwarded[i].req.tenant as usize % nq;
+            cqs[q].push(done_of[i], i as u64, &mut delivered);
+        }
+        for cq in &mut cqs {
+            cq.flush(&mut delivered);
+        }
+        let mut deliver_of: Vec<SimTime> = vec![SimTime::ZERO; forwarded.len()];
+        for (id, at) in delivered {
+            deliver_of[id as usize] = at;
+        }
+        let interrupts: u64 = cqs.iter().map(|c| c.interrupts).sum();
+
+        // Stage 7: fold per-command times back into per-host-request
+        // timelines, and emit the host-phase spans.
+        let mut logs: Vec<HostRequestLog> = Vec::with_capacity(requests.len());
+        let mut by_host: Vec<Vec<usize>> = vec![Vec::new(); requests.len()];
+        for (idx, cmd) in forwarded.iter().enumerate() {
+            for &h in &cmd.hosts {
+                by_host[h as usize].push(idx);
+            }
+        }
+        let mut host_spans: Vec<Span> = Vec::new();
+        for (i, r) in requests.iter().enumerate() {
+            let log = if let Some(done) = cache_served[i] {
+                HostRequestLog {
+                    arrival: r.arrival,
+                    submit: done,
+                    done,
+                    deliver: done,
+                    cache_served: true,
+                }
+            } else {
+                let cmds = &by_host[i];
+                debug_assert!(!cmds.is_empty(), "device-served request has commands");
+                let submit = cmds
+                    .iter()
+                    .map(|&c| forwarded[c].req.arrival)
+                    .fold(SimTime::MAX, SimTime::min);
+                let done = cmds
+                    .iter()
+                    .map(|&c| done_of[c])
+                    .fold(SimTime::ZERO, SimTime::max);
+                let deliver = cmds
+                    .iter()
+                    .map(|&c| deliver_of[c])
+                    .fold(SimTime::ZERO, SimTime::max);
+                HostRequestLog {
+                    arrival: r.arrival,
+                    submit,
+                    done: done.max(submit),
+                    deliver: deliver.max(done).max(submit),
+                    cache_served: false,
+                }
+            };
+            let kind = match r.op {
+                HostOp::Read => SpanKind::Read,
+                HostOp::Write => SpanKind::Write,
+            };
+            if log.cache_served {
+                if log.cache_ns() > 0 {
+                    host_spans.push(host_span(
+                        kind,
+                        SpanPhase::Cache,
+                        r,
+                        i,
+                        log.arrival,
+                        log.done,
+                    ));
+                }
+            } else {
+                if log.host_queue_ns() > 0 {
+                    host_spans.push(host_span(
+                        kind,
+                        SpanPhase::HostQueue,
+                        r,
+                        i,
+                        log.arrival,
+                        log.submit,
+                    ));
+                }
+                if log.completion_ns() > 0 {
+                    host_spans.push(host_span(
+                        kind,
+                        SpanPhase::HostQueue,
+                        r,
+                        i,
+                        log.done,
+                        log.deliver,
+                    ));
+                }
+            }
+            logs.push(log);
+        }
+
+        HostRunReport {
+            device: device_report,
+            requests: logs,
+            cache: cache.stats,
+            queues: QueueStats {
+                submissions: forwarded.len() as u64,
+                doorbells,
+                interrupts,
+            },
+            forwarded: forwarded.len() as u64,
+            split_commands,
+            merged_commands,
+            writeback_commands,
+            host_spans,
+        }
+    }
+}
+
+/// A host-phase span: pure queueing/cache residence, no device resource
+/// held (empty segments, zero hardware buckets — only `total_ms` of the
+/// attribution table accrues).
+fn host_span(
+    kind: SpanKind,
+    phase: SpanPhase,
+    r: &HostRequest,
+    host: usize,
+    start: SimTime,
+    end: SimTime,
+) -> Span {
+    Span {
+        kind,
+        phase,
+        lpn: Some(r.lpn),
+        req: Some(host as u64),
+        plane: 0,
+        dst_plane: None,
+        issue: start,
+        start,
+        end,
+        cell_ns: 0,
+        bus_ns: 0,
+        plane_wait_ns: 0,
+        channel_wait_ns: 0,
+        retry_ns: 0,
+        retry_steps: 0,
+        segs: [None, None, None, None],
+    }
+}

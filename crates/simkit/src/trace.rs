@@ -91,6 +91,13 @@ pub enum SpanPhase {
     Gc,
     /// Background housekeeping for unrelated planes.
     Scan,
+    /// Host-side queueing (doorbell batching before submission, interrupt
+    /// coalescing after completion). Emitted by the `dloop-host` stack,
+    /// never by the device: these spans hold no device resource.
+    HostQueue,
+    /// Host page-cache service (hits and write-back acknowledgements).
+    /// Emitted by the `dloop-host` stack, never by the device.
+    Cache,
 }
 
 impl SpanPhase {
@@ -100,7 +107,22 @@ impl SpanPhase {
             SpanPhase::Host => "host",
             SpanPhase::Gc => "gc",
             SpanPhase::Scan => "scan",
+            SpanPhase::HostQueue => "host_queue",
+            SpanPhase::Cache => "cache",
         }
+    }
+
+    /// Every phase, in the locked row order of [`Attribution::csv`]: the
+    /// three device phases first (the pre-host-stack table), then the
+    /// host-stack phases appended under the schema-extension rule.
+    pub fn all() -> [SpanPhase; 5] {
+        [
+            SpanPhase::Host,
+            SpanPhase::Gc,
+            SpanPhase::Scan,
+            SpanPhase::HostQueue,
+            SpanPhase::Cache,
+        ]
     }
 }
 
@@ -587,6 +609,12 @@ pub struct Attribution {
     pub gc: AttributionRow,
     /// Scan-phase housekeeping (contends for resources, never gates).
     pub scan: AttributionRow,
+    /// Host-side queueing spans (doorbell + interrupt-coalescing waits
+    /// from the `dloop-host` stack). Pure residence: the hardware bucket
+    /// columns stay zero.
+    pub host_queue: AttributionRow,
+    /// Host page-cache service spans from the `dloop-host` stack.
+    pub cache: AttributionRow,
 }
 
 impl Attribution {
@@ -596,6 +624,8 @@ impl Attribution {
             SpanPhase::Host => &self.host,
             SpanPhase::Gc => &self.gc,
             SpanPhase::Scan => &self.scan,
+            SpanPhase::HostQueue => &self.host_queue,
+            SpanPhase::Cache => &self.cache,
         }
     }
 
@@ -611,11 +641,13 @@ impl Attribution {
         "phase,spans,plane_wait_ms,channel_wait_ms,bus_ms,cell_ms,retry_ms,total_ms"
     }
 
-    /// Render as CSV (header + one row per phase).
+    /// Render as CSV (header + one row per phase). The three device
+    /// phases keep their original row positions; the host-stack phases
+    /// append after them (rows extend the same way locked columns do).
     pub fn csv(&self) -> String {
         let mut out = String::from(Self::csv_header());
         out.push('\n');
-        for phase in [SpanPhase::Host, SpanPhase::Gc, SpanPhase::Scan] {
+        for phase in SpanPhase::all() {
             let r = self.row(phase);
             let _ = writeln!(
                 out,
@@ -642,6 +674,8 @@ pub fn attribution(rec: &FlightRecorder) -> Attribution {
             SpanPhase::Host => a.host.add(s),
             SpanPhase::Gc => a.gc.add(s),
             SpanPhase::Scan => a.scan.add(s),
+            SpanPhase::HostQueue => a.host_queue.add(s),
+            SpanPhase::Cache => a.cache.add(s),
         }
     }
     a
@@ -1432,7 +1466,30 @@ mod tests {
         assert_eq!(a.request_visible_ns(), 45_000);
         let csv = a.csv();
         assert!(csv.starts_with(Attribution::csv_header()));
-        assert_eq!(csv.lines().count(), 4);
+        // Header + one row per phase (device rows first, then the
+        // host-stack rows appended).
+        assert_eq!(csv.lines().count(), 1 + SpanPhase::all().len());
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        assert!(rows[0].starts_with("host,"));
+        assert!(rows[3].starts_with("host_queue,"));
+        assert!(rows[4].starts_with("cache,"));
+    }
+
+    #[test]
+    fn attribution_accumulates_host_stack_phases() {
+        let mut rec = FlightRecorder::new(16);
+        rec.push(span(0, 0, 10, SpanPhase::HostQueue));
+        rec.push(span(0, 10, 25, SpanPhase::Host));
+        rec.push(span(0, 25, 27, SpanPhase::Cache));
+        let a = attribution(&rec);
+        assert_eq!(a.host_queue.spans, 1);
+        assert_eq!(a.host_queue.residence_ns, 10_000);
+        assert_eq!(a.cache.spans, 1);
+        assert_eq!(a.cache.residence_ns, 2_000);
+        // Host-stack phases never count into the device-visible sum.
+        assert_eq!(a.request_visible_ns(), 15_000);
+        assert_eq!(a.row(SpanPhase::HostQueue).residence_ns, 10_000);
+        assert_eq!(a.row(SpanPhase::Cache).residence_ns, 2_000);
     }
 
     #[test]

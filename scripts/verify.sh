@@ -105,9 +105,37 @@ grep -q "fair-share" "$qos_out/qos_0.csv" || {
 }
 rm -rf "$qos_out"
 
+echo "==> host-stack smoke (host subcommand, coalescing + dirty-ratio sweeps)"
+# One pass of both host-stack sweeps through the CLI: five coalescing
+# settings and five dirty ratios on the cache-contention mix, with the
+# schema-locked CSV headers pinned byte-for-byte (the same constants the
+# dloop-bench unit tests lock). The pass-through identity and exact
+# phase tiling behind these numbers are claim C13, covered by
+# `cargo test -q` above and by `dloop-experiments verify`.
+host_out="$(mktemp -d)"
+cargo run --release --offline -q -p dloop-bench --bin dloop-experiments -- \
+    host --scale 8 --requests 3000 --out "$host_out" >/dev/null
+for artifact in host_0.csv host_1.csv; do
+    [[ -s "$host_out/$artifact" ]] || {
+        echo "error: host smoke did not produce $artifact" >&2
+        exit 1
+    }
+done
+coalesce_header="$(head -n 1 "$host_out/host_0.csv")"
+[[ "$coalesce_header" == "batch,coalesce,e2e_ms,host_queue_ms,cache_ms,device_ms,completion_ms,mean_batch,mean_coalesced" ]] || {
+    echo "error: host_0.csv header drifted: $coalesce_header" >&2
+    exit 1
+}
+dirty_header="$(head -n 1 "$host_out/host_1.csv")"
+[[ "$dirty_header" == "dirty_ratio,e2e_ms,cache_served_pct,writes_absorbed,writeback_cmds,flushes,forwarded" ]] || {
+    echo "error: host_1.csv header drifted: $dirty_header" >&2
+    exit 1
+}
+rm -rf "$host_out"
+
 echo "==> cargo doc --no-deps (every workspace crate, must be warning-free)"
 for crate in dloop-simkit dloop-faults dloop-nand dloop-ftl-kit dloop \
-    dloop-baselines dloop-workloads dloop-bench dloop-repro; do
+    dloop-baselines dloop-workloads dloop-host dloop-bench dloop-repro; do
     doc_log="$(cargo doc --no-deps --offline -p "$crate" 2>&1)" || {
         echo "$doc_log"
         exit 1

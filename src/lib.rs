@@ -19,6 +19,9 @@
 //! * [`workloads`] — synthetic enterprise workload generators (Table II),
 //!   multi-tenant composition for the QoS policies, and trace-file
 //!   parsers.
+//! * [`host`] — NVMe-style host stack in front of the device: SQ/CQ
+//!   pairs with doorbell batching and interrupt coalescing, a write-back
+//!   host page cache, and block-layer request splitting/merging.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@ pub use dloop as dloop_ftl;
 pub use dloop_baselines as baselines;
 pub use dloop_faults as faults;
 pub use dloop_ftl_kit as ftl_kit;
+pub use dloop_host as host;
 pub use dloop_nand as nand;
 pub use dloop_simkit as simkit;
 pub use dloop_simkit::{check_assert, check_assert_eq};
@@ -65,6 +69,7 @@ pub mod prelude {
         DeadlinePolicy, FairSharePolicy, NcqPolicy, PriorityPolicy, QosCandidate, QosPolicy,
         QosSpec, WindowFifoPolicy,
     };
+    pub use dloop_host::{HostConfig, HostRunReport, HostStack};
     pub use dloop_nand::geometry::Geometry;
     pub use dloop_nand::timing::TimingConfig;
     pub use dloop_simkit::{RingSink, SimDuration, SimTime, StreamSink, TeeSink, TraceSink};

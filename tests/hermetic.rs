@@ -135,8 +135,8 @@ fn every_workspace_dependency_is_a_path() {
         }
     }
     assert_eq!(
-        entries, 7,
-        "expected the seven sibling crates, got {entries}"
+        entries, 8,
+        "expected the eight sibling crates, got {entries}"
     );
 }
 

@@ -1,14 +1,17 @@
 //! End-to-end replay of real trace-file formats: parse SPC / DiskSim text,
 //! run it through a device, verify request accounting — plus the shape
 //! and conservation laws of the queue-depth CSV every replay driver can
-//! emit from its [`QueueDepthProbe`].
+//! emit from its [`QueueDepthProbe`], and the host-stack extension of the
+//! latency-attribution table (host-queue and cache rows reconciling with
+//! the per-request phase sums).
 
 use dloop_repro::dloop_ftl::DloopFtl;
 use dloop_repro::ftl_kit::config::SsdConfig;
 use dloop_repro::ftl_kit::device::{ReplayMode, SsdDevice};
 use dloop_repro::ftl_kit::sched::QosSpec;
-use dloop_repro::simkit::trace::QueueDepthProbe;
-use dloop_repro::workloads::{parse_disksim, parse_spc};
+use dloop_repro::host::{HostConfig, HostStack};
+use dloop_repro::simkit::trace::{attribution, QueueDepthProbe, RingSink, SpanPhase};
+use dloop_repro::workloads::{host_mix, parse_disksim, parse_spc};
 
 #[test]
 fn spc_trace_replays_end_to_end() {
@@ -196,6 +199,78 @@ fn queue_depth_csv_per_tenant_blocks_shape_and_conservation() {
         assert_eq!(completed[t as usize], admitted[t as usize]);
     }
     assert_eq!(final_gauges, [0; 6], "per-tenant queues drain by the end");
+}
+
+/// The host stack telescopes the attribution table from syscall to cell:
+/// replaying a buffered host run's spans into the same recorder that
+/// captured the device spans adds `host_queue` and `cache` rows whose
+/// residence totals reconcile *exactly* (integer nanoseconds) with the
+/// per-request phase sums of the [`HostRunReport`] — host-queue +
+/// completion waits land on the `host_queue` row, cache service on the
+/// `cache` row — and the four phases tile each request's end-to-end
+/// residence. The device-only rows keep their meaning: the host phases
+/// are excluded from `request_visible_ns`, so enabling the host stack
+/// never inflates the device-side accounting.
+#[test]
+fn host_attribution_rows_reconcile_with_phase_sums() {
+    let config = SsdConfig::micro_gc_test();
+    let geometry = config.geometry();
+    let footprint = geometry.user_pages() * geometry.page_size as u64 / 2;
+    let trace = host_mix(42, geometry.page_size, 250, footprint);
+    let cache_pages = (geometry.user_pages() / 8).max(64);
+
+    let mut device = SsdDevice::new(config.clone(), Box::new(DloopFtl::new(&config)));
+    device.attach_sink(Box::new(RingSink::new(1 << 20)));
+    let host = HostStack::new(HostConfig::buffered(cache_pages)).run(
+        &mut device,
+        &trace.requests,
+        ReplayMode::Open,
+    );
+    let mut rec = device.take_trace().expect("ring sink was attached");
+    let device_only = attribution(&rec);
+    host.emit_spans(&mut rec);
+    let attr = attribution(&rec);
+
+    // Locked CSV schema: header plus one row per phase, host rows last.
+    let csv = attr.csv();
+    let rows: Vec<&str> = csv.lines().collect();
+    assert_eq!(rows.len(), 1 + SpanPhase::all().len());
+    assert!(rows[4].starts_with("host_queue,"), "{csv}");
+    assert!(rows[5].starts_with("cache,"), "{csv}");
+
+    // Per-request tiling, then the table-level reconciliation.
+    let (hq, cache, dev, compl, e2e) = host.phase_totals_ns();
+    for r in &host.requests {
+        assert_eq!(
+            r.host_queue_ns() + r.cache_ns() + r.device_ns() + r.completion_ns(),
+            r.end_to_end_ns()
+        );
+    }
+    assert_eq!(hq + cache + dev + compl, e2e);
+    let manual_e2e: u64 = host.requests.iter().map(|r| r.end_to_end_ns()).sum();
+    assert_eq!(e2e, manual_e2e);
+
+    // Submission waits and completion coalescing both surface on the
+    // host_queue row; cache service on the cache row. Exact equality —
+    // the spans are the phases.
+    let hq_row = attr.row(SpanPhase::HostQueue);
+    let cache_row = attr.row(SpanPhase::Cache);
+    assert_eq!(hq_row.residence_ns, hq + compl);
+    assert_eq!(cache_row.residence_ns, cache);
+    assert!(hq_row.spans > 0, "batching never delayed a submission");
+    assert!(cache_row.spans > 0, "cache never served a request");
+
+    // The host rows ride alongside the device rows without disturbing
+    // them: every device-phase row is unchanged by the span replay, and
+    // the request-visible total stays device-only.
+    for phase in [SpanPhase::Host, SpanPhase::Gc, SpanPhase::Scan] {
+        assert_eq!(attr.row(phase).spans, device_only.row(phase).spans);
+        assert_eq!(
+            attr.row(phase).residence_ns,
+            device_only.row(phase).residence_ns
+        );
+    }
+    assert_eq!(attr.request_visible_ns(), device_only.request_visible_ns());
 }
 
 #[test]
