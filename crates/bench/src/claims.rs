@@ -326,6 +326,7 @@ pub fn verify(opts: &ExpOptions) -> Vec<ClaimResult> {
     results.push(check_ncq_vs_gated(opts));
     results.push(check_qos_bounds(opts));
     results.push(check_host_stack(opts));
+    results.push(check_sq_windows(opts));
 
     results
 }
@@ -726,6 +727,131 @@ fn check_host_stack_on(
     }
 }
 
+/// C14 — the interleaved driver's per-queue SQ windows hold.
+///
+/// * **Occupancy bound.** At every instant of the SQ occupancy log
+///   (every probe bucket is a fortiori covered by the instant-level
+///   sweep), each submission queue's in-flight count stays at or below
+///   the configured depth, and the report attests the driver enforced
+///   it (`depth_enforced`).
+/// * **Backpressure engages.** At the tightest depth the stack records
+///   depth stalls — commands whose syscall-visible submission the full
+///   window actually delayed.
+/// * **Monotone degradation.** On a single queue pair — where the window
+///   only delays admissions and never reorders them — mean turnaround
+///   degrades monotonically as the window shrinks, the tightest window
+///   is strictly worse than unbounded, and wide windows converge to the
+///   unbounded stack. (With several queues a moderate window can *beat*
+///   unbounded: backpressure on one queue reorders admissions across
+///   queues and eases device-side contention — so the multi-queue sweep
+///   checks the occupancy bound, the single-queue sweep the trend.)
+fn check_sq_windows(opts: &ExpOptions) -> ClaimResult {
+    let config = SsdConfig::paper_default().with_capacity_gb(1);
+    check_sq_windows_on(opts, config, 1_200)
+}
+
+/// The C14 measurement itself, on an arbitrary device configuration (the
+/// unit test runs it on [`SsdConfig::micro_gc_test`] to stay cheap).
+fn check_sq_windows_on(
+    opts: &ExpOptions,
+    config: SsdConfig,
+    requests_per_tenant: u64,
+) -> ClaimResult {
+    let geometry = config.geometry();
+    let footprint = geometry.user_pages() * geometry.page_size as u64 / 2;
+    let mix = host_mix(
+        opts.seed,
+        geometry.page_size,
+        requests_per_tenant,
+        footprint,
+    );
+    let depths: [Option<u32>; 4] = [Some(1), Some(2), Some(4), None];
+    let mut pass = true;
+    let mut worst = String::new();
+    let run = |queues: u32, depth: Option<u32>| {
+        let mut device = SsdDevice::new(config.clone(), build_ftl(FtlKind::Dloop, &config));
+        let stack = HostStack::new(HostConfig {
+            queues,
+            queue_depth: depth,
+            ..HostConfig::passthrough()
+        });
+        stack.run(&mut device, &mix.requests, ReplayMode::Open)
+    };
+    let mean_ms = |report: &dloop_host::HostRunReport| {
+        let n = report.requests.len().max(1) as u64;
+        let total: u64 = report.requests.iter().map(|r| r.end_to_end_ns()).sum();
+        total as f64 / n as f64 / 1e6
+    };
+
+    // Leg 1: occupancy bound and backpressure, two independent SQs.
+    let queues = 2u32;
+    let mut stalls_at_tightest = 0u64;
+    for depth in depths {
+        let report = run(queues, depth);
+        if report.depth_enforced != depth.is_some() {
+            pass = false;
+            worst = format!(
+                "depth {depth:?}: depth_enforced = {}",
+                report.depth_enforced
+            );
+        }
+        if let Some(d) = depth {
+            for q in 0..queues as u16 {
+                let occ = report.sq_log.tenant_max_in_flight(q);
+                if occ > d as u64 {
+                    pass = false;
+                    worst = format!("depth {d}: SQ {q} reached {occ} in-flight commands");
+                }
+            }
+            if Some(d) == depths[0] {
+                stalls_at_tightest = report.queues.depth_stalls;
+            }
+        }
+    }
+    if stalls_at_tightest == 0 {
+        pass = false;
+        worst = "tightest depth recorded no depth stalls (backpressure never engaged)".into();
+    }
+
+    // Leg 2: monotone turnaround degradation on one queue pair.
+    let means_ms: Vec<f64> = depths.iter().map(|&d| mean_ms(&run(1, d))).collect();
+    for w in means_ms.windows(2) {
+        if w[0] < w[1] {
+            pass = false;
+            worst = format!(
+                "turnaround not monotone in depth: {:?} ms across depths {:?}",
+                means_ms, depths
+            );
+            break;
+        }
+    }
+    if means_ms[0] <= means_ms[means_ms.len() - 1] {
+        pass = false;
+        worst = format!(
+            "tightest window no worse than unbounded: {:?} ms across depths {:?}",
+            means_ms, depths
+        );
+    }
+    ClaimResult {
+        id: "C14",
+        claim: "per-queue SQ occupancy never exceeds depth; turnaround degrades as depth shrinks",
+        pass,
+        detail: if pass {
+            format!(
+                "{} SQs bounded at depths {:?}; mean turnaround {:.3} -> {:.3} ms \
+                 (depth 1 vs unbounded, {} stalls at depth 1)",
+                queues,
+                [1u32, 2, 4],
+                means_ms[0],
+                means_ms[means_ms.len() - 1],
+                stalls_at_tightest,
+            )
+        } else {
+            worst
+        },
+    }
+}
+
 /// Render the claim results as a table.
 pub fn to_table(results: &[ClaimResult]) -> Table {
     let mut table = Table::new(
@@ -819,5 +945,16 @@ mod tests {
         let config = dloop_ftl_kit::config::SsdConfig::micro_gc_test();
         let r = check_host_stack_on(&opts, config, 400);
         assert!(r.pass, "C13 failed: {}", r.detail);
+    }
+
+    #[test]
+    fn c14_sq_windows_hold_and_turnaround_degrades() {
+        // The micro device keeps the four depth sweeps cheap; the
+        // write-heavy mix queues hard enough at depth 1 that the SQ
+        // windows actually backpressure.
+        let opts = ExpOptions::default();
+        let config = dloop_ftl_kit::config::SsdConfig::micro_gc_test();
+        let r = check_sq_windows_on(&opts, config, 400);
+        assert!(r.pass, "C14 failed: {}", r.detail);
     }
 }

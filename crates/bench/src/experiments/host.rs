@@ -2,7 +2,7 @@
 //! contention mix through the `dloop-host` NVMe-style front end and
 //! sweep the two knobs the stack trades latency against efficiency on.
 //!
-//! Two tables come out, both on [`dloop_workloads::tenants::host_mix`]
+//! Three tables come out, all on [`dloop_workloads::tenants::host_mix`]
 //! (a cache-friendly hot-set reader, a write-heavy OLTP stream, and a
 //! cache-hostile scanner):
 //!
@@ -15,9 +15,14 @@
 //! * **Dirty-ratio sweep** — a fixed write-back cache flushes its dirty
 //!   set at increasing dirty fractions; later flushes mean fewer,
 //!   larger write-back bursts and more absorbed overwrites.
+//! * **Queue-depth sweep** — the interleaved driver's per-queue SQ
+//!   windows shrink from unbounded (depth 0 in the table) down to one
+//!   slot; backpressure moves residence out of the device and into the
+//!   host queue, and the occupancy column shows the windows holding
+//!   (claim C14).
 //!
-//! Both CSV schemas are locked by unit tests here and smoke-checked by
-//! `scripts/verify.sh`.
+//! All three CSV schemas are locked by unit tests here and smoke-checked
+//! by `scripts/verify.sh`.
 
 use super::ExpOptions;
 use crate::runner::build_ftl;
@@ -50,6 +55,18 @@ pub const DIRTY_HEADER: [&str; 7] = [
     "writeback_cmds",
     "flushes",
     "forwarded",
+];
+
+/// Locked column schema of the queue-depth sweep (`host_2.csv`); depth
+/// `0` is the unbounded (staged-equivalent) row.
+pub const DEPTH_HEADER: [&str; 7] = [
+    "depth",
+    "e2e_ms",
+    "host_queue_ms",
+    "device_ms",
+    "completion_ms",
+    "depth_stalls",
+    "max_sq_inflight",
 ];
 
 /// One sweep cell: run the mix through a host stack with `config`.
@@ -136,7 +153,36 @@ pub fn run_on(opts: &ExpOptions, config: SsdConfig, per_tenant: u64) -> Vec<Tabl
         ]);
     }
 
-    vec![coalesce, dirty]
+    // Sweep 3: the per-queue SQ window, cache off so every request rides
+    // the interleaved submission path (depth 0 = unbounded reference).
+    let mut depth_sweep = Table::new(
+        format!(
+            "Host queue-depth sweep — {} requests, 2 SQs, interleaved driver",
+            trace.len()
+        ),
+        &DEPTH_HEADER,
+    );
+    for depth in [0u32, 1, 2, 4, 16] {
+        let host = HostConfig {
+            queues: 2,
+            queue_depth: (depth > 0).then_some(depth),
+            ..HostConfig::passthrough()
+        };
+        let report = measure(&config, &trace, host);
+        let n = report.requests.len();
+        let (hq, _cache, dev, compl, _e2e) = report.phase_totals_ns();
+        depth_sweep.row(vec![
+            depth.to_string(),
+            f(report.mean_end_to_end_ms()),
+            f(per_request_ms(hq, n)),
+            f(per_request_ms(dev, n)),
+            f(per_request_ms(compl, n)),
+            report.queues.depth_stalls.to_string(),
+            report.sq_log.max_in_flight().to_string(),
+        ]);
+    }
+
+    vec![coalesce, dirty, depth_sweep]
 }
 
 /// CLI entry point (`dloop-experiments host`).
@@ -158,18 +204,31 @@ mod tests {
     fn sweeps_emit_locked_schemas_and_engage_the_stack() {
         let opts = ExpOptions::default();
         let tables = run_on(&opts, SsdConfig::micro_gc_test(), 300);
-        assert_eq!(tables.len(), 2);
+        assert_eq!(tables.len(), 3);
         assert_eq!(tables[0].len(), 5, "five coalescing settings");
         assert_eq!(tables[1].len(), 5, "five dirty ratios");
+        assert_eq!(tables[2].len(), 5, "five queue depths");
         let c = tables[0].to_csv();
         assert!(c.starts_with(&COALESCE_HEADER.join(",")), "{c}");
         let d = tables[1].to_csv();
         assert!(d.starts_with(&DIRTY_HEADER.join(",")), "{d}");
+        let q = tables[2].to_csv();
+        assert!(q.starts_with(&DEPTH_HEADER.join(",")), "{q}");
         // The stack actually engaged: deeper coalescing aggregates more
         // completions per interrupt than the 1/1 corner.
         let last = c.lines().last().unwrap();
         let coalesced: f64 = last.split(',').last().unwrap().parse().unwrap();
         assert!(coalesced > 1.0, "16/16 row never coalesced: {last}");
+        // The interleaved windows engaged: the depth-1 row stalled
+        // submissions and never exceeded one in-flight command per SQ.
+        let depth1 = q.lines().nth(2).unwrap();
+        let cols: Vec<&str> = depth1.split(',').collect();
+        assert_eq!(cols[0], "1");
+        assert!(cols[5].parse::<u64>().unwrap() > 0, "no stalls: {depth1}");
+        assert!(
+            cols[6].parse::<u64>().unwrap() <= 2,
+            "windows leaked: {depth1}"
+        );
     }
 
     #[test]
@@ -179,5 +238,6 @@ mod tests {
         let b = run_on(&opts, SsdConfig::micro_gc_test(), 200);
         assert_eq!(a[0].to_csv(), b[0].to_csv());
         assert_eq!(a[1].to_csv(), b[1].to_csv());
+        assert_eq!(a[2].to_csv(), b[2].to_csv());
     }
 }

@@ -934,6 +934,31 @@ impl SsdDevice {
         self.run(requests, ReplayMode::Closed { queue_depth })
     }
 
+    /// Begin an incremental-submission session: the host/device
+    /// interleaving surface. Instead of handing the device a complete
+    /// request slice, a driver (the `dloop-host` event loop) feeds
+    /// commands one at a time via [`CommandSession::submit`] and learns
+    /// each command's completion instant immediately, so its own
+    /// admission decisions (per-queue windows, completion-driven
+    /// writeback) can react to completions before deciding what to
+    /// submit next.
+    ///
+    /// Each submitted command books its flash work at its `issue` time,
+    /// exactly as [`ReplayMode::Open`] books work at arrival — feeding an
+    /// arrival-sorted slice with `issue == arrival` reproduces
+    /// `run(requests, ReplayMode::Open)` bit-for-bit, report fingerprint
+    /// included (the degeneracy leg of claim C13 rides on this).
+    pub fn begin_commands(&mut self) -> CommandSession<'_> {
+        let lpn_space = self.flash.geometry().user_pages();
+        CommandSession {
+            device: self,
+            lpn_space,
+            stats: ReplayStats::new(),
+            submitted: 0,
+            last_issue: SimTime::ZERO,
+        }
+    }
+
     /// Assemble the [`RunReport`] for a finished replay from the per-run
     /// accumulator plus the device-resident state (hardware counters,
     /// flash totals, latency decompositions) relative to the measurement
@@ -1038,6 +1063,70 @@ impl SsdDevice {
             ));
         }
         self.ftl.audit(&self.flash, &self.dir)
+    }
+}
+
+/// An in-progress incremental-submission run over an [`SsdDevice`]
+/// (see [`SsdDevice::begin_commands`]). The session owns the per-run
+/// measurement accumulator; [`CommandSession::finish`] assembles the
+/// same [`RunReport`] every batch replay mode produces.
+///
+/// The driver is responsible for feeding commands in nondecreasing
+/// `issue` order — the open-arrival booking model processes work in time
+/// order, and the report's completion/occupancy logs are recorded in
+/// submission order so that an arrival-order feed matches
+/// [`ReplayMode::Open`] record-for-record.
+pub struct CommandSession<'d> {
+    device: &'d mut SsdDevice,
+    lpn_space: u64,
+    stats: ReplayStats,
+    submitted: u64,
+    last_issue: SimTime,
+}
+
+impl CommandSession<'_> {
+    /// Submit one command (`id` is the caller's index for the completion
+    /// log) whose flash work books at `issue`; returns the command's
+    /// completion instant. `req.arrival` is when the command reached the
+    /// device's doorbell — `issue >= arrival`, with the gap being
+    /// admission delay (a full window), which the occupancy probe records
+    /// as pending time. Zero-page commands complete at `issue` without
+    /// flash work, like every other driver.
+    pub fn submit(&mut self, req: &HostRequest, id: u64, issue: SimTime) -> SimTime {
+        debug_assert!(
+            issue >= req.arrival,
+            "command issued before it reached the device: {issue} < {}",
+            req.arrival
+        );
+        debug_assert!(
+            issue >= self.last_issue,
+            "commands must be submitted in nondecreasing issue order: {issue} < {}",
+            self.last_issue
+        );
+        self.last_issue = issue;
+        let mut req_done = issue;
+        for lpn in req.wrapped_page_ops(self.lpn_space) {
+            let done = self.device.serve_page_op(lpn, req.op, issue, id);
+            req_done = req_done.max(done);
+            self.stats.count_page(req.op);
+        }
+        self.stats
+            .queue
+            .track(req.tenant, req.arrival, issue, req_done);
+        self.stats.complete(id, req.arrival, req_done);
+        self.submitted += 1;
+        req_done
+    }
+
+    /// Number of commands submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// End the session and assemble the [`RunReport`] (identical
+    /// construction to the batch replay drivers).
+    pub fn finish(self) -> RunReport {
+        self.device.finish_report(self.submitted, self.stats)
     }
 }
 
@@ -1163,6 +1252,44 @@ mod tests {
         // One write: cmd 0.2 + xfer 51.2 + program 200 = 251.4 us.
         assert!((report.mean_response_time_ms() - 0.2514).abs() < 1e-9);
         d.audit().unwrap();
+    }
+
+    #[test]
+    fn command_session_matches_open_replay_record_for_record() {
+        let requests = vec![
+            write_req(0, 5, 2),
+            write_req(10, 9, 1),
+            read_req(300, 5, 2),
+            read_req(300, 9, 1),
+            write_req(900, 5, 1),
+        ];
+        let batch = device().run(&requests, ReplayMode::Open);
+        let mut d = device();
+        let mut session = d.begin_commands();
+        for (i, r) in requests.iter().enumerate() {
+            session.submit(r, i as u64, r.arrival);
+        }
+        let fed = session.finish();
+        assert_eq!(fed.completions, batch.completions);
+        assert_eq!(fed.queue_log, batch.queue_log);
+        assert_eq!(fed.csv_row(), batch.csv_row());
+        d.audit().unwrap();
+    }
+
+    #[test]
+    fn command_session_delays_booking_to_the_issue_instant() {
+        // The same command issued later finishes later: the session books
+        // at `issue`, not at the request's doorbell arrival.
+        let mut d = device();
+        let mut session = d.begin_commands();
+        let r = write_req(0, 5, 1);
+        let done = session.submit(&r, 0, SimTime::from_micros(40));
+        assert!(done >= SimTime::from_micros(40));
+        let report = session.finish();
+        // The probe saw the 40 µs admission delay as pending time.
+        let &(_, arrival, issue, _) = &report.queue_log.tracked()[0];
+        assert_eq!(arrival, SimTime::ZERO);
+        assert_eq!(issue, SimTime::from_micros(40));
     }
 
     #[test]

@@ -19,13 +19,17 @@ pub struct HostConfig {
     /// Submission/completion queue pairs. Commands land on queue
     /// `tenant % queues`; neutral = `1` (everything on one pair).
     pub queues: u32,
-    /// Per-queue depth bound. The host stack does not interleave with the
-    /// device, so a finite depth is modelled by running the *device* with
-    /// a bounded window: when set and the caller asked for the open-loop
-    /// replay, the device runs `Closed { queues * depth }` instead (a
-    /// shared-window approximation of `queues` independent windows).
-    /// Already-bounded replay modes keep their own depth. Neutral =
-    /// `None` (unbounded).
+    /// Per-queue depth bound. Under the open replay mode the host and
+    /// device event loops interleave: each submission queue holds at
+    /// most this many in-flight commands, a doorbell ring is admitted
+    /// only when its queue has a free slot, and an interrupt delivery
+    /// frees a slot and admits the next backlogged command — `queues`
+    /// truly independent windows, with a full SQ delaying the
+    /// syscall-visible `submit` instant. Already-bounded replay modes
+    /// (`Gated`/`Closed`/`Ncq`/`Qos`) keep their own device window; a
+    /// depth configured there is surfaced on
+    /// [`HostRunReport::depth_enforced`](crate::report::HostRunReport::depth_enforced)
+    /// rather than silently dropped. Neutral = `None` (unbounded).
     pub queue_depth: Option<u32>,
     /// Ring the doorbell after this many submissions on a queue
     /// (batching amortizes MMIO writes at the price of submission

@@ -9,28 +9,41 @@
 //! underneath.
 //!
 //! ```text
-//! syscall → page cache → block layer → SQ doorbell → SsdDevice::run
-//!                                                          │
-//! interrupt ← CQ coalescing ← per-command completion log ──┘
+//! syscall → page cache → block layer → SQ doorbell ⇄ device session
+//!                                          ▲              │
+//! interrupt ← CQ coalescing ← per-command completions ────┘
+//!            (a delivery frees an SQ slot: the loops interleave)
 //! ```
 //!
-//! The entry point is [`HostStack::run`], which wraps one
-//! [`SsdDevice::run`](dloop_ftl_kit::device::SsdDevice::run) and returns
-//! a [`HostRunReport`]: the wrapped device report plus a four-instant
-//! timeline per host request (`arrival ≤ submit ≤ done ≤ deliver`) whose
-//! phase differences tile end-to-end residence exactly, host-queue and
-//! cache [`Span`](dloop_simkit::trace::Span)s ready to join a device
-//! flight recording, and cache / queue-pair counters.
+//! The entry point is [`HostStack::run`]. Under the open replay mode the
+//! host and device event loops are *interleaved*: each submission queue
+//! holds at most [`HostConfig::queue_depth`] in-flight commands, a
+//! doorbell ring admits a command only when its queue has a free slot,
+//! and an interrupt delivery (via the CQ coalescer) frees a slot and
+//! triggers the next submission — backpressure from a full SQ delays the
+//! syscall-visible `submit` instant. Device-queued modes run the staged
+//! pipeline over one [`SsdDevice::run`](dloop_ftl_kit::device::SsdDevice::run).
+//! Either way the result is a [`HostRunReport`]: the wrapped device
+//! report plus a five-instant timeline per host request
+//! (`arrival ≤ cache_done ≤ submit ≤ done ≤ deliver`) whose phase
+//! differences tile end-to-end residence exactly, cache / host-queue /
+//! completion [`Span`](dloop_simkit::trace::Span)s ready to join a
+//! device flight recording, an SQ occupancy log, and cache / queue-pair
+//! counters.
 //!
-//! Two contracts pin the model down (claim C13 in `dloop-bench`):
+//! Three contracts pin the model down (claims C13/C14 in `dloop-bench`):
 //!
 //! - **Pass-through identity** — [`HostConfig::passthrough`] makes every
 //!   pipeline stage the identity, so the device sees the input trace
 //!   bit-for-bit and its report is fingerprint-identical to calling the
 //!   device directly. There is no shortcut branch; the identity is a
-//!   property of the generic pipeline.
-//! - **Exact phase tiling** — per request, `host_queue + cache + device
+//!   property of the generic pipeline, interleaved loop included.
+//! - **Exact phase tiling** — per request, `cache + host_queue + device
 //!   + completion == end_to_end` in integer nanoseconds.
+//! - **Windows hold** — per-queue in-flight occupancy never exceeds the
+//!   configured depth at any instant of the SQ occupancy log, and an
+//!   unbounded depth reproduces the staged pipeline bit-for-bit
+//!   ([`HostStack::run_staged`]).
 //!
 //! Determinism: the stack holds no global state, iterates no hash map,
 //! and derives every decision from the (config, trace) pair — equal
@@ -45,5 +58,6 @@ pub mod stack;
 
 pub use cache::{CacheStats, PageCache, Writeback};
 pub use config::HostConfig;
+pub use queue::CqState;
 pub use report::{report_fingerprint, HostRequestLog, HostRunReport, QueueStats};
 pub use stack::HostStack;

@@ -157,6 +157,107 @@ impl Coalescer {
     }
 }
 
+/// Completion-side coalescing state for the interleaved event loop
+/// (`HostStack::run` under the open replay mode), where timeout expiries
+/// are *scheduled* as timer events on the host's event heap instead of
+/// being discovered by the next push — the push-driven [`Coalescer`]
+/// only learns an expiry passed when a later completion arrives, which
+/// is too late when the freed SQ slot should have admitted a command at
+/// the expiry instant.
+///
+/// Semantics are identical to [`Coalescer`] fed in global completion
+/// order: a timer armed at `first_pending + timeout` firing before any
+/// completion at a time `>= expiry` reproduces the push-driven
+/// `expiry <= done` pre-push check, and `flush` uses the same
+/// end-of-run rule. The interleaved/staged fingerprint-equivalence test
+/// in `tests/replay_modes.rs` leans on this equivalence.
+#[derive(Debug)]
+pub struct CqState {
+    threshold: usize,
+    timeout: Option<SimDuration>,
+    /// Pending `(done, command id)` completions, done-ordered.
+    pending: Vec<(SimTime, u64)>,
+    /// Bumped on every delivery. An armed timer carries the epoch it was
+    /// armed in and fires only if no delivery happened since — stale
+    /// timers are no-ops.
+    epoch: u64,
+    /// Interrupts this queue has delivered.
+    pub interrupts: u64,
+}
+
+impl CqState {
+    /// A coalescer interrupting after `threshold` completions or
+    /// `timeout` of aggregation.
+    pub fn new(threshold: u32, timeout: Option<SimDuration>) -> Self {
+        CqState {
+            threshold: threshold.max(1) as usize,
+            timeout,
+            pending: Vec::new(),
+            epoch: 0,
+            interrupts: 0,
+        }
+    }
+
+    fn deliver(&mut self, at: SimTime, out: &mut Vec<(u64, SimTime)>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.epoch += 1;
+        self.interrupts += 1;
+        out.extend(self.pending.drain(..).map(|(_, id)| (id, at)));
+    }
+
+    /// Record command `id` completing at `done`. Delivers into `out` if
+    /// the threshold filled; otherwise, if this push started a new
+    /// aggregate and a timeout is configured, returns the `(expiry,
+    /// epoch)` timer the caller must schedule (pass both back to
+    /// [`CqState::timer`] when it fires).
+    pub fn push(
+        &mut self,
+        done: SimTime,
+        id: u64,
+        out: &mut Vec<(u64, SimTime)>,
+    ) -> Option<(SimTime, u64)> {
+        self.pending.push((done, id));
+        if self.pending.len() >= self.threshold {
+            self.deliver(done, out);
+            return None;
+        }
+        match self.timeout {
+            Some(t) if self.pending.len() == 1 => Some((done + t, self.epoch)),
+            _ => None,
+        }
+    }
+
+    /// A timer armed in `epoch` fired at `at`: deliver the aggregate it
+    /// was armed for, unless a threshold delivery already drained it.
+    pub fn timer(&mut self, at: SimTime, epoch: u64, out: &mut Vec<(u64, SimTime)>) {
+        if epoch == self.epoch {
+            self.deliver(at, out);
+        }
+    }
+
+    /// End of run (or SQ-window deadlock rescue): deliver whatever is
+    /// still aggregating, at the same instant [`Coalescer::flush`] would.
+    pub fn flush(&mut self, out: &mut Vec<(u64, SimTime)>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let first = self.pending[0].0;
+        let last = self.pending.last().expect("non-empty").0;
+        let at = match self.timeout {
+            Some(t) => (first + t).max(last),
+            None => last,
+        };
+        self.deliver(at, out);
+    }
+
+    /// Whether completions are still aggregating.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,5 +387,49 @@ mod tests {
         assert_eq!(out, vec![(0, us(60)), (1, us(60))]);
         c.flush(&mut out);
         assert_eq!(out[2], (2, us(150)));
+    }
+
+    #[test]
+    fn cq_state_threshold_delivery_matches_push_driven() {
+        let mut c = CqState::new(3, None);
+        let mut out = Vec::new();
+        assert_eq!(c.push(us(1), 0, &mut out), None); // no timeout: no timer
+        assert_eq!(c.push(us(2), 1, &mut out), None);
+        assert!(out.is_empty());
+        assert_eq!(c.push(us(9), 2, &mut out), None);
+        assert_eq!(out, vec![(0, us(9)), (1, us(9)), (2, us(9))]);
+        assert_eq!(c.interrupts, 1);
+    }
+
+    #[test]
+    fn cq_state_timer_delivers_the_epoch_it_was_armed_for() {
+        let mut c = CqState::new(16, Some(SimDuration::from_micros(50)));
+        let mut out = Vec::new();
+        let timer = c.push(us(10), 0, &mut out).expect("first push arms");
+        assert_eq!(timer, (us(60), 0));
+        assert_eq!(c.push(us(30), 1, &mut out), None); // aggregate not new
+        c.timer(us(60), 0, &mut out);
+        assert_eq!(out, vec![(0, us(60)), (1, us(60))]);
+        assert_eq!(c.interrupts, 1);
+        // The next completion starts a fresh aggregate and a fresh timer
+        // epoch; the old timer replayed late is a no-op.
+        let timer2 = c.push(us(100), 2, &mut out).expect("new aggregate");
+        assert_eq!(timer2, (us(150), 1));
+        c.timer(us(60), 0, &mut out);
+        assert_eq!(out.len(), 2, "stale timer must not deliver");
+        c.flush(&mut out);
+        assert_eq!(out[2], (2, us(150)));
+        assert!(!c.has_pending());
+    }
+
+    #[test]
+    fn cq_state_threshold_fill_cancels_the_armed_timer() {
+        let mut c = CqState::new(2, Some(SimDuration::from_micros(50)));
+        let mut out = Vec::new();
+        let timer = c.push(us(10), 0, &mut out).expect("arms");
+        assert_eq!(c.push(us(20), 1, &mut out), None); // fills → delivers
+        assert_eq!(out, vec![(0, us(20)), (1, us(20))]);
+        c.timer(timer.0, timer.1, &mut out);
+        assert_eq!(out.len(), 2, "delivered aggregate bumped the epoch");
     }
 }

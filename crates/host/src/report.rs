@@ -2,16 +2,16 @@
 //! syscall-to-cell timestamps, cache and queue-pair counters, and the
 //! host-phase spans ready to join a device flight recording.
 //!
-//! The per-request timeline is four monotone instants —
-//! `arrival ≤ submit ≤ done ≤ deliver` — and the phase durations are
-//! their exact integer-nanosecond differences, so host-queue + cache +
-//! device + completion *tiles* each request's end-to-end residence with
-//! no rounding slack. Claim C13 re-checks that identity request by
-//! request.
+//! The per-request timeline is five monotone instants —
+//! `arrival ≤ cache_done ≤ submit ≤ done ≤ deliver` — and the phase
+//! durations are their exact integer-nanosecond differences, so cache +
+//! host-queue + device + completion *tiles* each request's end-to-end
+//! residence with no rounding slack. Claim C13 re-checks that identity
+//! request by request.
 
 use crate::cache::CacheStats;
 use dloop_ftl_kit::metrics::RunReport;
-use dloop_simkit::trace::{Span, TraceSink};
+use dloop_simkit::trace::{QueueDepthProbe, Span, TraceSink};
 use dloop_simkit::SimTime;
 
 /// The syscall-to-cell timeline of one host request.
@@ -19,8 +19,15 @@ use dloop_simkit::SimTime;
 pub struct HostRequestLog {
     /// When the host issued the request (trace arrival).
     pub arrival: SimTime,
-    /// When its (first) device command's doorbell rang. Cache-served
-    /// requests never submit; their `submit == done`.
+    /// When the cache finished its per-page DRAM copies for this request
+    /// (`arrival` when the cache touched no page). For a cache-served
+    /// request this is the acknowledgement instant (`== done`); for a
+    /// partial read hit the miss commands stage only after it.
+    pub cache_done: SimTime,
+    /// When its first device command entered the device (doorbell ring,
+    /// or later under a finite per-queue depth: the instant a free SQ
+    /// slot admitted it). Cache-served requests never submit; their
+    /// `submit == done`.
     pub submit: SimTime,
     /// When its last device command completed (cache-served: when the
     /// cache acknowledged).
@@ -33,32 +40,22 @@ pub struct HostRequestLog {
 }
 
 impl HostRequestLog {
-    /// Nanoseconds spent waiting for the doorbell (submission queueing).
+    /// Nanoseconds spent between cache service and device admission
+    /// (doorbell batching plus SQ backpressure).
     pub fn host_queue_ns(&self) -> u64 {
-        if self.cache_served {
-            0
-        } else {
-            (self.submit - self.arrival).as_nanos()
-        }
+        (self.submit - self.cache_done).as_nanos()
     }
 
-    /// Nanoseconds of cache service (zero for device-served requests —
-    /// partial hits are charged to the device phase they wait on).
+    /// Nanoseconds of cache service: the per-page DRAM copy cost, for
+    /// fully served requests and for the hit pages of a partial miss
+    /// alike.
     pub fn cache_ns(&self) -> u64 {
-        if self.cache_served {
-            (self.done - self.arrival).as_nanos()
-        } else {
-            0
-        }
+        (self.cache_done - self.arrival).as_nanos()
     }
 
-    /// Nanoseconds between doorbell and last device completion.
+    /// Nanoseconds between device admission and last device completion.
     pub fn device_ns(&self) -> u64 {
-        if self.cache_served {
-            0
-        } else {
-            (self.done - self.submit).as_nanos()
-        }
+        (self.done - self.submit).as_nanos()
     }
 
     /// Nanoseconds the completion sat coalescing before its interrupt.
@@ -83,6 +80,11 @@ pub struct QueueStats {
     pub doorbells: u64,
     /// Completion interrupts delivered across all completion queues.
     pub interrupts: u64,
+    /// Commands whose device admission was delayed past their doorbell
+    /// ring because their submission queue was at `queue_depth` — the
+    /// backpressure count of the interleaved driver (always zero when the
+    /// depth is unbounded or unenforced).
+    pub depth_stalls: u64,
 }
 
 impl QueueStats {
@@ -125,9 +127,25 @@ pub struct HostRunReport {
     pub merged_commands: u64,
     /// Background write-back commands the cache emitted.
     pub writeback_commands: u64,
-    /// Host-phase spans (host-queue waits, cache service), ready to be
-    /// replayed into the same sink as the device spans via
-    /// [`HostRunReport::emit_spans`].
+    /// The per-queue depth bound this run was configured with (`None` =
+    /// unbounded), echoed so no mode can silently drop it.
+    pub queue_depth: Option<u32>,
+    /// Whether the driver actually enforced `queue_depth` as per-queue SQ
+    /// windows (the interleaved open-mode event loop). `false` means the
+    /// run used a device-queued replay mode whose own window is the only
+    /// bound — the configured host depth was *surfaced but not applied*.
+    pub depth_enforced: bool,
+    /// Host-side SQ occupancy probe, one record per forwarded command:
+    /// tenant tag = submission-queue index, `arrival` = doorbell ring,
+    /// `issue` = device admission, `done` = interrupt delivery (the
+    /// instant the SQ slot frees). Records are in canonical
+    /// `(deliver, command)` order, so equal runs log identically;
+    /// zero-page commands occupy no slot and are omitted, making the
+    /// per-queue gauge exactly the window occupancy.
+    pub sq_log: QueueDepthProbe,
+    /// Host-phase spans (host-queue waits, cache service, completion
+    /// coalescing), ready to be replayed into the same sink as the device
+    /// spans via [`HostRunReport::emit_spans`].
     pub host_spans: Vec<Span>,
 }
 
@@ -176,14 +194,18 @@ impl HostRunReport {
     }
 
     /// Order-sensitive digest of the whole host report (device
-    /// fingerprint, per-request timelines, counters). Equal digests ⇒
-    /// same observable run; used by the determinism leg of claim C13.
+    /// fingerprint, per-request timelines, counters, the SQ occupancy
+    /// log, and the full contents of every host-phase span — not just
+    /// their count, so a span relabelled to the wrong phase changes the
+    /// digest). Equal digests ⇒ same observable run; used by the
+    /// determinism leg of claim C13.
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv::new();
         h.write(report_fingerprint(&self.device));
         h.write(self.requests.len() as u64);
         for r in &self.requests {
             h.write(r.arrival.as_nanos());
+            h.write(r.cache_done.as_nanos());
             h.write(r.submit.as_nanos());
             h.write(r.done.as_nanos());
             h.write(r.deliver.as_nanos());
@@ -200,13 +222,32 @@ impl HostRunReport {
             self.queues.submissions,
             self.queues.doorbells,
             self.queues.interrupts,
+            self.queues.depth_stalls,
             self.forwarded,
             self.split_commands,
             self.merged_commands,
             self.writeback_commands,
+            self.queue_depth.map(|d| d as u64 + 1).unwrap_or(0),
+            self.depth_enforced as u64,
+            self.sq_log.len() as u64,
             self.host_spans.len() as u64,
         ] {
             h.write(v);
+        }
+        for &(queue, arrival, issue, done) in self.sq_log.tracked() {
+            h.write(queue as u64);
+            h.write(arrival.as_nanos());
+            h.write(issue.as_nanos());
+            h.write(done.as_nanos());
+        }
+        for s in &self.host_spans {
+            h.write_bytes(s.phase.name().as_bytes());
+            h.write_bytes(s.kind.name().as_bytes());
+            h.write(s.lpn.map(|l| l + 1).unwrap_or(0));
+            h.write(s.req.map(|r| r + 1).unwrap_or(0));
+            h.write(s.issue.as_nanos());
+            h.write(s.start.as_nanos());
+            h.write(s.end.as_nanos());
         }
         h.finish()
     }
@@ -262,6 +303,7 @@ mod tests {
     fn log(arrival_us: u64, submit_us: u64, done_us: u64, deliver_us: u64) -> HostRequestLog {
         HostRequestLog {
             arrival: SimTime::from_micros(arrival_us),
+            cache_done: SimTime::from_micros(arrival_us),
             submit: SimTime::from_micros(submit_us),
             done: SimTime::from_micros(done_us),
             deliver: SimTime::from_micros(deliver_us),
@@ -283,8 +325,25 @@ mod tests {
     }
 
     #[test]
+    fn partial_hit_charges_the_cache_phase_before_submission() {
+        // arrival 10, DRAM copies for the hit pages until 13, doorbell at
+        // 25, device work until 90, interrupt at 140.
+        let mut r = log(10, 25, 90, 140);
+        r.cache_done = SimTime::from_micros(13);
+        assert_eq!(r.cache_ns(), 3_000);
+        assert_eq!(r.host_queue_ns(), 12_000);
+        assert_eq!(r.device_ns(), 65_000);
+        assert_eq!(r.completion_ns(), 50_000);
+        assert_eq!(
+            r.host_queue_ns() + r.cache_ns() + r.device_ns() + r.completion_ns(),
+            r.end_to_end_ns()
+        );
+    }
+
+    #[test]
     fn cache_served_charges_only_the_cache_phase() {
         let mut r = log(10, 12, 12, 12);
+        r.cache_done = r.done;
         r.cache_served = true;
         assert_eq!(r.host_queue_ns(), 0);
         assert_eq!(r.device_ns(), 0);
@@ -299,6 +358,7 @@ mod tests {
             submissions: 12,
             doorbells: 3,
             interrupts: 4,
+            depth_stalls: 0,
         };
         assert_eq!(q.mean_batch(), 4.0);
         assert_eq!(q.mean_coalesced(), 3.0);

@@ -91,13 +91,19 @@ pub enum SpanPhase {
     Gc,
     /// Background housekeeping for unrelated planes.
     Scan,
-    /// Host-side queueing (doorbell batching before submission, interrupt
-    /// coalescing after completion). Emitted by the `dloop-host` stack,
-    /// never by the device: these spans hold no device resource.
+    /// Host-side submission queueing (doorbell batching and, under a
+    /// finite per-queue depth, waiting for a free SQ slot). Emitted by
+    /// the `dloop-host` stack, never by the device: these spans hold no
+    /// device resource.
     HostQueue,
     /// Host page-cache service (hits and write-back acknowledgements).
     /// Emitted by the `dloop-host` stack, never by the device.
     Cache,
+    /// Completion-side wait: the done→deliver interval a finished command
+    /// spends aggregating under interrupt coalescing before its interrupt
+    /// reaches the host. Emitted by the `dloop-host` stack, never by the
+    /// device.
+    Completion,
 }
 
 impl SpanPhase {
@@ -109,19 +115,22 @@ impl SpanPhase {
             SpanPhase::Scan => "scan",
             SpanPhase::HostQueue => "host_queue",
             SpanPhase::Cache => "cache",
+            SpanPhase::Completion => "completion",
         }
     }
 
     /// Every phase, in the locked row order of [`Attribution::csv`]: the
     /// three device phases first (the pre-host-stack table), then the
-    /// host-stack phases appended under the schema-extension rule.
-    pub fn all() -> [SpanPhase; 5] {
+    /// host-stack phases appended under the schema-extension rule
+    /// (`completion` came after `host_queue`/`cache`, so it sits last).
+    pub fn all() -> [SpanPhase; 6] {
         [
             SpanPhase::Host,
             SpanPhase::Gc,
             SpanPhase::Scan,
             SpanPhase::HostQueue,
             SpanPhase::Cache,
+            SpanPhase::Completion,
         ]
     }
 }
@@ -609,12 +618,15 @@ pub struct Attribution {
     pub gc: AttributionRow,
     /// Scan-phase housekeeping (contends for resources, never gates).
     pub scan: AttributionRow,
-    /// Host-side queueing spans (doorbell + interrupt-coalescing waits
-    /// from the `dloop-host` stack). Pure residence: the hardware bucket
-    /// columns stay zero.
+    /// Host-side submission-queueing spans (doorbell batching and SQ
+    /// backpressure waits from the `dloop-host` stack). Pure residence:
+    /// the hardware bucket columns stay zero.
     pub host_queue: AttributionRow,
     /// Host page-cache service spans from the `dloop-host` stack.
     pub cache: AttributionRow,
+    /// Interrupt-coalescing (done→deliver) spans from the `dloop-host`
+    /// stack. Pure residence, like the other host rows.
+    pub completion: AttributionRow,
 }
 
 impl Attribution {
@@ -626,6 +638,7 @@ impl Attribution {
             SpanPhase::Scan => &self.scan,
             SpanPhase::HostQueue => &self.host_queue,
             SpanPhase::Cache => &self.cache,
+            SpanPhase::Completion => &self.completion,
         }
     }
 
@@ -676,6 +689,7 @@ pub fn attribution(rec: &FlightRecorder) -> Attribution {
             SpanPhase::Scan => a.scan.add(s),
             SpanPhase::HostQueue => a.host_queue.add(s),
             SpanPhase::Cache => a.cache.add(s),
+            SpanPhase::Completion => a.completion.add(s),
         }
     }
     a
@@ -1014,6 +1028,39 @@ impl QueueDepthProbe {
     /// when the tenant tracked nothing.
     pub fn tenant_mean_turnaround_ms(&self, tenant: u16) -> f64 {
         Self::mean_ms(self.tracked.iter().filter(|t| t.0 == tenant))
+    }
+
+    /// Peak in-flight occupancy across all tracked units: the maximum
+    /// number of `[issue, done)` intervals overlapping any instant. At a
+    /// shared boundary the completion counts before the admission (a slot
+    /// freed at `t` can be reused by a unit issued at `t`), matching how
+    /// the bounded drivers recycle queue slots — so a driver honouring a
+    /// depth bound shows `max_in_flight() <= depth` exactly.
+    pub fn max_in_flight(&self) -> u64 {
+        Self::max_overlap(self.tracked.iter())
+    }
+
+    /// Peak in-flight occupancy for one tenant's units (same boundary
+    /// rule as [`QueueDepthProbe::max_in_flight`]).
+    pub fn tenant_max_in_flight(&self, tenant: u16) -> u64 {
+        Self::max_overlap(self.tracked.iter().filter(|t| t.0 == tenant))
+    }
+
+    fn max_overlap<'a>(units: impl Iterator<Item = &'a (u16, SimTime, SimTime, SimTime)>) -> u64 {
+        // Event sweep: +1 at issue, -1 at done; at equal times departures
+        // are processed first (the second key orders -1 before +1).
+        let mut events: Vec<(SimTime, i8)> = Vec::new();
+        for &(_, _, issue, done) in units {
+            events.push((issue, 1));
+            events.push((done, -1));
+        }
+        events.sort_unstable_by_key(|&(t, d)| (t, d));
+        let (mut gauge, mut max) = (0i64, 0i64);
+        for (_, d) in events {
+            gauge += d as i64;
+            max = max.max(gauge);
+        }
+        max as u64
     }
 
     fn mean_ms<'a>(units: impl Iterator<Item = &'a (u16, SimTime, SimTime, SimTime)>) -> f64 {
@@ -1473,6 +1520,7 @@ mod tests {
         assert!(rows[0].starts_with("host,"));
         assert!(rows[3].starts_with("host_queue,"));
         assert!(rows[4].starts_with("cache,"));
+        assert!(rows[5].starts_with("completion,"));
     }
 
     #[test]
@@ -1481,15 +1529,37 @@ mod tests {
         rec.push(span(0, 0, 10, SpanPhase::HostQueue));
         rec.push(span(0, 10, 25, SpanPhase::Host));
         rec.push(span(0, 25, 27, SpanPhase::Cache));
+        rec.push(span(0, 27, 31, SpanPhase::Completion));
         let a = attribution(&rec);
         assert_eq!(a.host_queue.spans, 1);
         assert_eq!(a.host_queue.residence_ns, 10_000);
         assert_eq!(a.cache.spans, 1);
         assert_eq!(a.cache.residence_ns, 2_000);
+        assert_eq!(a.completion.spans, 1);
+        assert_eq!(a.completion.residence_ns, 4_000);
         // Host-stack phases never count into the device-visible sum.
         assert_eq!(a.request_visible_ns(), 15_000);
         assert_eq!(a.row(SpanPhase::HostQueue).residence_ns, 10_000);
         assert_eq!(a.row(SpanPhase::Cache).residence_ns, 2_000);
+        assert_eq!(a.row(SpanPhase::Completion).residence_ns, 4_000);
+    }
+
+    #[test]
+    fn probe_max_in_flight_sweeps_per_tenant_with_boundary_reuse() {
+        let mut p = QueueDepthProbe::new();
+        let us = SimTime::from_micros;
+        // Tenant 1: two overlapping units, then one reusing the slot the
+        // first freed at exactly its issue instant (boundary: -1 first).
+        p.track(1, us(0), us(0), us(10));
+        p.track(1, us(2), us(4), us(12));
+        p.track(1, us(10), us(10), us(20));
+        // Tenant 2: strictly sequential.
+        p.track(2, us(0), us(0), us(5));
+        p.track(2, us(5), us(6), us(9));
+        assert_eq!(p.tenant_max_in_flight(1), 2);
+        assert_eq!(p.tenant_max_in_flight(2), 1);
+        assert_eq!(p.max_in_flight(), 3);
+        assert_eq!(QueueDepthProbe::new().max_in_flight(), 0);
     }
 
     #[test]

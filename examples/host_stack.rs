@@ -12,16 +12,19 @@
 //!   coalescing on completion — MMIO efficiency bought with latency).
 //!
 //! Every request's end-to-end residence then tiles *exactly* (integer
-//! nanoseconds, claim C13) into four phases:
+//! nanoseconds, claim C13) into four phases over five instants:
 //!
 //! ```text
-//! arrival ──host_queue──▶ submit ──device──▶ done ──completion──▶ deliver
-//!     └── or: ──cache──▶ done           (cache-served, no device command)
+//! arrival ─cache─▶ cache_done ─host_queue─▶ submit ─device─▶ done ─completion─▶ deliver
+//!     └── or: ──cache──▶ done              (cache-served, no device command)
 //! ```
 //!
-//! The same decomposition lands in the latency-attribution table: the
-//! host spans replay into the device's flight recorder, adding
-//! `host_queue` and `cache` rows under the `host`/`gc`/`scan` rows the
+//! Under the open replay mode the host and device event loops
+//! interleave, so a finite `queue_depth` backpressures the `submit`
+//! instant through true per-queue SQ windows (claim C14). The same
+//! decomposition lands in the latency-attribution table: the host spans
+//! replay into the device's flight recorder, adding `host_queue`,
+//! `cache`, and `completion` rows under the `host`/`gc`/`scan` rows the
 //! device already attributes — syscall to cell in one table.
 //!
 //! ```text
@@ -75,7 +78,7 @@ fn main() {
     let ms = |total_ns: u64| total_ns as f64 / 1e6 / n;
     println!("mean per-request decomposition (phases tile exactly):");
     println!(
-        "  host_queue  {:>9.4} ms  (doorbell batching before submit)",
+        "  host_queue  {:>9.4} ms  (doorbell batching and SQ-window waits before submit)",
         ms(hq)
     );
     println!(

@@ -105,17 +105,19 @@ grep -q "fair-share" "$qos_out/qos_0.csv" || {
 }
 rm -rf "$qos_out"
 
-echo "==> host-stack smoke (host subcommand, coalescing + dirty-ratio sweeps)"
-# One pass of both host-stack sweeps through the CLI: five coalescing
-# settings and five dirty ratios on the cache-contention mix, with the
-# schema-locked CSV headers pinned byte-for-byte (the same constants the
-# dloop-bench unit tests lock). The pass-through identity and exact
-# phase tiling behind these numbers are claim C13, covered by
-# `cargo test -q` above and by `dloop-experiments verify`.
+echo "==> host-stack smoke (host subcommand, coalescing + dirty-ratio + depth sweeps)"
+# One pass of all three host-stack sweeps through the CLI: five
+# coalescing settings, five dirty ratios, and the interleaved SQ-window
+# depth sweep, with the schema-locked CSV headers pinned byte-for-byte
+# (the same constants the dloop-bench unit tests lock). The pass-through
+# identity and exact phase tiling behind these numbers are claim C13,
+# and the per-queue window bound plus depth/turnaround trend are claim
+# C14 — both covered by `cargo test -q` above and by
+# `dloop-experiments verify`.
 host_out="$(mktemp -d)"
 cargo run --release --offline -q -p dloop-bench --bin dloop-experiments -- \
     host --scale 8 --requests 3000 --out "$host_out" >/dev/null
-for artifact in host_0.csv host_1.csv; do
+for artifact in host_0.csv host_1.csv host_2.csv; do
     [[ -s "$host_out/$artifact" ]] || {
         echo "error: host smoke did not produce $artifact" >&2
         exit 1
@@ -129,6 +131,26 @@ coalesce_header="$(head -n 1 "$host_out/host_0.csv")"
 dirty_header="$(head -n 1 "$host_out/host_1.csv")"
 [[ "$dirty_header" == "dirty_ratio,e2e_ms,cache_served_pct,writes_absorbed,writeback_cmds,flushes,forwarded" ]] || {
     echo "error: host_1.csv header drifted: $dirty_header" >&2
+    exit 1
+}
+depth_header="$(head -n 1 "$host_out/host_2.csv")"
+[[ "$depth_header" == "depth,e2e_ms,host_queue_ms,device_ms,completion_ms,depth_stalls,max_sq_inflight" ]] || {
+    echo "error: host_2.csv header drifted: $depth_header" >&2
+    exit 1
+}
+# The interleaved driver must actually be exercising the window: the
+# tightest setting (depth 1, second data row — the first is the
+# unbounded depth-0 reference) has to report backpressure stalls, and
+# the gauge column must respect queues × depth = 2.
+depth1_row="$(sed -n '3p' "$host_out/host_2.csv")"
+depth1_stalls="$(cut -d, -f6 <<<"$depth1_row")"
+depth1_gauge="$(cut -d, -f7 <<<"$depth1_row")"
+[[ "$depth1_stalls" =~ ^[0-9]+$ && "$depth1_stalls" -gt 0 ]] || {
+    echo "error: host_2.csv depth-1 row reports no depth_stalls: $depth1_row" >&2
+    exit 1
+}
+[[ "$depth1_gauge" =~ ^[0-9]+$ && "$depth1_gauge" -le 2 ]] || {
+    echo "error: host_2.csv depth-1 max_sq_inflight exceeds the window: $depth1_row" >&2
     exit 1
 }
 rm -rf "$host_out"

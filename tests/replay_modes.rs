@@ -414,6 +414,118 @@ fn passthrough_host_stack_is_bit_identical_to_the_raw_device() {
     });
 }
 
+/// The interleaved driver's per-queue windows hold at every instant: no
+/// submission queue ever has more than `queue_depth` commands in flight
+/// (admission → interrupt delivery), across coalescing corners including
+/// the one the window can never fill on its own (threshold > total
+/// window with no timeout — the deadlock-rescue path), and the
+/// five-instant timeline keeps tiling exactly under backpressure.
+#[test]
+fn interleaved_sq_windows_bound_occupancy_per_queue() {
+    use dloop_repro::host::{HostConfig, HostStack};
+
+    let gen = (
+        check::vec_of(op_gen(600), 1..100),
+        check::u8s(1..5),
+        check::u8s(1..4),
+    );
+    Checker::new().cases(8).run(&gen, |(ops, depth, queues)| {
+        let reqs = tag_tenants(requests(ops), *queues as u16);
+        let config = SsdConfig::micro_gc_test();
+        let corners = [
+            (1u32, None),
+            (3, Some(SimDuration::from_micros(40))),
+            (16, None),
+        ];
+        for (threshold, timeout) in corners {
+            let mut device = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
+            let host = HostStack::new(HostConfig {
+                queues: *queues as u32,
+                queue_depth: Some(*depth as u32),
+                coalesce_threshold: threshold,
+                coalesce_timeout: timeout,
+                ..HostConfig::passthrough()
+            })
+            .run(&mut device, &reqs, ReplayMode::Open);
+            check_assert!(host.depth_enforced, "driver did not enforce the window");
+            check_assert_eq!(host.queue_depth, Some(*depth as u32), "depth surfaced");
+            for q in 0..*queues as u16 {
+                let occ = host.sq_log.tenant_max_in_flight(q);
+                check_assert!(
+                    occ <= *depth as u64,
+                    "SQ {} held {} in-flight commands at depth {} (threshold {})",
+                    q,
+                    occ,
+                    depth,
+                    threshold
+                );
+            }
+            for (i, log) in host.requests.iter().enumerate() {
+                check_assert_eq!(
+                    log.host_queue_ns() + log.cache_ns() + log.device_ns() + log.completion_ns(),
+                    log.end_to_end_ns(),
+                    "request {} phases do not tile under backpressure",
+                    i
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+/// With an unbounded depth the interleaved event loop degenerates to the
+/// staged reference pipeline *bit-for-bit*: the full host report
+/// fingerprint (request timelines, SQ occupancy log, spans, counters)
+/// matches `run_staged` on an identical device, with every host stage —
+/// cache, split/merge, doorbell batching, interrupt coalescing — turned
+/// on. This is the regression gate that lets the interleaved driver
+/// replace the staged one as the open-mode default.
+#[test]
+fn unbounded_interleaved_loop_reproduces_the_staged_pipeline() {
+    use dloop_repro::host::{HostConfig, HostStack};
+
+    let gen = (check::vec_of(op_gen(600), 1..100), check::u8s(1..4));
+    Checker::new().cases(8).run(&gen, |(ops, queues)| {
+        let reqs = tag_tenants(requests(ops), *queues as u16);
+        let config = SsdConfig::micro_gc_test();
+        let host_cfg = HostConfig {
+            queues: *queues as u32,
+            queue_depth: None,
+            doorbell_batch: 3,
+            doorbell_timeout: Some(SimDuration::from_micros(25)),
+            coalesce_threshold: 3,
+            coalesce_timeout: Some(SimDuration::from_micros(60)),
+            cache_pages: 96,
+            dirty_ratio: 0.5,
+            cache_hit_ns: 900,
+            split_pages: 2,
+            merge: true,
+            drain_cache: true,
+        };
+        let mut d_live = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
+        let live = HostStack::new(host_cfg.clone()).run(&mut d_live, &reqs, ReplayMode::Open);
+        let mut d_staged = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
+        let staged = HostStack::new(host_cfg).run_staged(&mut d_staged, &reqs, ReplayMode::Open);
+        check_assert!(!live.depth_enforced, "no window to enforce at depth None");
+        check_assert_eq!(
+            live.fingerprint(),
+            staged.fingerprint(),
+            "unbounded interleaved run diverged from the staged pipeline"
+        );
+        check_assert_eq!(
+            fingerprint(&live.device),
+            fingerprint(&staged.device),
+            "device reports diverged underneath"
+        );
+        check_assert_eq!(
+            flash_digest(&d_live),
+            flash_digest(&d_staged),
+            "flash state diverged underneath"
+        );
+        Ok(())
+    });
+}
+
 /// The flight recorder is pure observation: with tracing enabled every
 /// report field stays bit-identical, in every replay mode, with and
 /// without a media-fault plan — and the recorder holds exactly one span

@@ -203,14 +203,15 @@ fn queue_depth_csv_per_tenant_blocks_shape_and_conservation() {
 
 /// The host stack telescopes the attribution table from syscall to cell:
 /// replaying a buffered host run's spans into the same recorder that
-/// captured the device spans adds `host_queue` and `cache` rows whose
-/// residence totals reconcile *exactly* (integer nanoseconds) with the
-/// per-request phase sums of the [`HostRunReport`] — host-queue +
-/// completion waits land on the `host_queue` row, cache service on the
-/// `cache` row — and the four phases tile each request's end-to-end
-/// residence. The device-only rows keep their meaning: the host phases
-/// are excluded from `request_visible_ns`, so enabling the host stack
-/// never inflates the device-side accounting.
+/// captured the device spans adds `host_queue`, `cache`, and
+/// `completion` rows whose residence totals reconcile *exactly* (integer
+/// nanoseconds) with the per-request phase sums of the
+/// [`HostRunReport`] — submission waits land on the `host_queue` row,
+/// cache service on the `cache` row, and the done→deliver coalescing
+/// wait on the `completion` row — and the four phases tile each
+/// request's end-to-end residence. The device-only rows keep their
+/// meaning: the host phases are excluded from `request_visible_ns`, so
+/// enabling the host stack never inflates the device-side accounting.
 #[test]
 fn host_attribution_rows_reconcile_with_phase_sums() {
     let config = SsdConfig::micro_gc_test();
@@ -237,6 +238,7 @@ fn host_attribution_rows_reconcile_with_phase_sums() {
     assert_eq!(rows.len(), 1 + SpanPhase::all().len());
     assert!(rows[4].starts_with("host_queue,"), "{csv}");
     assert!(rows[5].starts_with("cache,"), "{csv}");
+    assert!(rows[6].starts_with("completion,"), "{csv}");
 
     // Per-request tiling, then the table-level reconciliation.
     let (hq, cache, dev, compl, e2e) = host.phase_totals_ns();
@@ -250,15 +252,18 @@ fn host_attribution_rows_reconcile_with_phase_sums() {
     let manual_e2e: u64 = host.requests.iter().map(|r| r.end_to_end_ns()).sum();
     assert_eq!(e2e, manual_e2e);
 
-    // Submission waits and completion coalescing both surface on the
-    // host_queue row; cache service on the cache row. Exact equality —
-    // the spans are the phases.
+    // Submission waits surface on the host_queue row, cache service on
+    // the cache row, and the done→deliver coalescing wait on its own
+    // completion row. Exact equality — the spans are the phases.
     let hq_row = attr.row(SpanPhase::HostQueue);
     let cache_row = attr.row(SpanPhase::Cache);
-    assert_eq!(hq_row.residence_ns, hq + compl);
+    let compl_row = attr.row(SpanPhase::Completion);
+    assert_eq!(hq_row.residence_ns, hq);
     assert_eq!(cache_row.residence_ns, cache);
+    assert_eq!(compl_row.residence_ns, compl);
     assert!(hq_row.spans > 0, "batching never delayed a submission");
     assert!(cache_row.spans > 0, "cache never served a request");
+    assert!(compl_row.spans > 0, "coalescing never delayed an interrupt");
 
     // The host rows ride alongside the device rows without disturbing
     // them: every device-phase row is unchanged by the span replay, and
