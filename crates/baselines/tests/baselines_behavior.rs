@@ -3,7 +3,7 @@
 
 use dloop_baselines::{DftlFtl, FastFtl, IdealPageMapFtl};
 use dloop_ftl_kit::config::SsdConfig;
-use dloop_ftl_kit::device::SsdDevice;
+use dloop_ftl_kit::device::{RunConfig, SsdDevice};
 use dloop_ftl_kit::request::{HostOp, HostRequest};
 use dloop_simkit::{SimRng, SimTime};
 
@@ -43,7 +43,7 @@ mod dftl {
     fn write_read_round_trip() {
         let config = SsdConfig::tiny_test();
         let mut d = device(&config);
-        let rep = d.run_trace(&[w(0, 42, 1), r(1000, 42, 1)]);
+        let rep = d.run_with(&[w(0, 42, 1), r(1000, 42, 1)], RunConfig::open());
         assert_eq!(rep.pages_written, 1);
         assert_eq!(rep.hw.reads, 1);
         d.audit().unwrap();
@@ -57,7 +57,7 @@ mod dftl {
         // The first block's worth of writes all land on one plane (the
         // single global active block) — DLOOP would stripe them.
         let reqs: Vec<_> = (0..ppb).map(|i| w(i * 300, i, 1)).collect();
-        let rep = d.run_trace(&reqs);
+        let rep = d.run_with(&reqs, RunConfig::open());
         assert_eq!(rep.plane_request_counts[0], ppb);
         let elsewhere: u64 = rep.plane_request_counts[1..].iter().sum();
         assert_eq!(
@@ -73,7 +73,7 @@ mod dftl {
         // The same 8-page write that DLOOP stripes: DFTL must be slower.
         let config = SsdConfig::tiny_test();
         let mut d = device(&config);
-        let rep = d.run_trace(&[w(0, 0, 8)]);
+        let rep = d.run_with(&[w(0, 0, 8)], RunConfig::open());
         let one_write_ms = 0.2514;
         assert!(
             rep.mean_response_time_ms() > 4.0 * one_write_ms,
@@ -92,7 +92,7 @@ mod dftl {
         for i in 0..400u64 {
             reqs.push(w(i * 300, (i * 13) % user, 1));
         }
-        let rep = d.run_trace(&reqs);
+        let rep = d.run_with(&reqs, RunConfig::open());
         assert!(rep.ftl.translation_writes > 0);
         d.audit().unwrap();
     }
@@ -102,7 +102,10 @@ mod dftl {
         let config = SsdConfig::micro_gc_test();
         let mut d = device(&config);
         let user = d.flash().geometry().user_pages();
-        let rep = d.run_trace(&random_write_trace(3, 12_000, user / 2, 50));
+        let rep = d.run_with(
+            &random_write_trace(3, 12_000, user / 2, 50),
+            RunConfig::open(),
+        );
         assert!(rep.ftl.gc_invocations > 0, "GC never ran");
         assert!(rep.ftl.external_moves > 0, "DFTL moves must cross the bus");
         assert_eq!(rep.ftl.copyback_moves, 0, "DFTL never uses copy-back");
@@ -114,8 +117,8 @@ mod dftl {
         let mk = || random_write_trace(5, 3000, 2000, 100);
         let mut a = device(&SsdConfig::micro_gc_test());
         let mut b = device(&SsdConfig::micro_gc_test());
-        let ra = a.run_trace(&mk());
-        let rb = b.run_trace(&mk());
+        let ra = a.run_with(&mk(), RunConfig::open());
+        let rb = b.run_with(&mk(), RunConfig::open());
         assert_eq!(ra.mean_response_time_ms(), rb.mean_response_time_ms());
         assert_eq!(ra.total_erases, rb.total_erases);
     }
@@ -132,7 +135,7 @@ mod fast {
     fn write_read_round_trip() {
         let config = SsdConfig::tiny_test();
         let mut d = device(&config);
-        let rep = d.run_trace(&[w(0, 7, 1), r(1000, 7, 1)]);
+        let rep = d.run_with(&[w(0, 7, 1), r(1000, 7, 1)], RunConfig::open());
         assert_eq!(rep.hw.reads, 1);
         d.audit().unwrap();
     }
@@ -141,7 +144,7 @@ mod fast {
     fn read_of_unwritten_page_touches_nothing() {
         let config = SsdConfig::tiny_test();
         let mut d = device(&config);
-        let rep = d.run_trace(&[r(0, 99, 1)]);
+        let rep = d.run_with(&[r(0, 99, 1)], RunConfig::open());
         assert_eq!(rep.hw.reads, 0);
     }
 
@@ -160,7 +163,7 @@ mod fast {
                 t += 300;
             }
         }
-        let rep = d.run_trace(&reqs);
+        let rep = d.run_with(&reqs, RunConfig::open());
         assert!(
             rep.ftl.switch_merges >= 2,
             "expected switch merges, got {:?}",
@@ -187,7 +190,7 @@ mod fast {
             t += 300;
         }
         reqs.push(w(t, ppb, 1)); // lbn 1, offset 0
-        let rep = d.run_trace(&reqs);
+        let rep = d.run_with(&reqs, RunConfig::open());
         assert_eq!(rep.ftl.partial_merges, 1, "{:?}", rep.ftl);
         d.audit().unwrap();
     }
@@ -211,7 +214,7 @@ mod fast {
             reqs.push(w(t, off, 1));
             t += 300;
         }
-        let rep = d.run_trace(&reqs);
+        let rep = d.run_with(&reqs, RunConfig::open());
         assert_eq!(
             rep.ftl.partial_merges + rep.ftl.full_merges + rep.ftl.switch_merges,
             merges_before_continuation,
@@ -224,7 +227,7 @@ mod fast {
             d2_reqs.push(r(t, off, 1));
             t += 300;
         }
-        let rep = d.run_trace(&d2_reqs);
+        let rep = d.run_with(&d2_reqs, RunConfig::open());
         assert_eq!(rep.hw.reads, ppb);
         d.audit().unwrap();
     }
@@ -234,7 +237,10 @@ mod fast {
         let config = SsdConfig::micro_gc_test();
         let mut d = device(&config);
         let user = d.flash().geometry().user_pages();
-        let rep = d.run_trace(&random_write_trace(9, 12_000, user / 2, 50));
+        let rep = d.run_with(
+            &random_write_trace(9, 12_000, user / 2, 50),
+            RunConfig::open(),
+        );
         assert!(
             rep.ftl.full_merges > 0,
             "random writes must exhaust the RW log: {:?}",
@@ -257,14 +263,14 @@ mod fast {
             t += 60;
         }
         // Read back a swath; every previously written LPN must be served.
-        d.run_trace(&reqs);
+        d.run_with(&reqs, RunConfig::open());
         d.audit().unwrap();
         let mut read_reqs = Vec::new();
         for lpn in 0..200u64 {
             read_reqs.push(r(t, lpn, 1));
             t += 60;
         }
-        let rep = d.run_trace(&read_reqs);
+        let rep = d.run_with(&read_reqs, RunConfig::open());
         assert!(rep.hw.reads > 0);
         d.audit().unwrap();
     }
@@ -274,8 +280,8 @@ mod fast {
         let mk = || random_write_trace(33, 4000, 1500, 80);
         let mut a = device(&SsdConfig::micro_gc_test());
         let mut b = device(&SsdConfig::micro_gc_test());
-        let ra = a.run_trace(&mk());
-        let rb = b.run_trace(&mk());
+        let ra = a.run_with(&mk(), RunConfig::open());
+        let rb = b.run_with(&mk(), RunConfig::open());
         assert_eq!(ra.mean_response_time_ms(), rb.mean_response_time_ms());
         assert_eq!(ra.ftl, rb.ftl);
     }
@@ -293,7 +299,7 @@ mod ideal {
         let config = SsdConfig::tiny_test();
         let mut d = device(&config);
         let planes = d.flash().geometry().total_planes() as u64;
-        d.run_trace(&[w(0, 0, 2 * planes as u32)]);
+        d.run_with(&[w(0, 0, 2 * planes as u32)], RunConfig::open());
         for lpn in 0..2 * planes {
             let ppn = d.ftl().mapped_ppn(lpn).unwrap();
             assert_eq!(d.flash().geometry().plane_of_ppn(ppn) as u64, lpn % planes);
@@ -306,7 +312,10 @@ mod ideal {
         let config = SsdConfig::micro_gc_test();
         let mut d = device(&config);
         let user = d.flash().geometry().user_pages();
-        let rep = d.run_trace(&random_write_trace(11, 10_000, user / 2, 50));
+        let rep = d.run_with(
+            &random_write_trace(11, 10_000, user / 2, 50),
+            RunConfig::open(),
+        );
         assert_eq!(rep.ftl.translation_reads, 0);
         assert_eq!(rep.ftl.translation_writes, 0);
         assert!(rep.ftl.gc_invocations > 0);
@@ -318,9 +327,9 @@ mod ideal {
         let mk = || random_write_trace(17, 8000, 1500, 120);
         let config = SsdConfig::micro_gc_test();
         let mut ideal = device(&config);
-        let ri = ideal.run_trace(&mk());
+        let ri = ideal.run_with(&mk(), RunConfig::open());
         let mut dl = SsdDevice::new(config.clone(), Box::new(dloop::DloopFtl::new(&config)));
-        let rd = dl.run_trace(&mk());
+        let rd = dl.run_with(&mk(), RunConfig::open());
         assert!(
             ri.mean_response_time_ms() <= rd.mean_response_time_ms() * 1.05,
             "IDEAL {} ms should not lose to DLOOP {} ms",
@@ -364,15 +373,15 @@ mod ordering {
         config.cmt_capacity = 512;
 
         let mut dl = SsdDevice::new(config.clone(), Box::new(dloop::DloopFtl::new(&config)));
-        let r_dloop = dl.run_trace(&mk());
+        let r_dloop = dl.run_with(&mk(), RunConfig::open());
         dl.audit().unwrap();
 
         let mut df = SsdDevice::new(config.clone(), Box::new(DftlFtl::new(&config)));
-        let r_dftl = df.run_trace(&mk());
+        let r_dftl = df.run_with(&mk(), RunConfig::open());
         df.audit().unwrap();
 
         let mut fa = SsdDevice::new(config.clone(), Box::new(FastFtl::new(&config)));
-        let r_fast = fa.run_trace(&mk());
+        let r_fast = fa.run_with(&mk(), RunConfig::open());
         fa.audit().unwrap();
 
         let (d, t, f) = (

@@ -3,7 +3,7 @@
 
 use dloop_bench::build_ftl;
 use dloop_ftl_kit::config::{FtlKind, SsdConfig};
-use dloop_ftl_kit::device::SsdDevice;
+use dloop_ftl_kit::device::{RunConfig, SsdDevice};
 use dloop_simkit::bench::Bench;
 use dloop_workloads::WorkloadProfile;
 
@@ -25,7 +25,9 @@ fn main() {
     ] {
         bench.case(kind.name(), || {
             let mut device = SsdDevice::new(config.clone(), build_ftl(kind, &config));
-            device.run_trace(&trace.requests).requests_completed
+            device
+                .run_with(&trace.requests, RunConfig::open())
+                .requests_completed
         });
     }
 }

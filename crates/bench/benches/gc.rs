@@ -4,7 +4,7 @@
 
 use dloop_bench::{build_ftl, RunSpec};
 use dloop_ftl_kit::config::{FtlKind, SsdConfig};
-use dloop_ftl_kit::device::SsdDevice;
+use dloop_ftl_kit::device::{RunConfig, SsdDevice};
 use dloop_ftl_kit::request::{HostOp, HostRequest};
 use dloop_simkit::bench::Bench;
 use dloop_simkit::{SimRng, SimTime};
@@ -26,7 +26,7 @@ fn gc_burst(kind: FtlKind, copyback: bool) -> u64 {
             ..HostRequest::default()
         })
         .collect();
-    let report = device.run_trace(&reqs);
+    let report = device.run_with(&reqs, RunConfig::open());
     report.total_erases
 }
 

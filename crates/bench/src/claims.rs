@@ -10,7 +10,7 @@
 use crate::runner::{build_ftl, run_grid, RunSpec};
 use crate::table::Table;
 use dloop_ftl_kit::config::{FtlKind, SsdConfig};
-use dloop_ftl_kit::device::{ReplayMode, SsdDevice};
+use dloop_ftl_kit::device::{ReplayMode, RunConfig, SsdDevice};
 use dloop_ftl_kit::metrics::RunReport;
 use dloop_ftl_kit::sched::QosSpec;
 use dloop_host::{report_fingerprint, HostConfig, HostStack};
@@ -327,6 +327,7 @@ pub fn verify(opts: &ExpOptions) -> Vec<ClaimResult> {
     results.push(check_qos_bounds(opts));
     results.push(check_host_stack(opts));
     results.push(check_sq_windows(opts));
+    results.push(check_shard_identity(opts));
 
     results
 }
@@ -852,6 +853,72 @@ fn check_sq_windows_on(
     }
 }
 
+/// C15 — the sharded playback engine is an implementation detail: for
+/// every replay mode, `RunConfig::shards(n)` must leave the full report
+/// fingerprint bit-identical to the sequential engine. The globally
+/// coupled schedulers (gated/NCQ/QoS) keep their sequential playback
+/// under the hood, so for them the check pins the fallback; the open
+/// and closed modes exercise the actual worker threads.
+fn check_shard_identity(opts: &ExpOptions) -> ClaimResult {
+    let config = SsdConfig::paper_default().with_capacity_gb(1);
+    check_shard_identity_on(opts, config, 1_200)
+}
+
+/// The C15 measurement itself, on an arbitrary device configuration (the
+/// unit test runs it on a 4-channel [`SsdConfig::micro_gc_test`] to stay
+/// cheap).
+fn check_shard_identity_on(
+    opts: &ExpOptions,
+    config: SsdConfig,
+    requests_per_tenant: u64,
+) -> ClaimResult {
+    let geometry = config.geometry();
+    let footprint = geometry.user_pages() * geometry.page_size as u64 / 2;
+    let mix = host_mix(
+        opts.seed,
+        geometry.page_size,
+        requests_per_tenant,
+        footprint,
+    );
+    let modes: [(&str, fn() -> RunConfig); 5] = [
+        ("open", RunConfig::open),
+        ("gated", RunConfig::gated),
+        ("closed(8)", || RunConfig::closed(8)),
+        ("ncq(8)", || RunConfig::ncq(8)),
+        ("qos(fair-share,8)", || {
+            RunConfig::qos(QosSpec::fair_share()).queue_depth(8)
+        }),
+    ];
+    let mut pass = true;
+    let mut worst = String::new();
+    let mut checked = 0u32;
+    for (name, make) in modes {
+        let mut seq_dev = SsdDevice::new(config.clone(), build_ftl(FtlKind::Dloop, &config));
+        let seq = report_fingerprint(&seq_dev.run_with(&mix.requests, make()));
+        for shards in [2usize, 4] {
+            let mut dev = SsdDevice::new(config.clone(), build_ftl(FtlKind::Dloop, &config));
+            let fp = report_fingerprint(&dev.run_with(&mix.requests, make().shards(shards)));
+            checked += 1;
+            if fp != seq {
+                pass = false;
+                worst = format!(
+                    "{name} diverged at {shards} shards ({fp:#018x} vs sequential {seq:#018x})"
+                );
+            }
+        }
+    }
+    ClaimResult {
+        id: "C15",
+        claim: "sharded playback is bit-identical to the sequential engine in every replay mode",
+        pass,
+        detail: if pass {
+            format!("{checked} sharded runs matched their sequential fingerprint across 5 modes")
+        } else {
+            worst
+        },
+    }
+}
+
 /// Render the claim results as a table.
 pub fn to_table(results: &[ClaimResult]) -> Table {
     let mut table = Table::new(
@@ -945,6 +1012,19 @@ mod tests {
         let config = dloop_ftl_kit::config::SsdConfig::micro_gc_test();
         let r = check_host_stack_on(&opts, config, 400);
         assert!(r.pass, "C13 failed: {}", r.detail);
+    }
+
+    #[test]
+    fn c15_sharded_playback_matches_sequential() {
+        // Four channels give the sharded engine real worker threads; the
+        // micro device keeps the fifteen replays cheap.
+        let opts = ExpOptions::default();
+        let config = dloop_ftl_kit::config::SsdConfig {
+            channels: 4,
+            ..dloop_ftl_kit::config::SsdConfig::micro_gc_test()
+        };
+        let r = check_shard_identity_on(&opts, config, 400);
+        assert!(r.pass, "C15 failed: {}", r.detail);
     }
 
     #[test]

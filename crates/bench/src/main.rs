@@ -44,8 +44,8 @@
 //! ```
 
 use dloop_bench::experiments::{
-    ablation, channels, copyback, faults, fig10, fig8, fig9, headline, host, params, qos, striping,
-    tracecmd, traces, ExpOptions, TraceMode,
+    ablation, channels, copyback, faults, fig10, fig8, fig9, headline, host, params, qos, shard,
+    striping, tracecmd, traces, ExpOptions, TraceMode,
 };
 use dloop_ftl_kit::sched::QosSpec;
 use std::path::PathBuf;
@@ -56,7 +56,7 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
-const HELP: &str = "usage: dloop-experiments <params|traces|copyback|fig8|fig9|fig10|headline|ablation|striping|channels|faults|trace|qos|host|verify|all> \
+const HELP: &str = "usage: dloop-experiments <params|traces|copyback|fig8|fig9|fig10|headline|ablation|striping|channels|faults|trace|qos|host|shard|verify|all> \
 [--scale N] [--requests N] [--seed N] [--workers N] [--fill F] [--out DIR] \
 [--mode open|gated|closed|ncq] [--depth N] \
 [--policy ncq|window-fifo|priority|deadline|fair-share] [--tenants N] [--quick]";
@@ -185,6 +185,7 @@ fn main() -> ExitCode {
             "trace" => opts.emit(&tracecmd::run(opts), "trace"),
             "qos" => opts.emit(&qos::run(opts), "qos"),
             "host" => opts.emit(&host::run(opts), "host"),
+            "shard" => opts.emit(&shard::run(opts), "shard"),
             "verify" => {
                 let results = dloop_bench::claims::verify(opts);
                 let table = dloop_bench::claims::to_table(&results);

@@ -5,7 +5,7 @@
 use dloop::{DloopFtl, HotPlaneDloopFtl};
 use dloop_baselines::{DftlFtl, FastFtl, IdealPageMapFtl};
 use dloop_ftl_kit::config::{FtlKind, SsdConfig};
-use dloop_ftl_kit::device::SsdDevice;
+use dloop_ftl_kit::device::{RunConfig, SsdDevice};
 use dloop_ftl_kit::ftl::Ftl;
 use dloop_ftl_kit::metrics::RunReport;
 use dloop_workloads::synth::{sequential_fill, WorkloadProfile};
@@ -59,7 +59,7 @@ pub fn run_spec(spec: &RunSpec) -> RunReport {
         let fill = sequential_fill(geometry.user_pages(), spec.fill_fraction, 64);
         device.warm_up(&fill.requests);
     }
-    device.run_trace(&trace.requests)
+    device.run_with(&trace.requests, RunConfig::open())
 }
 
 /// Run a batch of specs on up to `workers` host threads, preserving the

@@ -68,6 +68,29 @@ impl PlaneAllocator {
         std::mem::take(&mut self.touched)
     }
 
+    /// A worker's fork for plane-sharded translation: identical per-plane
+    /// pointers, with the parity-skip counter zeroed so the fork
+    /// accumulates a delta for [`PlaneAllocator::shard_absorb`].
+    pub fn shard_fork(&self) -> PlaneAllocator {
+        let mut fork = self.clone();
+        fork.parity_skips = 0;
+        fork
+    }
+
+    /// Merge a worker fork back: adopt the owned `planes`' active-block
+    /// pointers and add the worker's parity-skip delta.
+    pub fn shard_absorb(&mut self, worker: &PlaneAllocator, planes: std::ops::Range<PlaneId>) {
+        debug_assert!(
+            worker.touched.is_empty(),
+            "worker finished an op with undrained touched planes"
+        );
+        for p in planes {
+            self.active[0][p as usize] = worker.active[0][p as usize];
+            self.active[1][p as usize] = worker.active[1][p as usize];
+        }
+        self.parity_skips += worker.parity_skips;
+    }
+
     fn ensure_active(
         &mut self,
         plane: PlaneId,

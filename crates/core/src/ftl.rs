@@ -247,6 +247,71 @@ impl Ftl for DloopFtl {
         c
     }
 
+    // --- Plane-sharded translation ---
+    //
+    // DLOOP is the textbook candidate for the parallel engine's fast path:
+    // Equation (1) pins data, updates *and* GC traffic to `lpn % planes`,
+    // so in the plane-pure regime (fully resident CMT, no materialised
+    // translation pages, no pending GC updates, every plane's pool at or
+    // above the GC threshold) each plane's state evolution depends only on
+    // that plane's operation subsequence. See DESIGN.md §3f for the
+    // argument and the per-op escape hatch.
+
+    fn shard_home_plane(&self, lpn: Lpn) -> PlaneId {
+        self.plane_of_lpn(lpn)
+    }
+
+    fn shard_translation_ready(&self, flash: &FlashState) -> bool {
+        self.dm.plane_pure()
+            && (0..self.geometry.total_planes())
+                .all(|p| flash.free_blocks(p) >= self.cfg.gc_threshold)
+    }
+
+    fn shard_fork(&self, planes: std::ops::Range<PlaneId>) -> Option<Box<dyn Ftl + Send>> {
+        let geometry = self.geometry.clone();
+        Some(Box::new(DloopFtl {
+            dm: self
+                .dm
+                .shard_fork(&|lpn| planes.contains(&geometry.dloop_plane_of_lpn(lpn))),
+            geometry,
+            alloc: self.alloc.shard_fork(),
+            gc: self.gc,
+            counters: FtlCounters::default(),
+            cfg: self.cfg,
+        }))
+    }
+
+    fn shard_op_pure(&self, flash: &FlashState, lpn: Lpn) -> bool {
+        // A bounded collection that could not lift the home plane back to
+        // the threshold (GC hell) hands the remaining debt to the *next*
+        // operation's scan phase — which in the sequential order may
+        // belong to a different plane's request. The worker cannot
+        // reproduce that attribution, so it aborts the fast path instead.
+        flash.free_blocks(self.plane_of_lpn(lpn)) >= self.cfg.gc_threshold
+    }
+
+    fn shard_absorb(&mut self, worker: &dyn Ftl, planes: std::ops::Range<PlaneId>) {
+        let w = worker
+            .as_any()
+            .and_then(|a| a.downcast_ref::<DloopFtl>())
+            .expect("shard_absorb: worker fork is not a DloopFtl");
+        let geometry = self.geometry.clone();
+        self.dm.shard_absorb(&w.dm, &|lpn| {
+            planes.contains(&geometry.dloop_plane_of_lpn(lpn))
+        });
+        self.alloc.shard_absorb(&w.alloc, planes);
+        self.counters.gc_invocations += w.counters.gc_invocations;
+        self.counters.copyback_moves += w.counters.copyback_moves;
+        self.counters.external_moves += w.counters.external_moves;
+        self.counters.full_merges += w.counters.full_merges;
+        self.counters.partial_merges += w.counters.partial_merges;
+        self.counters.switch_merges += w.counters.switch_merges;
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn audit(&self, flash: &FlashState, dir: &PageDirectory) -> Result<(), String> {
         self.dm.check()?;
         let mut live = 0u64;

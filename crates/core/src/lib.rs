@@ -28,20 +28,20 @@
 //! ```
 //! use dloop::DloopFtl;
 //! use dloop_ftl_kit::config::SsdConfig;
-//! use dloop_ftl_kit::device::SsdDevice;
+//! use dloop_ftl_kit::device::{RunConfig, SsdDevice};
 //! use dloop_ftl_kit::request::{HostOp, HostRequest};
 //! use dloop_simkit::SimTime;
 //!
 //! let config = SsdConfig::tiny_test();
 //! let ftl = DloopFtl::new(&config);
 //! let mut device = SsdDevice::new(config, Box::new(ftl));
-//! let report = device.run_trace(&[HostRequest {
+//! let report = device.run_with(&[HostRequest {
 //!     arrival: SimTime::ZERO,
 //!     lpn: 0,
 //!     pages: 8,
 //!     op: HostOp::Write,
 //!     ..HostRequest::default()
-//! }]);
+//! }], RunConfig::open());
 //! assert_eq!(report.pages_written, 8);
 //! device.audit().unwrap();
 //! ```

@@ -3,7 +3,7 @@
 
 use dloop::{DloopConfig, DloopFtl, HotConfig, HotPlaneDloopFtl};
 use dloop_ftl_kit::config::SsdConfig;
-use dloop_ftl_kit::device::SsdDevice;
+use dloop_ftl_kit::device::{RunConfig, SsdDevice};
 use dloop_ftl_kit::request::{HostOp, HostRequest};
 use dloop_simkit::{SimRng, SimTime};
 
@@ -36,7 +36,7 @@ fn sequential_write_stripes_across_planes() {
     let config = SsdConfig::tiny_test();
     let mut d = dloop_device(&config);
     let planes = d.flash().geometry().total_planes() as u64;
-    d.run_trace(&[w(0, 0, 2 * planes as u32)]);
+    d.run_with(&[w(0, 0, 2 * planes as u32)], RunConfig::open());
     // Equation (1): every page sits on plane lpn % planes.
     for lpn in 0..2 * planes {
         let ppn = d.ftl().mapped_ppn(lpn).expect("page must be mapped");
@@ -55,7 +55,7 @@ fn striped_write_is_faster_than_serial_writes_would_be() {
     // than 8 sequential write services.
     let config = SsdConfig::tiny_test();
     let mut d = dloop_device(&config);
-    let report = d.run_trace(&[w(0, 0, 8)]);
+    let report = d.run_with(&[w(0, 0, 8)], RunConfig::open());
     let one_write_us = 251.4;
     let serial = 8.0 * one_write_us / 1000.0;
     assert!(
@@ -70,9 +70,9 @@ fn striped_write_is_faster_than_serial_writes_would_be() {
 fn update_goes_to_same_plane_and_invalidates_old() {
     let config = SsdConfig::tiny_test();
     let mut d = dloop_device(&config);
-    d.run_trace(&[w(0, 5, 1)]);
+    d.run_with(&[w(0, 5, 1)], RunConfig::open());
     let old = d.ftl().mapped_ppn(5).unwrap();
-    d.run_trace(&[w(0, 5, 1)]);
+    d.run_with(&[w(0, 5, 1)], RunConfig::open());
     let new = d.ftl().mapped_ppn(5).unwrap();
     assert_ne!(old, new, "out-of-place update must relocate");
     assert_eq!(
@@ -92,7 +92,7 @@ fn read_after_many_updates_returns_latest_mapping() {
         reqs.push(w(i * 300, 7, 1));
     }
     reqs.push(r(50 * 300, 7, 1));
-    let report = d.run_trace(&reqs);
+    let report = d.run_with(&reqs, RunConfig::open());
     assert_eq!(report.pages_read, 1);
     // Exactly one live copy of lpn 7 remains (plus translation pages).
     d.audit().unwrap();
@@ -110,7 +110,7 @@ fn gc_triggers_under_pressure_and_uses_copyback() {
     for i in 0..6000u64 {
         reqs.push(w(i * 50, rng.below(user_pages / 2), 1));
     }
-    let report = d.run_trace(&reqs);
+    let report = d.run_with(&reqs, RunConfig::open());
     assert!(report.ftl.gc_invocations > 0, "GC never ran");
     assert!(report.ftl.copyback_moves > 0, "no copy-back moves");
     assert!(
@@ -133,7 +133,7 @@ fn parity_policy_wastes_pages_but_preserves_parity() {
     for i in 0..8000u64 {
         reqs.push(w(i * 50, rng.below(user_pages / 2), 1));
     }
-    let report = d.run_trace(&reqs);
+    let report = d.run_with(&reqs, RunConfig::open());
     // With random invalidation patterns some GC moves must hit parity
     // mismatches.
     assert!(
@@ -154,7 +154,7 @@ fn gc_disabled_copyback_ablation_moves_over_bus() {
     let reqs: Vec<_> = (0..6000u64)
         .map(|i| w(i * 50, rng.below(user_pages / 2), 1))
         .collect();
-    let report = d.run_trace(&reqs);
+    let report = d.run_with(&reqs, RunConfig::open());
     assert!(report.ftl.gc_invocations > 0);
     assert_eq!(report.ftl.copyback_moves, 0);
     assert!(report.ftl.external_moves > 0);
@@ -174,12 +174,12 @@ fn copyback_gc_beats_external_gc_on_response_time() {
             .collect::<Vec<_>>()
     };
     let mut with_cb = dloop_device(&SsdConfig::micro_gc_test());
-    let rep_cb = with_cb.run_trace(&make_reqs());
+    let rep_cb = with_cb.run_with(&make_reqs(), RunConfig::open());
 
     let mut config = SsdConfig::micro_gc_test();
     config.copyback_enabled = false;
     let mut without_cb = dloop_device(&config);
-    let rep_ext = without_cb.run_trace(&make_reqs());
+    let rep_ext = without_cb.run_with(&make_reqs(), RunConfig::open());
 
     assert!(rep_cb.ftl.gc_invocations > 0 && rep_ext.ftl.gc_invocations > 0);
     assert!(
@@ -206,7 +206,7 @@ fn translation_pages_spread_across_planes() {
             }
         }
     }
-    let report = d.run_trace(&reqs);
+    let report = d.run_with(&reqs, RunConfig::open());
     assert!(
         report.ftl.translation_writes > 0,
         "CMT overflow should force translation write-backs"
@@ -232,7 +232,7 @@ fn cmt_miss_traffic_appears_once_materialised() {
         reqs.push(r(t, (i * 17) % user, 1));
         t += 300;
     }
-    let report = d.run_trace(&reqs);
+    let report = d.run_with(&reqs, RunConfig::open());
     assert!(report.ftl.translation_reads > 0, "no translation reads");
     assert!(report.ftl.translation_writes > 0, "no translation writes");
     d.audit().unwrap();
@@ -254,8 +254,8 @@ fn deterministic_runs_for_equal_inputs() {
     };
     let mut a = dloop_device(&SsdConfig::micro_gc_test());
     let mut b = dloop_device(&SsdConfig::micro_gc_test());
-    let ra = a.run_trace(&make());
-    let rb = b.run_trace(&make());
+    let ra = a.run_with(&make(), RunConfig::open());
+    let rb = b.run_with(&make(), RunConfig::open());
     assert_eq!(ra.mean_response_time_ms(), rb.mean_response_time_ms());
     assert_eq!(ra.total_erases, rb.total_erases);
     assert_eq!(ra.plane_request_counts, rb.plane_request_counts);
@@ -305,7 +305,7 @@ fn hot_variant_parks_and_rebalances() {
             w(i * 80, lpn, 1)
         })
         .collect();
-    let report = d.run_trace(&reqs);
+    let report = d.run_with(&reqs, RunConfig::open());
     assert!(report.requests_completed == 4000);
     d.audit().unwrap();
 }
@@ -325,7 +325,7 @@ fn mixed_workload_audits_clean_after_heavy_gc() {
             reqs.push(w(i * 40, lpn, 1 + (rng.below(4)) as u32));
         }
     }
-    let report = d.run_trace(&reqs);
+    let report = d.run_with(&reqs, RunConfig::open());
     assert!(report.ftl.gc_invocations > 10);
     d.audit().unwrap();
     // WAF must exceed 1 under GC but stay sane.

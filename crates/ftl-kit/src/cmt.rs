@@ -138,6 +138,96 @@ impl CachedMappingTable {
         (self.hits, self.misses)
     }
 
+    /// Zero the hit/miss counters — a sharded worker's fork counts pure
+    /// deltas, added back at the merge via
+    /// [`CachedMappingTable::add_hit_stats`].
+    pub fn reset_hit_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Add `(hits, misses)` deltas accumulated by a worker fork.
+    pub fn add_hit_stats(&mut self, (hits, misses): (u64, u64)) {
+        self.hits += hits;
+        self.misses += misses;
+    }
+
+    /// Every cached entry as `(lpn, ppn, dirty)`, in unspecified order —
+    /// the sharded merge walks a worker's entries and adopts the ones the
+    /// worker owned.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (Lpn, Ppn, bool)> + '_ {
+        self.index.values().map(|&i| {
+            let n = &self.nodes[i as usize];
+            (n.lpn, n.ppn, n.dirty)
+        })
+    }
+
+    /// A partial fork for one sharded worker: a fresh table with the same
+    /// capacity and translation-page grouping, seeded with exactly the
+    /// entries whose LPN the worker `owns`. In the fully-resident regime
+    /// the recency order is never consulted, so presence alone makes the
+    /// fork behave identically to the full table for owned LPNs — at a
+    /// fraction of the clone cost and of the worker's working set.
+    /// Hit/miss counters start at zero (the fork counts pure deltas).
+    pub fn shard_fork_owned(&self, owns: &dyn Fn(Lpn) -> bool) -> CachedMappingTable {
+        let mut fork = CachedMappingTable {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            probation: ListEnds {
+                head: NIL,
+                tail: NIL,
+                len: 0,
+            },
+            protected: ListEnds {
+                head: NIL,
+                tail: NIL,
+                len: 0,
+            },
+            capacity: self.capacity,
+            protected_cap: self.protected_cap,
+            mappings_per_tpage: self.mappings_per_tpage,
+            dirty_index: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        };
+        for (&lpn, &idx) in &self.index {
+            if owns(lpn) {
+                let n = &self.nodes[idx as usize];
+                fork.adopt(lpn, n.ppn, n.dirty);
+            }
+        }
+        fork
+    }
+
+    /// Adopt a worker fork's entry at the sharded merge: update the cached
+    /// mapping and dirty flag *without* recency promotion or hit/miss
+    /// accounting, inserting if absent. Recency order is deliberately not
+    /// reconstructed — the merge only runs in the fully-resident regime
+    /// (capacity ≥ LPN space), where eviction order is never consulted.
+    ///
+    /// Panics if an insert would require an eviction.
+    pub fn adopt(&mut self, lpn: Lpn, ppn: Ppn, dirty: bool) {
+        if let Some(&idx) = self.index.get(&lpn) {
+            let node = &mut self.nodes[idx as usize];
+            node.ppn = ppn;
+            let was_dirty = node.dirty;
+            node.dirty = dirty;
+            if dirty && !was_dirty {
+                self.mark_dirty(lpn);
+            } else if !dirty && was_dirty {
+                self.unmark_dirty(lpn);
+            }
+        } else {
+            assert!(
+                self.index.len() < self.capacity,
+                "adopt into a full CMT would evict"
+            );
+            let evicted = self.insert(lpn, ppn, dirty);
+            debug_assert!(evicted.is_none());
+        }
+    }
+
     fn list(&mut self, seg: Segment) -> &mut ListEnds {
         match seg {
             Segment::Probation => &mut self.probation,

@@ -51,7 +51,7 @@ pub struct DemandCounters {
 /// demand-mapping FTLs — without it, schemes whose GC victims span many
 /// translation pages pay one read-modify-write per page per victim and
 /// the translation stream dwarfs the host stream.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DemandMap {
     map: Vec<Ppn>,
     cmt: CachedMappingTable,
@@ -101,6 +101,60 @@ impl DemandMap {
     /// Shared view of the CMT (audits).
     pub fn cmt(&self) -> &CachedMappingTable {
         &self.cmt
+    }
+
+    /// Whether the engine is in the *plane-pure* regime the sharded
+    /// translation fast path requires: a fully resident CMT (inserts never
+    /// evict, so no dirty write-backs), no materialised translation pages
+    /// (misses generate no flash reads — pinned by the
+    /// `miss_on_cold_unmapped_lpn_generates_no_reads` test), and no
+    /// deferred GC updates awaiting a flush. In this regime every
+    /// operation's flash effects stay on the data page's own plane.
+    pub fn plane_pure(&self) -> bool {
+        self.cmt.capacity() >= self.map.len()
+            && self.gtd.materialised() == 0
+            && self.pending_total == 0
+    }
+
+    /// A worker's fork for plane-sharded translation, authoritative only
+    /// for the LPNs `owns` selects (the worker's home planes): the full
+    /// mapping array is copied (a flat memcpy), but the cached-mapping
+    /// table is rebuilt with owned entries only — the worker never looks
+    /// up a foreign LPN, and carrying the full cache would multiply both
+    /// the fork cost and the worker's random-access working set by the
+    /// shard count. All counters start at zero, so the worker accumulates
+    /// pure deltas for [`DemandMap::shard_absorb`].
+    pub fn shard_fork(&self, owns: &dyn Fn(Lpn) -> bool) -> DemandMap {
+        DemandMap {
+            map: self.map.clone(),
+            cmt: self.cmt.shard_fork_owned(owns),
+            gtd: self.gtd.clone(),
+            pending: self.pending.clone(),
+            pending_total: self.pending_total,
+            pending_budget: self.pending_budget,
+            counters: DemandCounters::default(),
+        }
+    }
+
+    /// Merge a [`DemandMap::shard_fork`] worker back: adopt authoritative
+    /// mappings and cached entries for the LPNs `owns` selects (the
+    /// worker's home planes), and add its hit/miss deltas. Only valid in
+    /// the plane-pure regime, where the worker generated no translation
+    /// traffic and cached-entry recency is never consulted.
+    pub fn shard_absorb(&mut self, worker: &DemandMap, owns: &dyn Fn(Lpn) -> bool) {
+        debug_assert_eq!(
+            worker.counters,
+            DemandCounters::default(),
+            "plane-pure worker generated translation traffic"
+        );
+        debug_assert_eq!(worker.pending_total, 0);
+        self.cmt.add_hit_stats(worker.cmt.hit_stats());
+        for (lpn, ppn, dirty) in worker.cmt.iter_entries() {
+            if owns(lpn) {
+                self.map[lpn as usize] = worker.map[lpn as usize];
+                self.cmt.adopt(lpn, ppn, dirty);
+            }
+        }
     }
 
     /// Make sure `lpn`'s mapping entry is cached, generating the miss

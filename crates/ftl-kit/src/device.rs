@@ -74,7 +74,7 @@ pub enum ReplayMode {
     },
     /// NCQ window with a QoS selection policy arbitrating inside it. For
     /// a custom or stateful policy instance (e.g. to inspect token buckets
-    /// afterwards), use [`SsdDevice::run_qos`] directly instead.
+    /// afterwards), use [`SsdDevice::run_with_policy`] directly instead.
     Qos {
         /// Reorder-window size (must be ≥ 1).
         queue_depth: usize,
@@ -83,12 +83,184 @@ pub enum ReplayMode {
     },
 }
 
+/// Builder-style description of one replay: the admission mode plus every
+/// orthogonal knob that used to ride as a positional argument on a
+/// per-mode entry point. Consumed by [`SsdDevice::run_with`].
+///
+/// ```
+/// use dloop_ftl_kit::device::RunConfig;
+/// use dloop_ftl_kit::sched::QosSpec;
+///
+/// let open = RunConfig::open();                     // ReplayMode::Open
+/// let closed = RunConfig::closed(16);               // bounded host queue
+/// let qos = RunConfig::qos(QosSpec::fair_share())   // QoS window…
+///     .queue_depth(64)                              // …of 64 entries
+///     .shards(4);                                   // parallel engine
+/// # let _ = (open, closed, qos);
+/// ```
+///
+/// The defaults reproduce [`ReplayMode::Open`] exactly (property-tested in
+/// `tests/replay_modes.rs`): open arrivals, [`DEFAULT_NCQ_DEPTH`] queue
+/// depth for the modes that use one, the neutral [`QosSpec::Ncq`] policy,
+/// one shard (sequential engine), no sink change.
+///
+/// `shards` selects the parallel engine (see `DESIGN.md` §3f): the device
+/// is partitioned into contiguous channel groups, each advancing on its
+/// own worker thread, with a deterministic merge that keeps every report
+/// field **bit-identical** to the sequential engine. Parallelism applies
+/// to the arrival-reserving modes ([`ReplayMode::Open`], and
+/// [`ReplayMode::Closed`] while its queue is under-subscribed); the
+/// globally-coupled schedulers (gated/NCQ/QoS) accept the knob but run
+/// sequentially, so identity holds trivially there.
+#[derive(Debug)]
+pub struct RunConfig {
+    kind: ModeKind,
+    queue_depth: usize,
+    policy: QosSpec,
+    shards: usize,
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+/// Admission-mode discriminant of a [`RunConfig`] (the mode's knobs live
+/// as siblings on the config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModeKind {
+    Open,
+    Gated,
+    Closed,
+    Ncq,
+    Qos,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            kind: ModeKind::Open,
+            queue_depth: DEFAULT_NCQ_DEPTH,
+            policy: QosSpec::Ncq,
+            shards: 1,
+            sink: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Open arrivals — identical to the all-default config.
+    pub fn open() -> Self {
+        RunConfig::default()
+    }
+
+    /// Issue-gated replay (the FlashSim priority list).
+    pub fn gated() -> Self {
+        RunConfig {
+            kind: ModeKind::Gated,
+            ..RunConfig::default()
+        }
+    }
+
+    /// Closed-loop replay with a bounded host queue of `queue_depth`.
+    pub fn closed(queue_depth: usize) -> Self {
+        RunConfig {
+            kind: ModeKind::Closed,
+            queue_depth,
+            ..RunConfig::default()
+        }
+    }
+
+    /// NCQ-style bounded reordering over a `queue_depth` window.
+    pub fn ncq(queue_depth: usize) -> Self {
+        RunConfig {
+            kind: ModeKind::Ncq,
+            queue_depth,
+            ..RunConfig::default()
+        }
+    }
+
+    /// QoS-arbitrated NCQ window under `policy`, at [`DEFAULT_NCQ_DEPTH`]
+    /// unless overridden with [`RunConfig::queue_depth`].
+    pub fn qos(policy: QosSpec) -> Self {
+        RunConfig {
+            kind: ModeKind::Qos,
+            policy,
+            ..RunConfig::default()
+        }
+    }
+
+    /// Override the queue depth (must be ≥ 1 for the modes that use one:
+    /// closed, NCQ, QoS).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Override the QoS selection policy (only the QoS mode consults it).
+    pub fn policy(mut self, policy: QosSpec) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Run on `shards` parallel channel-group workers (clamped to the
+    /// channel count; `1` = the sequential engine). Reports are
+    /// bit-identical either way.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Attach `sink` to the device before the run (replacing any attached
+    /// sink, exactly like [`SsdDevice::attach_sink`]; it stays attached
+    /// afterwards so it can be inspected or detached).
+    pub fn attach_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The shard count in force.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The equivalent [`ReplayMode`] (the mode-only view of this config —
+    /// shard count and sink attachment have no `ReplayMode` spelling).
+    pub fn replay_mode(&self) -> ReplayMode {
+        match self.kind {
+            ModeKind::Open => ReplayMode::Open,
+            ModeKind::Gated => ReplayMode::Gated,
+            ModeKind::Closed => ReplayMode::Closed {
+                queue_depth: self.queue_depth,
+            },
+            ModeKind::Ncq => ReplayMode::Ncq {
+                queue_depth: self.queue_depth,
+            },
+            ModeKind::Qos => ReplayMode::Qos {
+                queue_depth: self.queue_depth,
+                policy: self.policy,
+            },
+        }
+    }
+}
+
+impl From<ReplayMode> for RunConfig {
+    fn from(mode: ReplayMode) -> Self {
+        match mode {
+            ReplayMode::Open => RunConfig::open(),
+            ReplayMode::Gated => RunConfig::gated(),
+            ReplayMode::Closed { queue_depth } => RunConfig::closed(queue_depth),
+            ReplayMode::Ncq { queue_depth } => RunConfig::ncq(queue_depth),
+            ReplayMode::Qos {
+                queue_depth,
+                policy,
+            } => RunConfig::qos(policy).queue_depth(queue_depth),
+        }
+    }
+}
+
 /// Per-replay measurement accumulator shared by every [`ReplayMode`]: the
 /// response-time distribution, page counts and simulated end time that
 /// [`SsdDevice::finish_report`] folds into the [`RunReport`]. Keeping a
 /// single accumulator (and a single completion path) is what guarantees
 /// the modes count requests identically.
-struct ReplayStats {
+pub(crate) struct ReplayStats {
     response_ms: OnlineStats,
     /// µs buckets up to ~2^39 µs.
     hist: Histogram,
@@ -104,11 +276,11 @@ struct ReplayStats {
     /// unit of work. Every driver records it (so Open ≡ Closed{∞} holds
     /// field-for-field); the arrival-reserving drivers track whole
     /// requests, the queueing drivers track page operations.
-    queue: QueueDepthProbe,
+    pub(crate) queue: QueueDepthProbe,
 }
 
 impl ReplayStats {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         ReplayStats {
             response_ms: OnlineStats::new(),
             hist: Histogram::new(1.0, 40),
@@ -121,7 +293,7 @@ impl ReplayStats {
     }
 
     /// Count one page operation of kind `op`.
-    fn count_page(&mut self, op: HostOp) {
+    pub(crate) fn count_page(&mut self, op: HostOp) {
         match op {
             HostOp::Read => self.pages_read += 1,
             HostOp::Write => self.pages_written += 1,
@@ -130,7 +302,7 @@ impl ReplayStats {
 
     /// Record request `req` (its index in the replayed slice) arriving at
     /// `arrival` and finishing at `done`.
-    fn complete(&mut self, req: u64, arrival: SimTime, done: SimTime) {
+    pub(crate) fn complete(&mut self, req: u64, arrival: SimTime, done: SimTime) {
         self.sim_end = self.sim_end.max(done);
         self.completions.push((req, arrival, done));
         let resp = done.saturating_since(arrival);
@@ -157,12 +329,12 @@ struct QueuedOp {
 
 /// A simulated SSD: flash state + hardware timing + one FTL.
 pub struct SsdDevice {
-    config: SsdConfig,
-    flash: FlashState,
-    dir: PageDirectory,
-    hw: HardwareModel,
-    ftl: Box<dyn Ftl>,
-    plane_counts: Vec<u64>,
+    pub(crate) config: SsdConfig,
+    pub(crate) flash: FlashState,
+    pub(crate) dir: PageDirectory,
+    pub(crate) hw: HardwareModel,
+    pub(crate) ftl: Box<dyn Ftl>,
+    pub(crate) plane_counts: Vec<u64>,
     host_chain: OpChain,
     gc_chain: OpChain,
     scan_chain: OpChain,
@@ -174,9 +346,9 @@ pub struct SsdDevice {
     /// FTL scheme counters at the last measurement reset, so reports cover
     /// only the measured window (like flash totals and media counters).
     ftl_baseline: FtlCounters,
-    wait_ms: OnlineStats,
-    service_ms: OnlineStats,
-    gc_block_ms: OnlineStats,
+    pub(crate) wait_ms: OnlineStats,
+    pub(crate) service_ms: OnlineStats,
+    pub(crate) gc_block_ms: OnlineStats,
 }
 
 impl SsdDevice {
@@ -288,34 +460,95 @@ impl SsdDevice {
 
     /// Replay `requests` under the admission policy `mode` and measure.
     /// Requests may be in any order; they are processed by arrival time
-    /// (FIFO among equal arrivals). This is the single replay driver: all
-    /// four modes share the request-splitting, translation, chain-playing
-    /// and report-assembly code, so they provably agree on the flash work
+    /// (FIFO among equal arrivals). Equivalent to
+    /// [`SsdDevice::run_with`] at the mode's default knobs — all five
+    /// modes share the request-splitting, translation, chain-playing and
+    /// report-assembly code, so they provably agree on the flash work
     /// performed (see `tests/replay_modes.rs`).
     pub fn run(&mut self, requests: &[HostRequest], mode: ReplayMode) -> RunReport {
-        match mode {
-            ReplayMode::Open => self.run_reserving(requests, None),
-            ReplayMode::Gated => self.run_gated(requests),
-            ReplayMode::Closed { queue_depth } => {
+        self.run_with(requests, RunConfig::from(mode))
+    }
+
+    /// Replay `requests` as described by `config` — the single
+    /// fully-general replay entry point. The admission mode, queue depth,
+    /// QoS policy, shard count and optional sink attachment all ride in
+    /// the [`RunConfig`]; every legacy `run_trace*` entry point is a
+    /// deprecated one-line shim over this (fingerprint-identical,
+    /// property-tested in `tests/replay_modes.rs`).
+    pub fn run_with(&mut self, requests: &[HostRequest], config: RunConfig) -> RunReport {
+        let RunConfig {
+            kind,
+            queue_depth,
+            policy,
+            shards,
+            sink,
+        } = config;
+        if let Some(sink) = sink {
+            self.attach_sink(sink);
+        }
+        match kind {
+            ModeKind::Open => self.run_reserving_sharded(requests, None, shards),
+            ModeKind::Gated => self.run_gated(requests),
+            ModeKind::Closed => {
                 assert!(queue_depth >= 1, "queue depth must be at least 1");
-                self.run_reserving(requests, Some(queue_depth))
+                self.run_reserving_sharded(requests, Some(queue_depth), shards)
             }
-            ReplayMode::Ncq { queue_depth } => {
+            ModeKind::Ncq => {
                 assert!(queue_depth >= 1, "queue depth must be at least 1");
                 self.run_queued(requests, queue_depth, &mut NcqPolicy)
             }
-            ReplayMode::Qos {
-                queue_depth,
-                policy,
-            } => {
+            ModeKind::Qos => {
                 assert!(queue_depth >= 1, "queue depth must be at least 1");
                 self.run_queued(requests, queue_depth, policy.build().as_mut())
             }
         }
     }
 
-    /// Replay `requests` with open arrivals. Thin wrapper over
-    /// [`SsdDevice::run`] with [`ReplayMode::Open`].
+    /// Replay `requests` through the QoS window with a caller-owned
+    /// policy instance: like [`RunConfig::qos`], but the policy object
+    /// outlives the run, so stateful policies (e.g.
+    /// [`crate::sched::FairSharePolicy`]) can be inspected afterwards —
+    /// token balances, issue counts — and custom [`QosPolicy`]
+    /// implementations outside this crate can plug in. Only `config`'s
+    /// queue depth and sink attachment are consulted; its mode and
+    /// [`QosSpec`] are superseded by `policy`.
+    pub fn run_with_policy(
+        &mut self,
+        requests: &[HostRequest],
+        config: RunConfig,
+        policy: &mut dyn QosPolicy,
+    ) -> RunReport {
+        let RunConfig {
+            queue_depth, sink, ..
+        } = config;
+        if let Some(sink) = sink {
+            self.attach_sink(sink);
+        }
+        assert!(queue_depth >= 1, "queue depth must be at least 1");
+        self.run_queued(requests, queue_depth, policy)
+    }
+
+    /// Dispatch an arrival-reserving replay to the parallel channel-group
+    /// engine when more than one shard is requested (and the geometry
+    /// supports it), and to the sequential loop otherwise. The two
+    /// engines are bit-identical on the full report fingerprint (claim
+    /// C15).
+    fn run_reserving_sharded(
+        &mut self,
+        requests: &[HostRequest],
+        queue_depth: Option<usize>,
+        shards: usize,
+    ) -> RunReport {
+        let channels = self.flash.geometry().channels as usize;
+        if shards.min(channels) > 1 {
+            crate::shard::run_sharded(self, requests, queue_depth, shards)
+        } else {
+            self.run_reserving(requests, queue_depth)
+        }
+    }
+
+    /// Replay `requests` with open arrivals.
+    #[deprecated(note = "use `run_with(requests, RunConfig::open())` instead")]
     pub fn run_trace(&mut self, requests: &[HostRequest]) -> RunReport {
         self.run(requests, ReplayMode::Open)
     }
@@ -326,7 +559,11 @@ impl SsdDevice {
     /// request waits until fewer than `d` earlier requests are in flight
     /// (closed mode). Open is exactly closed with an infinite queue — the
     /// shared loop keeps the two modes bit-identical where they overlap.
-    fn run_reserving(&mut self, requests: &[HostRequest], queue_depth: Option<usize>) -> RunReport {
+    pub(crate) fn run_reserving(
+        &mut self,
+        requests: &[HostRequest],
+        queue_depth: Option<usize>,
+    ) -> RunReport {
         let lpn_space = self.flash.geometry().user_pages();
         let mut queue: EventQueue<usize> = EventQueue::with_capacity(requests.len());
         for (i, r) in requests.iter().enumerate() {
@@ -436,12 +673,28 @@ impl SsdDevice {
         response
     }
 
+    /// Hand previously-translated chains (with their allocations) back to
+    /// the device so the next [`SsdDevice::translate_page_op`] can reuse
+    /// them instead of allocating. The sequential drivers do this
+    /// implicitly by re-storing the chains after playing them; the sharded
+    /// engine moves chains into its job windows and recycles them here
+    /// once a window is folded.
+    pub(crate) fn prime_chains(&mut self, host: OpChain, gc: OpChain, scan: OpChain) {
+        self.host_chain = host;
+        self.gc_chain = gc;
+        self.scan_chain = scan;
+    }
+
     /// Translate one page operation through the FTL — state effects are
     /// immediate, as in FlashSim — and hand back the resulting
     /// `(host, gc, scan)` chains. Shared by every replay driver; the
     /// queueing drivers (gated, NCQ) defer *playing* the chains until
     /// their scheduler issues the op.
-    fn translate_page_op(&mut self, lpn: u64, op: HostOp) -> (OpChain, OpChain, OpChain) {
+    pub(crate) fn translate_page_op(
+        &mut self,
+        lpn: u64,
+        op: HostOp,
+    ) -> (OpChain, OpChain, OpChain) {
         self.host_chain.clear();
         self.gc_chain.clear();
         self.scan_chain.clear();
@@ -529,8 +782,8 @@ impl SsdDevice {
         }
     }
 
-    /// Issue-gated replay. Thin wrapper over [`SsdDevice::run`] with
-    /// [`ReplayMode::Gated`].
+    /// Issue-gated replay.
+    #[deprecated(note = "use `run_with(requests, RunConfig::gated())` instead")]
     pub fn run_trace_gated(&mut self, requests: &[HostRequest]) -> RunReport {
         self.run(requests, ReplayMode::Gated)
     }
@@ -694,25 +947,28 @@ impl SsdDevice {
         }
     }
 
-    /// NCQ-style replay. Thin wrapper over [`SsdDevice::run`] with
-    /// [`ReplayMode::Ncq`].
+    /// NCQ-style replay.
+    #[deprecated(note = "use `run_with(requests, RunConfig::ncq(queue_depth))` instead")]
     pub fn run_trace_ncq(&mut self, requests: &[HostRequest], queue_depth: usize) -> RunReport {
         self.run(requests, ReplayMode::Ncq { queue_depth })
     }
 
-    /// QoS replay with a caller-owned policy instance: like
-    /// [`ReplayMode::Qos`] but the policy object outlives the run, so
-    /// stateful policies (e.g. [`crate::sched::FairSharePolicy`]) can be
-    /// inspected afterwards — token balances, issue counts — and custom
-    /// [`QosPolicy`] implementations outside this crate can plug in.
+    /// QoS replay with a caller-owned policy instance.
+    #[deprecated(
+        note = "use `run_with_policy(requests, RunConfig::default().queue_depth(depth), policy)` \
+                instead"
+    )]
     pub fn run_qos(
         &mut self,
         requests: &[HostRequest],
         queue_depth: usize,
         policy: &mut dyn QosPolicy,
     ) -> RunReport {
-        assert!(queue_depth >= 1, "queue depth must be at least 1");
-        self.run_queued(requests, queue_depth, policy)
+        self.run_with_policy(
+            requests,
+            RunConfig::default().queue_depth(queue_depth),
+            policy,
+        )
     }
 
     /// NCQ-style reordering replay with a pluggable selection policy: page
@@ -928,8 +1184,8 @@ impl SsdDevice {
 
     /// Closed-loop replay: at most `queue_depth` requests are outstanding
     /// at once — request *i* is issued at the later of its trace arrival
-    /// and the completion of request *i − queue_depth*. Thin wrapper over
-    /// [`SsdDevice::run`] with [`ReplayMode::Closed`].
+    /// and the completion of request *i − queue_depth*.
+    #[deprecated(note = "use `run_with(requests, RunConfig::closed(queue_depth))` instead")]
     pub fn run_trace_closed(&mut self, requests: &[HostRequest], queue_depth: usize) -> RunReport {
         self.run(requests, ReplayMode::Closed { queue_depth })
     }
@@ -964,7 +1220,7 @@ impl SsdDevice {
     /// flash totals, latency decompositions) relative to the measurement
     /// baseline. Shared by every replay mode, so all reports are built
     /// identically.
-    fn finish_report(&self, requests_completed: u64, stats: ReplayStats) -> RunReport {
+    pub(crate) fn finish_report(&self, requests_completed: u64, stats: ReplayStats) -> RunReport {
         RunReport {
             ftl_name: self.ftl.name(),
             requests_completed,
@@ -989,6 +1245,7 @@ impl SsdDevice {
             retry_ns: self.hw.retry_ns(),
             completions: stats.completions,
             queue_log: stats.queue,
+            shard_timing: None,
         }
     }
 
@@ -996,7 +1253,7 @@ impl SsdDevice {
     /// away all timing and statistics afterwards. Used to reach GC steady
     /// state before measuring, like running a trace against a filled SSD.
     pub fn warm_up(&mut self, requests: &[HostRequest]) {
-        let _ = self.run_trace(requests);
+        let _ = self.run(requests, ReplayMode::Open);
         self.reset_measurements();
     }
 
@@ -1246,7 +1503,7 @@ mod tests {
     #[test]
     fn single_write_latency() {
         let mut d = device();
-        let report = d.run_trace(&[write_req(0, 5, 1)]);
+        let report = d.run_with(&[write_req(0, 5, 1)], RunConfig::open());
         assert_eq!(report.requests_completed, 1);
         assert_eq!(report.pages_written, 1);
         // One write: cmd 0.2 + xfer 51.2 + program 200 = 251.4 us.
@@ -1295,7 +1552,10 @@ mod tests {
     #[test]
     fn read_after_write_hits_mapped_page() {
         let mut d = device();
-        let report = d.run_trace(&[write_req(0, 9, 1), read_req(1000, 9, 1)]);
+        let report = d.run_with(
+            &[write_req(0, 9, 1), read_req(1000, 9, 1)],
+            RunConfig::open(),
+        );
         assert_eq!(report.pages_read, 1);
         assert_eq!(report.hw.reads, 1);
         d.audit().unwrap();
@@ -1304,7 +1564,7 @@ mod tests {
     #[test]
     fn unmapped_read_touches_nothing() {
         let mut d = device();
-        let report = d.run_trace(&[read_req(0, 1234, 1)]);
+        let report = d.run_with(&[read_req(0, 1234, 1)], RunConfig::open());
         assert_eq!(report.hw.reads, 0);
         assert_eq!(report.mean_response_time_ms(), 0.0);
     }
@@ -1312,7 +1572,10 @@ mod tests {
     #[test]
     fn out_of_order_arrivals_are_sorted() {
         let mut d = device();
-        let report = d.run_trace(&[write_req(5000, 1, 1), write_req(0, 0, 1)]);
+        let report = d.run_with(
+            &[write_req(5000, 1, 1), write_req(0, 0, 1)],
+            RunConfig::open(),
+        );
         assert_eq!(report.requests_completed, 2);
         d.audit().unwrap();
     }
@@ -1320,7 +1583,7 @@ mod tests {
     #[test]
     fn multi_page_request_counts_pages() {
         let mut d = device();
-        let report = d.run_trace(&[write_req(0, 0, 4)]);
+        let report = d.run_with(&[write_req(0, 0, 4)], RunConfig::open());
         assert_eq!(report.pages_written, 4);
         assert_eq!(report.requests_completed, 1);
         // All on plane 0 with the toy FTL.
@@ -1330,7 +1593,10 @@ mod tests {
     #[test]
     fn updates_invalidate_old_pages() {
         let mut d = device();
-        d.run_trace(&[write_req(0, 7, 1), write_req(1000, 7, 1)]);
+        d.run_with(
+            &[write_req(0, 7, 1), write_req(1000, 7, 1)],
+            RunConfig::open(),
+        );
         assert_eq!(d.flash().total_valid_pages(), 1);
         d.audit().unwrap();
     }
@@ -1340,7 +1606,7 @@ mod tests {
         let mut d = device();
         d.warm_up(&[write_req(0, 3, 1)]);
         assert_eq!(d.flash().total_valid_pages(), 1);
-        let report = d.run_trace(&[read_req(0, 3, 1)]);
+        let report = d.run_with(&[read_req(0, 3, 1)], RunConfig::open());
         // The warm-up write is not in the counters.
         assert_eq!(report.hw.writes, 0);
         assert_eq!(report.hw.reads, 1);
@@ -1351,7 +1617,10 @@ mod tests {
     fn lpn_wrapping_folds_large_addresses() {
         let mut d = device();
         let space = d.flash().geometry().user_pages();
-        let report = d.run_trace(&[write_req(0, space + 3, 1), read_req(1000, 3, 1)]);
+        let report = d.run_with(
+            &[write_req(0, space + 3, 1), read_req(1000, 3, 1)],
+            RunConfig::open(),
+        );
         // The read hits the wrapped write.
         assert_eq!(report.hw.reads, 1);
     }
@@ -1364,7 +1633,10 @@ mod tests {
         let mut d = device();
         // Two writes arriving together target the same plane (the toy FTL
         // always writes plane 0), so the second op queues behind the first.
-        let report = d.run_trace_gated(&[write_req(0, 1, 1), write_req(0, 2, 1)]);
+        let report = d.run_with(
+            &[write_req(0, 1, 1), write_req(0, 2, 1)],
+            RunConfig::gated(),
+        );
         assert_eq!(report.wait_ms.count(), 2);
         assert_eq!(report.service_ms.count(), 2);
         assert!(
@@ -1381,9 +1653,9 @@ mod tests {
         // them a queue-slot wait. All three modes now record an instant
         // zero-latency completion.
         let reqs = [write_req(0, 1, 0)];
-        let open = device().run_trace(&reqs);
-        let gated = device().run_trace_gated(&reqs);
-        let closed = device().run_trace_closed(&reqs, 1);
+        let open = device().run_with(&reqs, RunConfig::open());
+        let gated = device().run_with(&reqs, RunConfig::gated());
+        let closed = device().run_with(&reqs, RunConfig::closed(1));
         for r in [&open, &gated, &closed] {
             assert_eq!(r.requests_completed, 1);
             assert_eq!(r.response_ms.count(), 1, "mode must count the request");
@@ -1393,9 +1665,9 @@ mod tests {
         // Even with the bounded queue saturated by a slow write, a
         // zero-page request completes at arrival without taking a slot.
         let mut d = device();
-        let r = d.run_trace_closed(
+        let r = d.run_with(
             &[write_req(0, 1, 1), write_req(10, 2, 0), write_req(20, 3, 1)],
-            1,
+            RunConfig::closed(1),
         );
         assert_eq!(r.response_ms.count(), 3);
         assert_eq!(r.response_ms.min().unwrap(), 0.0);
@@ -1407,8 +1679,8 @@ mod tests {
         // reorder window of 1, NCQ degenerates to the gated FIFO: same
         // issue times, same response distribution.
         let reqs: Vec<HostRequest> = (0..8).map(|i| write_req(i * 50, i, 1)).collect();
-        let gated = device().run_trace_gated(&reqs);
-        let ncq = device().run_trace_ncq(&reqs, 1);
+        let gated = device().run_with(&reqs, RunConfig::gated());
+        let ncq = device().run_with(&reqs, RunConfig::ncq(1));
         assert_eq!(ncq.requests_completed, gated.requests_completed);
         assert_eq!(ncq.pages_written, gated.pages_written);
         assert_eq!(ncq.response_ms.mean(), gated.response_ms.mean());
@@ -1419,8 +1691,8 @@ mod tests {
     #[test]
     fn ncq_replay_is_deterministic() {
         let reqs: Vec<HostRequest> = (0..20).map(|i| write_req(i * 10, i % 7, 1)).collect();
-        let a = device().run_trace_ncq(&reqs, 4);
-        let b = device().run_trace_ncq(&reqs, 4);
+        let a = device().run_with(&reqs, RunConfig::ncq(4));
+        let b = device().run_with(&reqs, RunConfig::ncq(4));
         assert_eq!(a.response_ms.mean(), b.response_ms.mean());
         assert_eq!(a.queue_log.tracked(), b.queue_log.tracked());
         assert_eq!(a.sim_end, b.sim_end);
@@ -1464,7 +1736,7 @@ mod tests {
     #[test]
     fn open_probe_issue_equals_arrival() {
         let reqs = [write_req(0, 1, 1), write_req(10, 2, 1)];
-        let r = device().run_trace(&reqs);
+        let r = device().run_with(&reqs, RunConfig::open());
         for &(_, arrival, issue, _) in r.queue_log.tracked() {
             assert_eq!(arrival, issue, "open mode admits at arrival");
         }
@@ -1477,7 +1749,10 @@ mod tests {
         // totals, and the latency decompositions alike.
         let mut d = device();
         d.warm_up(&[write_req(0, 1, 1), write_req(100, 2, 1)]);
-        let report = d.run_trace(&[write_req(0, 3, 1), read_req(1000, 3, 1)]);
+        let report = d.run_with(
+            &[write_req(0, 3, 1), read_req(1000, 3, 1)],
+            RunConfig::open(),
+        );
         assert_eq!(report.hw.writes, 1);
         assert_eq!(report.hw.reads, 1);
         // Not 3: the two warm-up writes are excluded by the baseline.
@@ -1490,7 +1765,7 @@ mod tests {
         assert_eq!(report.plane_request_counts.iter().sum::<u64>(), 2);
         // A second reset starts the window fresh again.
         d.reset_measurements();
-        let report = d.run_trace(&[read_req(0, 3, 1)]);
+        let report = d.run_with(&[read_req(0, 3, 1)], RunConfig::open());
         assert_eq!(report.ftl.translation_writes, 0);
         assert_eq!(report.hw.reads, 1);
         assert_eq!(report.total_programs, 0);
@@ -1500,14 +1775,17 @@ mod tests {
     fn tracing_records_one_span_per_flash_op() {
         let mut d = device();
         d.set_tracing(Some(1024));
-        let report = d.run_trace(&[write_req(0, 1, 1), read_req(1000, 1, 1)]);
+        let report = d.run_with(
+            &[write_req(0, 1, 1), read_req(1000, 1, 1)],
+            RunConfig::open(),
+        );
         let rec = d.trace().unwrap();
         assert_eq!(rec.recorded(), report.hw.reads + report.hw.writes);
         // Detaching hands back the spans and leaves a fresh recorder armed.
         let taken = d.take_trace().unwrap();
         assert_eq!(taken.len(), 2);
         assert_eq!(d.trace().unwrap().len(), 0);
-        d.run_trace(&[read_req(0, 1, 1)]);
+        d.run_with(&[read_req(0, 1, 1)], RunConfig::open());
         assert_eq!(d.trace().unwrap().len(), 1);
         // A measurement reset discards warm-up spans too.
         d.reset_measurements();
@@ -1527,7 +1805,7 @@ mod tests {
         for i in 0..50u64 {
             reqs.push(read_req(3000 + i * 10, i, 1));
         }
-        d.run_trace(&reqs);
+        d.run_with(&reqs, RunConfig::open());
         d.audit().unwrap();
     }
 }

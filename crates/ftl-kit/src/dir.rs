@@ -66,6 +66,14 @@ impl PageDirectory {
         }
     }
 
+    /// Adopt `other`'s owners for the physical pages in `ppns` — the
+    /// sharded engine's merge, where `other` is a worker's fork that was
+    /// the sole writer of a contiguous plane-major PPN range.
+    pub fn absorb_range(&mut self, other: &PageDirectory, ppns: std::ops::Range<Ppn>) {
+        let r = ppns.start as usize..ppns.end as usize;
+        self.slots[r.clone()].copy_from_slice(&other.slots[r]);
+    }
+
     /// Number of live (owned) pages — O(n), intended for audits only.
     pub fn live_count(&self) -> u64 {
         self.slots.iter().filter(|&&s| s & TAG_MASK != 0).count() as u64

@@ -262,7 +262,12 @@ impl FtlContext<'_> {
 }
 
 /// A flash translation layer.
-pub trait Ftl {
+///
+/// The `Send + Sync` supertraits exist for the parallel engine: the
+/// plane-local fast path forks the FTL *inside* each worker thread from
+/// a shared `&dyn Ftl`, so the trait object must be shareable. Every FTL
+/// here is plain owned data, so the bounds cost nothing.
+pub trait Ftl: Send + Sync {
     /// Short scheme name ("DLOOP", "DFTL", "FAST", …).
     fn name(&self) -> &'static str;
 
@@ -281,6 +286,66 @@ pub trait Ftl {
 
     /// Deep consistency audit against the flash state and directory.
     fn audit(&self, flash: &FlashState, dir: &PageDirectory) -> Result<(), String>;
+
+    // --- Plane-sharded translation (the parallel engine's fast path) ---
+    //
+    // An FTL whose placement keeps every flash effect of a page operation
+    // on one statically-known plane can opt into sharded *translation*:
+    // worker threads run full state forks over disjoint plane ranges and
+    // the coordinator merges the owned planes back. The defaults opt out;
+    // the engine then falls back to coordinator-side translation.
+
+    /// The plane every flash effect of an operation on `lpn` stays on,
+    /// when [`Ftl::shard_translation_ready`] holds. Meaningless otherwise.
+    fn shard_home_plane(&self, lpn: Lpn) -> PlaneId {
+        let _ = lpn;
+        0
+    }
+
+    /// Whether the FTL's *current* state guarantees plane-locality: every
+    /// subsequent operation's state effects and chain steps confined to
+    /// [`Ftl::shard_home_plane`] of its LPN, barring conditions a worker
+    /// detects per-op via [`Ftl::shard_op_pure`]. Checked once per run
+    /// against the pre-run flash state.
+    fn shard_translation_ready(&self, flash: &FlashState) -> bool {
+        let _ = flash;
+        false
+    }
+
+    /// A fork of the FTL for the worker owning `planes`, with scheme
+    /// counters zeroed so the fork accumulates deltas. The fork needs to
+    /// be authoritative only for LPNs whose [`Ftl::shard_home_plane`]
+    /// lies in `planes` — translation state for foreign LPNs may be
+    /// dropped, which keeps the fork (and the worker's working set)
+    /// proportional to its owned share. `None` opts out of sharded
+    /// translation. Called concurrently from worker threads.
+    fn shard_fork(&self, planes: std::ops::Range<PlaneId>) -> Option<Box<dyn Ftl + Send>> {
+        let _ = planes;
+        None
+    }
+
+    /// Post-operation check on a worker's fork: did the operation on
+    /// `lpn` leave the fork in a state where plane-locality still holds
+    /// for future operations? A `false` aborts the worker and the run
+    /// falls back to sequential translation.
+    fn shard_op_pure(&self, flash: &FlashState, lpn: Lpn) -> bool {
+        let _ = (flash, lpn);
+        true
+    }
+
+    /// Merge a worker fork back into the authoritative FTL: adopt the
+    /// state of the owned `planes` and add the fork's counter deltas.
+    /// Only called when [`Ftl::shard_fork`] returned `Some`.
+    fn shard_absorb(&mut self, worker: &dyn Ftl, planes: std::ops::Range<PlaneId>) {
+        let _ = (worker, planes);
+        unreachable!("shard_absorb on an FTL that does not fork");
+    }
+
+    /// Concrete-type escape hatch for [`Ftl::shard_absorb`] downcasts.
+    /// FTLs that support sharded translation return `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@
 //! * [`gtd`] — the Global Translation Directory.
 //! * [`dir`] — the reverse page directory (ppn → owner) used by GC.
 //! * [`device`] — the SSD controller: trace replay, dispatch, audits.
+//! * `shard` (internal) — the parallel channel-group replay engine
+//!   behind [`device::RunConfig::shards`].
 //! * [`sched`] — pluggable QoS policies for the NCQ reorder window.
 //! * [`metrics`] — [`metrics::RunReport`]: mean response time, SDRPP, WAF…
 //! * [`config`] — Table-I parameters as a value ([`config::SsdConfig`]).
@@ -24,11 +26,12 @@ pub mod gtd;
 pub mod metrics;
 pub mod request;
 pub mod sched;
+mod shard;
 
 pub use cmt::{CachedMappingTable, Evicted};
 pub use config::{FtlKind, SsdConfig};
 pub use demand::{DemandCounters, DemandMap, UNMAPPED};
-pub use device::{ReplayMode, SsdDevice, DEFAULT_NCQ_DEPTH};
+pub use device::{ReplayMode, RunConfig, SsdDevice, DEFAULT_NCQ_DEPTH};
 pub use dir::{PageDirectory, PageOwner};
 pub use ftl::{FlashStep, Ftl, FtlContext, FtlCounters, OpChain};
 pub use gtd::Gtd;

@@ -75,6 +75,37 @@ pub struct RunReport {
     /// page operations in the gated/NCQ modes). Every replay mode records
     /// it; render with [`RunReport::queue_depth_csv`].
     pub queue_log: QueueDepthProbe,
+    /// Wall-clock breakdown of the plane-local parallel engine, when it
+    /// served the run (`None` otherwise). Deliberately excluded from
+    /// every fingerprint and CSV: wall time measures the machine, not
+    /// the simulation.
+    pub shard_timing: Option<ShardTiming>,
+}
+
+/// Wall-clock phases of a plane-sharded run, recorded by the parallel
+/// engine's fast path. Shard tasks run on a pool of at most
+/// `available_parallelism` threads, so each task's time is (close to)
+/// its isolated single-core cost; because plane-pure shards share no
+/// state, `partition + max(workers) + merge` is the run's critical path
+/// — the wall time on a machine with at least one core per shard.
+#[derive(Debug, Clone, Default)]
+pub struct ShardTiming {
+    /// Serial prefix: canonical sort and routing of page operations.
+    pub partition_ms: f64,
+    /// Per-shard task time (fork + translate + play), indexed by shard;
+    /// zero for shards that received no operations.
+    pub worker_ms: Vec<f64>,
+    /// Serial suffix: state merge, span forwarding, and the canonical
+    /// statistics fold.
+    pub merge_ms: f64,
+}
+
+impl ShardTiming {
+    /// The modeled parallel wall time: serial sections plus the slowest
+    /// shard task.
+    pub fn critical_path_ms(&self) -> f64 {
+        self.partition_ms + self.worker_ms.iter().cloned().fold(0.0, f64::max) + self.merge_ms
+    }
 }
 
 impl RunReport {
@@ -341,6 +372,7 @@ mod tests {
             retry_ns: 120_000,
             completions: vec![(0, SimTime::ZERO, SimTime::from_micros(100))],
             queue_log: QueueDepthProbe::new(),
+            shard_timing: None,
         }
     }
 

@@ -397,8 +397,8 @@ impl QosPolicy for FairSharePolicy {
 /// [`ReplayMode::Qos`](crate::device::ReplayMode::Qos) (which must stay
 /// `Copy + Eq` like every other replay mode). [`QosSpec::build`] turns it
 /// into a boxed policy instance; for custom or inspectable policies, call
-/// [`SsdDevice::run_qos`](crate::device::SsdDevice::run_qos) with your own
-/// instance instead.
+/// [`SsdDevice::run_with_policy`](crate::device::SsdDevice::run_with_policy)
+/// with your own instance instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QosSpec {
     /// Plain NCQ ([`NcqPolicy`]).

@@ -44,7 +44,7 @@ use crate::cache::{CacheStats, PageCache, Writeback};
 use crate::config::HostConfig;
 use crate::queue::{Coalescer, CqState, DoorbellQueue, Ring};
 use crate::report::{HostRequestLog, HostRunReport, QueueStats};
-use dloop_ftl_kit::device::{CommandSession, ReplayMode, SsdDevice};
+use dloop_ftl_kit::device::{CommandSession, ReplayMode, RunConfig, SsdDevice};
 use dloop_ftl_kit::metrics::RunReport;
 use dloop_ftl_kit::request::{HostOp, HostRequest};
 use dloop_simkit::trace::{QueueDepthProbe, Span, SpanKind, SpanPhase};
@@ -366,7 +366,8 @@ impl HostStack {
         let cfg = &self.config;
         let nq = cfg.queues as usize;
         let fwd_reqs: Vec<HostRequest> = forwarded.iter().map(|c| c.req).collect();
-        let report = device.run(&fwd_reqs, eff_mode);
+        let run_cfg = RunConfig::from(eff_mode).shards(cfg.device_shards);
+        let report = device.run_with(&fwd_reqs, run_cfg);
 
         let mut done_of: Vec<SimTime> = vec![SimTime::ZERO; forwarded.len()];
         let mut seen = vec![false; forwarded.len()];

@@ -120,6 +120,69 @@ impl HardwareModel {
         &self.timing
     }
 
+    /// Fork a worker-model for one shard of a parallel replay: identical
+    /// timing, geometry derivations and **resource timelines** (so work
+    /// already booked keeps delaying the shard's future work), but zeroed
+    /// activity (counters, busy accounting, retry time) and no sink — the
+    /// shard's activity is a *delta* that the coordinator folds back into
+    /// the parent via [`HardwareModel::absorb_activity`].
+    pub fn shard_clone(&self) -> HardwareModel {
+        HardwareModel {
+            timing: self.timing.clone(),
+            page_size: self.page_size,
+            planes_per_die: self.planes_per_die,
+            planes_per_channel: self.planes_per_channel,
+            die_serialized: self.die_serialized,
+            channel_avail: self.channel_avail.clone(),
+            plane_avail: self.plane_avail.clone(),
+            die_avail: self.die_avail.clone(),
+            channel_busy_ns: vec![0; self.channel_busy_ns.len()],
+            plane_busy_ns: vec![0; self.plane_busy_ns.len()],
+            retry_ns: 0,
+            counters: OpCounters::default(),
+            sink: None,
+            span_phase: SpanPhase::Host,
+            span_lpn: None,
+            span_req: None,
+        }
+    }
+
+    /// Copy the availability entries governing `plane` — the plane itself,
+    /// its channel, and (relevant when die-serialised) its die — from
+    /// `other` into `self`. This is the cross-shard synchronisation
+    /// primitive: before a chain that touches a foreign shard's plane is
+    /// played, the executing model imports that plane's timeline state;
+    /// afterwards the owner imports the updated state back.
+    pub fn sync_plane_state_from(&mut self, other: &HardwareModel, plane: PlaneId) {
+        let p = plane as usize;
+        let c = self.channel_of(plane);
+        let d = self.die_of(plane);
+        self.plane_avail[p] = other.plane_avail[p];
+        self.channel_avail[c] = other.channel_avail[c];
+        self.die_avail[d] = other.die_avail[d];
+    }
+
+    /// Fold a shard model's activity delta — operation counters, per-plane
+    /// and per-channel busy time, retry time — into `self`. Availability
+    /// timelines are *not* touched: each shard owns its resources' final
+    /// state, which the coordinator imports separately through
+    /// [`HardwareModel::sync_plane_state_from`].
+    pub fn absorb_activity(&mut self, other: &HardwareModel) {
+        self.counters.reads += other.counters.reads;
+        self.counters.writes += other.counters.writes;
+        self.counters.erases += other.counters.erases;
+        self.counters.copybacks += other.counters.copybacks;
+        self.counters.interplane_copies += other.counters.interplane_copies;
+        self.counters.read_retry_steps += other.counters.read_retry_steps;
+        for (a, b) in self.channel_busy_ns.iter_mut().zip(&other.channel_busy_ns) {
+            *a += b;
+        }
+        for (a, b) in self.plane_busy_ns.iter_mut().zip(&other.plane_busy_ns) {
+            *a += b;
+        }
+        self.retry_ns += other.retry_ns;
+    }
+
     /// Attach `sink` as the destination for emitted spans, replacing any
     /// previous sink. Recording is pure observation: resource timelines,
     /// counters and completions are bit-identical with or without a sink.
@@ -136,6 +199,14 @@ impl HardwareModel {
     /// The attached span sink, if tracing is enabled.
     pub fn sink(&self) -> Option<&dyn TraceSink> {
         self.sink.as_deref()
+    }
+
+    /// Mutable access to the attached span sink, if tracing is enabled.
+    /// Used by drivers that feed the sink out-of-band — e.g. the sharded
+    /// replay engine merging per-shard span buffers back into canonical
+    /// order.
+    pub fn sink_mut(&mut self) -> Option<&mut (dyn TraceSink + 'static)> {
+        self.sink.as_deref_mut()
     }
 
     /// Convenience wrapper: attach a bounded [`RingSink`] holding up to
@@ -725,6 +796,76 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(h.sink().is_none(), "detached model no longer traces");
+    }
+
+    #[test]
+    fn shard_clone_copies_timelines_but_not_activity() {
+        let mut h = hw();
+        h.exec_write(0, SimTime::ZERO);
+        h.exec_read(9, SimTime::ZERO);
+        let s = h.shard_clone();
+        // Timelines carry over: booked work still delays the shard.
+        assert_eq!(s.plane_ready_at(0), h.plane_ready_at(0));
+        assert_eq!(s.channel_ready_at(9), h.channel_ready_at(9));
+        // Activity does not: the shard accumulates a delta from zero.
+        assert_eq!(s.counters, OpCounters::default());
+        assert!(s.plane_busy_ns().iter().all(|&b| b == 0));
+        assert!(s.channel_busy_ns().iter().all(|&b| b == 0));
+        assert_eq!(s.retry_ns(), 0);
+        assert!(s.sink().is_none());
+    }
+
+    #[test]
+    fn split_playback_with_absorb_matches_sequential() {
+        // Play two independent-plane op sequences sequentially on one
+        // model, and split across two shard clones folded back — the
+        // paradigm the sharded replay engine relies on. Planes 0 and 8 are
+        // on different channels, so the sequences never interact.
+        let mut seq = hw();
+        seq.exec_write(0, SimTime::ZERO);
+        seq.exec_read(0, SimTime::ZERO);
+        seq.exec_write(8, SimTime::ZERO);
+        seq.exec_copyback(8, SimTime::ZERO);
+
+        let base = hw();
+        let mut a = base.shard_clone();
+        let mut b = base.shard_clone();
+        a.exec_write(0, SimTime::ZERO);
+        a.exec_read(0, SimTime::ZERO);
+        b.exec_write(8, SimTime::ZERO);
+        b.exec_copyback(8, SimTime::ZERO);
+        let mut merged = base.shard_clone();
+        for m in [&a, &b] {
+            merged.absorb_activity(m);
+        }
+        merged.sync_plane_state_from(&a, 0);
+        merged.sync_plane_state_from(&b, 8);
+
+        assert_eq!(merged.counters, seq.counters);
+        assert_eq!(merged.plane_busy_ns(), seq.plane_busy_ns());
+        assert_eq!(merged.channel_busy_ns(), seq.channel_busy_ns());
+        assert_eq!(merged.retry_ns(), seq.retry_ns());
+        assert_eq!(merged.plane_ready_at(0), seq.plane_ready_at(0));
+        assert_eq!(merged.plane_ready_at(8), seq.plane_ready_at(8));
+        assert_eq!(merged.channel_ready_at(0), seq.channel_ready_at(0));
+        assert_eq!(merged.channel_ready_at(8), seq.channel_ready_at(8));
+    }
+
+    #[test]
+    fn sync_plane_state_imports_channel_and_die_entries() {
+        let g = Geometry::paper_default();
+        let mut owner = HardwareModel::new(&g, TimingConfig::paper_default(), true);
+        owner.exec_copyback(2, SimTime::ZERO); // holds plane 2 and die 0
+        owner.exec_write(3, SimTime::ZERO); // holds channel 0 too
+        let mut exec = owner.shard_clone();
+        let mut fresh = HardwareModel::new(&g, TimingConfig::paper_default(), true);
+        fresh.sync_plane_state_from(&owner, 2);
+        fresh.sync_plane_state_from(&owner, 3);
+        // The imported entries now agree with the owner's for both planes,
+        // including the shared die/channel state.
+        let c = exec.exec_copyback(2, SimTime::ZERO);
+        let c2 = fresh.exec_copyback(2, SimTime::ZERO);
+        assert_eq!(c, c2, "imported timelines must reproduce the owner's");
     }
 
     #[test]

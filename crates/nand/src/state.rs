@@ -70,6 +70,38 @@ impl FlashState {
         }
     }
 
+    /// A worker's private copy for plane-sharded execution: identical
+    /// plane state, but with the device-wide activity counters (programs,
+    /// skips, erases, retirements) zeroed so the worker accumulates pure
+    /// *deltas* that [`FlashState::shard_absorb`] can add back without
+    /// double-counting.
+    pub fn shard_fork(&self) -> FlashState {
+        let mut fork = self.clone();
+        fork.programs = 0;
+        fork.skips = 0;
+        fork.erases = 0;
+        fork.retired = 0;
+        fork
+    }
+
+    /// Merge a [`FlashState::shard_fork`] worker back: adopt the owned
+    /// `planes`' state wholesale (the worker is the only writer of those
+    /// planes) and add the worker's activity deltas. The caller guarantees
+    /// the worker touched no plane outside `planes`.
+    pub fn shard_absorb(&mut self, worker: &FlashState, planes: std::ops::Range<PlaneId>) {
+        debug_assert_eq!(
+            worker.failed_attempts, 0,
+            "worker finished an op with undrained program failures"
+        );
+        for p in planes {
+            self.planes[p as usize] = worker.planes[p as usize].clone();
+        }
+        self.programs += worker.programs;
+        self.skips += worker.skips;
+        self.erases += worker.erases;
+        self.retired += worker.retired;
+    }
+
     /// A device whose blocks wear out after `limit` erase cycles — the
     /// finite-erasure-cycles limitation of §I. Worn blocks are retired
     /// (bad-block management) instead of returning to the free pool.

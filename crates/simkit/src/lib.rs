@@ -53,6 +53,6 @@ pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
-    FlightRecorder, QueueDepthProbe, RingSink, Span, SpanKind, SpanPhase, StreamSink, TeeSink,
-    TraceSink,
+    BufferSink, FlightRecorder, QueueDepthProbe, RingSink, SamplingSink, Span, SpanKind, SpanPhase,
+    StreamSink, TeeSink, TraceSink,
 };

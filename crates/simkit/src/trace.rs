@@ -21,7 +21,7 @@
 //!   per phase (host, GC, scan) — derived from the spans themselves, not
 //!   from ad-hoc accumulators.
 //!
-//! Three sinks ship in-tree:
+//! Five sinks ship in-tree:
 //!
 //! * [`RingSink`] — the bounded flight-recorder ring (drop-oldest when
 //!   full, with a loud [`RingSink::dropped`] counter). The historical name
@@ -31,6 +31,12 @@
 //!   drop-oldest cap, so full-length enterprise traces keep every span.
 //! * [`TeeSink`] — fan-out to two sinks (e.g. a ring for interactive
 //!   exports plus a stream for complete on-disk history).
+//! * [`SamplingSink`] — deterministic 1-in-N subsampler in front of any
+//!   sink, so multi-billion-op runs neither evict the ring nor grow the
+//!   stream without bound; the loss stays counted.
+//! * [`BufferSink`] — unbounded in-memory buffer; the sharded replay
+//!   engine's per-shard staging area, drained back into the real sink in
+//!   canonical order at every merge point.
 //!
 //! Recording is pure observation: it never touches the resource timelines,
 //! so a run with tracing enabled is bit-identical (in every report field)
@@ -227,7 +233,7 @@ impl Span {
 /// ([`RingSink`]), unbounded JSONL spill ([`StreamSink`]), or both at once
 /// ([`TeeSink`]). Implementations must be pure observers: recording a span
 /// may never influence simulation state.
-pub trait TraceSink: std::fmt::Debug {
+pub trait TraceSink: std::fmt::Debug + Send {
     /// Observe one span. Must never fail loudly — sinks that can lose a
     /// span (a full ring, a failed write) count the loss in
     /// [`TraceSink::dropped`] instead.
@@ -463,7 +469,7 @@ impl<W: io::Write> StreamSink<W> {
     }
 }
 
-impl<W: io::Write + std::fmt::Debug + 'static> TraceSink for StreamSink<W> {
+impl<W: io::Write + std::fmt::Debug + Send + 'static> TraceSink for StreamSink<W> {
     fn record(&mut self, span: &Span) {
         self.recorded += 1;
         let mut line = span_jsonl(span);
@@ -563,6 +569,179 @@ impl TraceSink for TeeSink {
     fn reset(&mut self) {
         self.a.reset();
         self.b.reset();
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Deterministic 1-in-N span sampler in front of another sink.
+///
+/// Long replays emit one span per flash operation — a multi-billion-op run
+/// would evict everything from a [`RingSink`] and grow a [`StreamSink`]
+/// journal without bound. `SamplingSink` forwards every `every`-th span
+/// (the first, the `every+1`-th, …) to the inner sink and counts the rest
+/// as dropped, so downstream exports still see an unbiased, evenly spaced
+/// subsample and the loss stays visible in [`TraceSink::dropped`].
+///
+/// The selection depends only on the span's position in the stream — no
+/// clocks, no RNG — so two replays of the same trace sample the *same*
+/// spans (the same determinism contract the replay drivers obey).
+#[derive(Debug)]
+pub struct SamplingSink {
+    inner: Box<dyn TraceSink>,
+    every: u64,
+    /// Spans offered since the last reset.
+    seen: u64,
+    /// Spans this sampler itself declined to forward.
+    sampled_out: u64,
+}
+
+impl SamplingSink {
+    /// Forward one span in `every` (at least 1; `1` forwards everything)
+    /// to `inner`.
+    pub fn new(inner: Box<dyn TraceSink>, every: u64) -> Self {
+        SamplingSink {
+            inner,
+            every: every.max(1),
+            seen: 0,
+            sampled_out: 0,
+        }
+    }
+
+    /// The sampling period N (one span in N is forwarded).
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Spans forwarded to the inner sink since the last reset.
+    pub fn kept(&self) -> u64 {
+        self.seen - self.sampled_out
+    }
+
+    /// Spans this sampler declined to forward since the last reset (not
+    /// counting anything the inner sink itself dropped).
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &dyn TraceSink {
+        self.inner.as_ref()
+    }
+
+    /// Unwrap, returning the inner sink.
+    pub fn into_inner(self) -> Box<dyn TraceSink> {
+        self.inner
+    }
+}
+
+impl TraceSink for SamplingSink {
+    fn record(&mut self, span: &Span) {
+        let keep = self.seen % self.every == 0;
+        self.seen += 1;
+        if keep {
+            self.inner.record(span);
+        } else {
+            self.sampled_out += 1;
+        }
+    }
+
+    fn recorded(&self) -> u64 {
+        self.seen
+    }
+
+    fn dropped(&self) -> u64 {
+        self.sampled_out + self.inner.dropped()
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    fn reset(&mut self) {
+        self.seen = 0;
+        self.sampled_out = 0;
+        self.inner.reset();
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// An unbounded in-memory span buffer.
+///
+/// Unlike [`RingSink`] it never evicts, so it is only suitable for runs
+/// whose span count is bounded by construction — its home is the sharded
+/// replay engine, where each shard records a *window* of spans into a
+/// `BufferSink` and the coordinator drains the buffers back into the real
+/// sink in canonical order after every window.
+#[derive(Debug, Default)]
+pub struct BufferSink {
+    spans: Vec<Span>,
+}
+
+impl BufferSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BufferSink::default()
+    }
+
+    /// Spans recorded since the last [`BufferSink::clear`], in record
+    /// order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Forget everything buffered (capacity is kept for reuse).
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn record(&mut self, span: &Span) {
+        self.spans.push(span.clone());
+    }
+
+    fn recorded(&self) -> u64 {
+        self.spans.len() as u64
+    }
+
+    fn dropped(&self) -> u64 {
+        0
+    }
+
+    fn reset(&mut self) {
+        self.clear();
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -1,7 +1,7 @@
 use dloop::DloopFtl;
 use dloop_baselines::DftlFtl;
 use dloop_ftl_kit::config::SsdConfig;
-use dloop_ftl_kit::device::SsdDevice;
+use dloop_ftl_kit::device::{RunConfig, SsdDevice};
 use dloop_ftl_kit::ftl::Ftl;
 use dloop_workloads::WorkloadProfile;
 
@@ -16,7 +16,7 @@ fn main() {
     ];
     for (name, ftl) in ftls {
         let mut d = SsdDevice::new(config.clone(), ftl);
-        let r = d.run_trace(&trace.requests);
+        let r = d.run_with(&trace.requests, RunConfig::open());
         println!("{name:6} MRT={:10.3}ms WAF={:.2} GCs={} erases={} cb={} ext={} skips={} tr={} tw={} putil={:.2}/{:.2} cutil={:.2} live={} phys={}",
             r.mean_response_time_ms(), r.waf(), r.ftl.gc_invocations, r.total_erases,
             r.ftl.copyback_moves, r.ftl.external_moves, r.ftl.parity_skips,

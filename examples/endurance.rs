@@ -51,10 +51,10 @@ fn main() {
                 })
                 .collect();
             written_pages += reqs.len() as u64;
-            device.run_trace(&reqs);
+            device.run_with(&reqs, RunConfig::open());
             phases += 1;
         }
-        let report = device.run_trace(&[]);
+        let report = device.run_with(&[], RunConfig::open());
         let (wmin, _, wmax) = report.wear;
         println!(
             "{:<7} {:>9} {:>9} {:>9}/{:<4} {:>12.3}",

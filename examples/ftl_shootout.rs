@@ -53,7 +53,7 @@ fn main() {
         // Age the device to 75% full so GC economics show.
         let fill = sequential_fill(config.geometry().user_pages(), 0.75, 64);
         device.warm_up(&fill.requests);
-        let report = device.run_trace(&trace.requests);
+        let report = device.run_with(&trace.requests, RunConfig::open());
         device.audit().expect("consistent");
         println!(
             "{:<10} {:>10.4} {:>10.3} {:>8.2} {:>6.2} {:>8} {:>8} {:>7.1}",

@@ -48,7 +48,7 @@ fn main() {
                 }
             })
             .collect();
-        let report = device.run_trace(&reqs);
+        let report = device.run_with(&reqs, RunConfig::open());
         let delta = (
             report.ftl.gc_invocations - last.0,
             report.ftl.copyback_moves - last.1,

@@ -81,13 +81,16 @@ fn main() {
     // --- Bonus: the same effects, end to end through DLOOP -----------------
     let config = SsdConfig::paper_default();
     let mut device = SsdDevice::new(config.clone(), Box::new(DloopFtl::new(&config)));
-    let report = device.run_trace(&[HostRequest {
-        arrival: SimTime::ZERO,
-        lpn: 0,
-        pages: 64,
-        op: HostOp::Write,
-        ..HostRequest::default()
-    }]);
+    let report = device.run_with(
+        &[HostRequest {
+            arrival: SimTime::ZERO,
+            lpn: 0,
+            pages: 64,
+            op: HostOp::Write,
+            ..HostRequest::default()
+        }],
+        RunConfig::open(),
+    );
     println!(
         "\nend-to-end: one 64-page (128 KB) DLOOP write completes in {:.3} ms \
          across {} planes",

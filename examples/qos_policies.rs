@@ -90,12 +90,16 @@ fn main() {
         d.audit().unwrap();
     }
 
-    // …and one owned instance via `run_qos`, so the policy's internal
+    // …and one owned instance via `run_with_policy`, so the policy's internal
     // state can be audited after the replay: the fair-share buckets obey
     // an exact integer conservation law.
     let mut policy = FairSharePolicy::new(4, 32);
     let mut d = fresh();
-    d.run_qos(&trace.requests, 32, &mut policy);
+    d.run_with_policy(
+        &trace.requests,
+        RunConfig::default().queue_depth(32),
+        &mut policy,
+    );
     println!("\nfair-share bucket audit (TOKEN_UNITS per token):");
     for t in policy.tenants() {
         println!(

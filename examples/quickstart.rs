@@ -29,7 +29,7 @@ fn main() {
         42,
     );
 
-    let report = device.run_trace(&trace.requests);
+    let report = device.run_with(&trace.requests, RunConfig::open());
     println!("{}", report.summary());
     println!(
         "mean response time : {:.4} ms",

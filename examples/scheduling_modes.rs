@@ -49,25 +49,25 @@ fn main() {
     };
 
     let mut d = fresh(&config);
-    let r = d.run_trace(&trace.requests);
+    let r = d.run_with(&trace.requests, RunConfig::open());
     print_row("open loop", &r);
     d.audit().unwrap();
 
     for qd in [1usize, 8, 32] {
         let mut d = fresh(&config);
-        let r = d.run_trace_closed(&trace.requests, qd);
+        let r = d.run_with(&trace.requests, RunConfig::closed(qd));
         print_row(&format!("closed loop QD={qd}"), &r);
         d.audit().unwrap();
     }
 
     let mut d = fresh(&config);
-    let r = d.run_trace_gated(&trace.requests);
+    let r = d.run_with(&trace.requests, RunConfig::gated());
     print_row("issue-gated (FlashSim)", &r);
     d.audit().unwrap();
 
     for qd in [1usize, 8, 32] {
         let mut d = fresh(&config);
-        let r = d.run_trace_ncq(&trace.requests, qd);
+        let r = d.run_with(&trace.requests, RunConfig::ncq(qd));
         print_row(&format!("NCQ QD={qd}"), &r);
         d.audit().unwrap();
     }

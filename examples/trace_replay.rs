@@ -62,7 +62,7 @@ fn main() {
         other => panic!("unknown ftl {other:?} (expected dloop|dftl|fast)"),
     };
     let mut device = SsdDevice::new(config, ftl);
-    let report = device.run_trace(&trace.requests);
+    let report = device.run_with(&trace.requests, RunConfig::open());
     println!("{}", report.summary());
     device.audit().expect("consistent after replay");
 }

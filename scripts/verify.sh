@@ -155,6 +155,48 @@ depth1_gauge="$(cut -d, -f7 <<<"$depth1_row")"
 }
 rm -rf "$host_out"
 
+echo "==> shard-identity smoke (2-shard vs sequential fingerprint, fast path + fallback)"
+# The parallel engine's identity gate (claim C15) at property-test
+# strength runs under `cargo test` above; this smoke re-runs the two
+# named anchors release-fast: the plane-local fast path must ENGAGE
+# (witnessed by RunReport::shard_timing) and match sequential
+# bit-for-bit, and the all-mode corpus pins the windowed fallback.
+cargo test -q --release --offline --test replay_modes plane_local_fast_path_engages
+cargo test -q --release --offline --test replay_modes sharded_replay_is_bit_identical
+
+echo "==> shard sweep (BENCH_shard.json perf trajectory)"
+# A reduced-size pass of the `shard` experiment: replays one aged-device
+# overwrite trace at 1/2/4/8 shards, requires every sharded fingerprint
+# to equal the sequential one, and emits the BENCH_shard.json perf
+# trajectory (speedup measured on the engine's critical path — serial
+# partition + slowest shard task + serial merge — with raw wall_ms and
+# host_cpus recorded alongside; see crates/bench/src/experiments/shard.rs).
+# The committed repo-root BENCH_shard.json comes from the full
+# multi-million-op run (`dloop-experiments shard`, 2M requests).
+shard_out="$(mktemp -d)"
+cargo run --release --offline -q -p dloop-bench --bin dloop-experiments -- \
+    shard --requests 200000 --out "$shard_out" >/dev/null
+[[ -s "$shard_out/BENCH_shard.json" ]] || {
+    echo "error: shard sweep did not produce BENCH_shard.json" >&2
+    exit 1
+}
+grep -q '"all_fingerprints_match": true' "$shard_out/BENCH_shard.json" || {
+    echo "error: sharded replay fingerprints diverged:" >&2
+    cat "$shard_out/BENCH_shard.json" >&2
+    exit 1
+}
+grep -q '"pass": true' "$shard_out/BENCH_shard.json" || {
+    echo "error: shard sweep below the 1.5x speedup gate at 4 shards:" >&2
+    cat "$shard_out/BENCH_shard.json" >&2
+    exit 1
+}
+shard_header="$(head -n 1 "$shard_out/shard_0.csv")"
+[[ "$shard_header" == "shards,wall_ms,critical_path_ms,speedup,fingerprint_match,pages_played" ]] || {
+    echo "error: shard_0.csv header drifted: $shard_header" >&2
+    exit 1
+}
+rm -rf "$shard_out"
+
 echo "==> cargo doc --no-deps (every workspace crate, must be warning-free)"
 for crate in dloop-simkit dloop-faults dloop-nand dloop-ftl-kit dloop \
     dloop-baselines dloop-workloads dloop-host dloop-bench dloop-repro; do

@@ -61,7 +61,7 @@ pub mod prelude {
     pub use dloop::{DloopConfig, DloopFtl, HotPlaneDloopFtl};
     pub use dloop_faults::{FaultConfig, MediaOutcome};
     pub use dloop_ftl_kit::config::{FtlKind, SsdConfig};
-    pub use dloop_ftl_kit::device::{ReplayMode, SsdDevice};
+    pub use dloop_ftl_kit::device::{ReplayMode, RunConfig, SsdDevice};
     pub use dloop_ftl_kit::ftl::Ftl;
     pub use dloop_ftl_kit::metrics::RunReport;
     pub use dloop_ftl_kit::request::{HostOp, HostRequest, TenantId};
@@ -72,5 +72,7 @@ pub mod prelude {
     pub use dloop_host::{HostConfig, HostRunReport, HostStack};
     pub use dloop_nand::geometry::Geometry;
     pub use dloop_nand::timing::TimingConfig;
-    pub use dloop_simkit::{RingSink, SimDuration, SimTime, StreamSink, TeeSink, TraceSink};
+    pub use dloop_simkit::{
+        BufferSink, RingSink, SamplingSink, SimDuration, SimTime, StreamSink, TeeSink, TraceSink,
+    };
 }

@@ -6,7 +6,7 @@
 use dloop_repro::baselines::{DftlFtl, FastFtl, IdealPageMapFtl};
 use dloop_repro::dloop_ftl::{DloopFtl, HotPlaneDloopFtl};
 use dloop_repro::ftl_kit::config::{FtlKind, SsdConfig};
-use dloop_repro::ftl_kit::device::SsdDevice;
+use dloop_repro::ftl_kit::device::{RunConfig, SsdDevice};
 use dloop_repro::ftl_kit::ftl::Ftl;
 use dloop_repro::ftl_kit::metrics::RunReport;
 use dloop_repro::workloads::WorkloadProfile;
@@ -27,7 +27,7 @@ fn run_once(kind: FtlKind, seed: u64) -> RunReport {
     profile.footprint_bytes = 1 << 28;
     let trace = profile.generate_scaled(seed, config.geometry().page_size, 4000);
     let mut device = SsdDevice::new(config.clone(), build(kind, &config));
-    device.run_trace(&trace.requests)
+    device.run_with(&trace.requests, RunConfig::open())
 }
 
 fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64, String, Vec<u64>) {

@@ -5,7 +5,7 @@
 use dloop_repro::baselines::{DftlFtl, FastFtl, IdealPageMapFtl};
 use dloop_repro::dloop_ftl::{DloopFtl, HotPlaneDloopFtl};
 use dloop_repro::ftl_kit::config::{FtlKind, SsdConfig};
-use dloop_repro::ftl_kit::device::SsdDevice;
+use dloop_repro::ftl_kit::device::{RunConfig, SsdDevice};
 use dloop_repro::ftl_kit::ftl::Ftl;
 use dloop_repro::ftl_kit::request::{HostOp, HostRequest};
 use dloop_repro::simkit::{SimRng, SimTime};
@@ -68,7 +68,7 @@ fn written_data_stays_readable_under_gc_pressure() {
             reqs.push(w(t, lpn, 1));
             t += 120;
         }
-        device.run_trace(&reqs);
+        device.run_with(&reqs, RunConfig::open());
         device
             .audit()
             .unwrap_or_else(|e| panic!("{kind:?}: audit failed: {e}"));
@@ -84,7 +84,7 @@ fn written_data_stays_readable_under_gc_pressure() {
                 );
             }
         }
-        let before = device.run_trace(&[]).hw.reads;
+        let before = device.run_with(&[], RunConfig::open()).hw.reads;
         let read_reqs: Vec<_> = written
             .iter()
             .map(|&lpn| {
@@ -92,7 +92,7 @@ fn written_data_stays_readable_under_gc_pressure() {
                 r(t, lpn, 1)
             })
             .collect();
-        let report = device.run_trace(&read_reqs);
+        let report = device.run_with(&read_reqs, RunConfig::open());
         // At least one flash read per written page (translation-page reads
         // for CMT misses come on top for the demand-mapped schemes).
         assert!(
@@ -112,7 +112,7 @@ fn unwritten_reads_touch_nothing() {
     for kind in ALL_KINDS {
         let config = SsdConfig::tiny_test();
         let mut device = SsdDevice::new(config.clone(), build(kind, &config));
-        let report = device.run_trace(&[r(0, 5000, 4), r(100, 9999, 1)]);
+        let report = device.run_with(&[r(0, 5000, 4), r(100, 9999, 1)], RunConfig::open());
         assert_eq!(report.hw.reads, 0, "{kind:?}");
     }
 }
@@ -133,7 +133,7 @@ fn aged_device_survives_random_updates() {
         let reqs: Vec<_> = (0..6000)
             .map(|i| w(i * 150, rng.below(user * 7 / 10), 1))
             .collect();
-        let report = device.run_trace(&reqs);
+        let report = device.run_with(&reqs, RunConfig::open());
         device.audit().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
         assert!(
             report.total_erases > 0,
@@ -152,7 +152,7 @@ fn paper_workloads_run_clean_on_all_ftls() {
         for kind in ALL_KINDS {
             let config = SsdConfig::micro_gc_test();
             let mut device = SsdDevice::new(config.clone(), build(kind, &config));
-            let report = device.run_trace(&trace.requests);
+            let report = device.run_with(&trace.requests, RunConfig::open());
             assert_eq!(report.requests_completed, trace.len() as u64);
             device
                 .audit()
@@ -168,7 +168,7 @@ fn multi_page_requests_account_pages() {
     for kind in ALL_KINDS {
         let config = SsdConfig::tiny_test();
         let mut device = SsdDevice::new(config.clone(), build(kind, &config));
-        let report = device.run_trace(&[w(0, 0, 16), r(20_000, 0, 16)]);
+        let report = device.run_with(&[w(0, 0, 16), r(20_000, 0, 16)], RunConfig::open());
         assert_eq!(report.pages_written, 16, "{kind:?}");
         assert_eq!(report.pages_read, 16, "{kind:?}");
         device.audit().unwrap();
@@ -190,9 +190,9 @@ fn background_gc_changes_timing_not_state() {
     bg_cfg.background_gc = true;
 
     let mut sync_dev = SsdDevice::new(sync_cfg.clone(), build(FtlKind::Dloop, &sync_cfg));
-    let sync_rep = sync_dev.run_trace(&mk_reqs());
+    let sync_rep = sync_dev.run_with(&mk_reqs(), RunConfig::open());
     let mut bg_dev = SsdDevice::new(bg_cfg.clone(), build(FtlKind::Dloop, &bg_cfg));
-    let bg_rep = bg_dev.run_trace(&mk_reqs());
+    let bg_rep = bg_dev.run_with(&mk_reqs(), RunConfig::open());
 
     // Identical state trajectory…
     assert_eq!(sync_rep.total_erases, bg_rep.total_erases);
@@ -225,7 +225,7 @@ fn page_size_variants_run_clean() {
             5,
         );
         let mut device = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
-        let report = device.run_trace(&trace.requests);
+        let report = device.run_with(&trace.requests, RunConfig::open());
         assert_eq!(report.requests_completed, 2000);
         device
             .audit()
@@ -244,7 +244,7 @@ fn dloop_wear_is_balanced() {
     let reqs: Vec<_> = (0..25_000u64)
         .map(|i| w(i * 80, rng.below(user / 2), 1))
         .collect();
-    let report = device.run_trace(&reqs);
+    let report = device.run_with(&reqs, RunConfig::open());
     let (_, mean, max) = report.wear;
     assert!(mean > 1.0, "need real wear to judge balance (mean {mean})");
     assert!(
@@ -263,10 +263,10 @@ fn closed_loop_bounds_queueing() {
     let burst: Vec<_> = (0..500u64).map(|i| w(0, i % 300, 1)).collect();
 
     let mut open_dev = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
-    let open = open_dev.run_trace(&burst);
+    let open = open_dev.run_with(&burst, RunConfig::open());
 
     let mut closed_dev = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
-    let closed = closed_dev.run_trace_closed(&burst, 4);
+    let closed = closed_dev.run_with(&burst, RunConfig::closed(4));
 
     // Same state trajectory (issue order identical).
     assert_eq!(open.total_programs, closed.total_programs);
@@ -288,7 +288,7 @@ fn closed_loop_qd1_serialises() {
     // Ten writes to the same plane, all arriving at once.
     let planes = config.geometry().total_planes() as u64;
     let burst: Vec<_> = (0..10u64).map(|i| w(0, i * planes, 1)).collect();
-    let report = device.run_trace_closed(&burst, 1);
+    let report = device.run_with(&burst, RunConfig::closed(1));
     // Each write: 0.2 cmd + 51.2 xfer + 200 program = 251.4 us, QD1 means
     // the next one starts only after the previous completed.
     let expect_ms = 10.0 * 0.2514;
@@ -317,10 +317,10 @@ fn gated_mode_matches_state_and_orders_sanely() {
         .collect();
 
     let mut reserve_dev = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
-    let reserve = reserve_dev.run_trace(&reqs);
+    let reserve = reserve_dev.run_with(&reqs, RunConfig::open());
 
     let mut gated_dev = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
-    let gated = gated_dev.run_trace_gated(&reqs);
+    let gated = gated_dev.run_with(&reqs, RunConfig::gated());
 
     // Translation happens at arrival in both modes: identical state.
     assert_eq!(reserve.total_programs, gated.total_programs);
@@ -350,7 +350,7 @@ fn gated_mode_skips_blocked_ops() {
     // all arriving together.
     let mut reqs: Vec<_> = (0..10u64).map(|i| w(0, i * planes, 1)).collect();
     reqs.push(w(0, 1, 1)); // plane 1
-    let report = device.run_trace_gated(&reqs);
+    let report = device.run_with(&reqs, RunConfig::gated());
     // The plane-1 write is not serialised behind plane 0's backlog: its
     // response is about one write service, not ten.
     assert!(
@@ -372,7 +372,7 @@ fn latency_breakdown_is_populated() {
     let reqs: Vec<_> = (0..8000u64)
         .map(|i| w(i * 60, rng.below(user / 2), 1))
         .collect();
-    let report = device.run_trace(&reqs);
+    let report = device.run_with(&reqs, RunConfig::open());
     assert!(report.wait_ms.count() > 0);
     assert!(report.service_ms.count() > 0);
     assert!(
@@ -397,11 +397,11 @@ fn replay_modes_agree_on_state_for_all_ftls() {
             .collect();
 
         let mut open = SsdDevice::new(config.clone(), build(kind, &config));
-        let a = open.run_trace(&reqs);
+        let a = open.run_with(&reqs, RunConfig::open());
         let mut closed = SsdDevice::new(config.clone(), build(kind, &config));
-        let b = closed.run_trace_closed(&reqs, 16);
+        let b = closed.run_with(&reqs, RunConfig::closed(16));
         let mut gated = SsdDevice::new(config.clone(), build(kind, &config));
-        let c = gated.run_trace_gated(&reqs);
+        let c = gated.run_with(&reqs, RunConfig::gated());
 
         assert_eq!(a.total_programs, b.total_programs, "{kind:?} closed");
         assert_eq!(a.total_programs, c.total_programs, "{kind:?} gated");

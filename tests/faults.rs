@@ -8,7 +8,7 @@ use dloop_repro::baselines::{DftlFtl, FastFtl, IdealPageMapFtl};
 use dloop_repro::dloop_ftl::DloopFtl;
 use dloop_repro::faults::{FaultConfig, FaultPlan, MediaCounters};
 use dloop_repro::ftl_kit::config::{FtlKind, SsdConfig};
-use dloop_repro::ftl_kit::device::SsdDevice;
+use dloop_repro::ftl_kit::device::{RunConfig, SsdDevice};
 use dloop_repro::ftl_kit::ftl::Ftl;
 use dloop_repro::ftl_kit::metrics::RunReport;
 use dloop_repro::ftl_kit::request::{HostOp, HostRequest};
@@ -97,7 +97,7 @@ fn requests(ops: &[Op]) -> Vec<HostRequest> {
 fn drive(kind: FtlKind, fault: &FaultConfig, ops: &[Op]) -> (SsdDevice, RunReport) {
     let config = SsdConfig::micro_gc_test().with_fault(fault.clone());
     let mut device = SsdDevice::new(config.clone(), build(kind, &config));
-    let report = device.run_trace(&requests(ops));
+    let report = device.run_with(&requests(ops), RunConfig::open());
     (device, report)
 }
 
@@ -167,9 +167,9 @@ fn replay_modes_agree_on_fault_outcomes() {
         for mode in 0..3u32 {
             let mut device = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
             let report = match mode {
-                0 => device.run_trace(&reqs),
-                1 => device.run_trace_gated(&reqs),
-                _ => device.run_trace_closed(&reqs, 8),
+                0 => device.run_with(&reqs, RunConfig::open()),
+                1 => device.run_with(&reqs, RunConfig::gated()),
+                _ => device.run_with(&reqs, RunConfig::closed(8)),
             };
             device
                 .audit()
@@ -192,7 +192,7 @@ fn null_plan_is_identical_to_fault_free() {
             let (_, with_null) = drive(kind, &FaultConfig::none(), ops);
             let config = SsdConfig::micro_gc_test();
             let mut device = SsdDevice::new(config.clone(), build(kind, &config));
-            let plain = device.run_trace(&requests(ops));
+            let plain = device.run_with(&requests(ops), RunConfig::open());
             check_assert_eq!(
                 with_null.sim_end.as_nanos(),
                 plain.sim_end.as_nanos(),

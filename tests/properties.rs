@@ -11,7 +11,7 @@
 use dloop_repro::baselines::{DftlFtl, FastFtl, IdealPageMapFtl};
 use dloop_repro::dloop_ftl::{DloopFtl, HotPlaneDloopFtl};
 use dloop_repro::ftl_kit::config::{FtlKind, SsdConfig};
-use dloop_repro::ftl_kit::device::SsdDevice;
+use dloop_repro::ftl_kit::device::{RunConfig, SsdDevice};
 use dloop_repro::ftl_kit::ftl::Ftl;
 use dloop_repro::ftl_kit::request::{HostOp, HostRequest};
 use dloop_repro::nand::PageState;
@@ -88,7 +88,7 @@ fn drive(kind: FtlKind, ops: &[Op]) -> (SsdDevice, BTreeMap<u64, bool>) {
             }
         }
     }
-    device.run_trace(&reqs);
+    device.run_with(&reqs, RunConfig::open());
     (device, model)
 }
 
@@ -211,7 +211,7 @@ fn report_accounting_is_exact() {
                 ..HostRequest::default()
             });
         }
-        let report = device.run_trace(&reqs);
+        let report = device.run_with(&reqs, RunConfig::open());
         check_assert_eq!(report.requests_completed, ops.len() as u64);
         check_assert_eq!(report.pages_written, pages_w);
         check_assert_eq!(report.pages_read, pages_r);

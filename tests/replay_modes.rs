@@ -1,17 +1,23 @@
 //! Replay-mode agreement, tracing-purity, and QoS-policy properties.
 //!
-//! The device offers five replay modes — open arrivals
-//! ([`SsdDevice::run_trace`]), the FlashSim priority list
-//! ([`SsdDevice::run_trace_gated`]), a bounded host queue
-//! ([`SsdDevice::run_trace_closed`]), NCQ-style bounded reordering
-//! ([`SsdDevice::run_trace_ncq`]) and the QoS-policy window
-//! ([`SsdDevice::run_qos`]). They model different host-side
-//! scheduling, but all of them translate the same requests in the same
-//! order, so they must agree on everything *stateful*: pages served,
-//! flash page states, per-block erase counts, and the cross-layer audit.
-//! With an unbounded queue the closed mode degenerates to open arrivals
-//! exactly, report and all — zero-page requests included, which is the
-//! regression gate for the closed driver's freed-slot drain.
+//! The device offers five replay modes — open arrivals, the FlashSim
+//! priority list (gated), a bounded host queue (closed), NCQ-style
+//! bounded reordering and the QoS-policy window — all selected through
+//! the builder-style `RunConfig` consumed by `SsdDevice::run_with` (the
+//! legacy `run_trace*`/`run_qos` names remain as deprecated shims, pinned
+//! against their `RunConfig` equivalents below). They model different
+//! host-side scheduling, but all of them translate the same requests in
+//! the same order, so they must agree on everything *stateful*: pages
+//! served, flash page states, per-block erase counts, and the
+//! cross-layer audit. With an unbounded queue the closed mode
+//! degenerates to open arrivals exactly, report and all — zero-page
+//! requests included, which is the regression gate for the closed
+//! driver's freed-slot drain.
+//!
+//! The arrival-reserving modes additionally carry the sharded-engine
+//! identity (claim C15): `RunConfig::shards(n)` must leave the full
+//! report fingerprint and flash digest bit-identical to the sequential
+//! engine, for every replay mode, any shard count, tracing on or off.
 //!
 //! The gated scheduler additionally carries the wake-event contract:
 //! every resource-busy interval ends with a scheduled wake, so a replay
@@ -39,7 +45,7 @@ use dloop_repro::baselines::DftlFtl;
 use dloop_repro::dloop_ftl::DloopFtl;
 use dloop_repro::faults::FaultConfig;
 use dloop_repro::ftl_kit::config::{FtlKind, SsdConfig};
-use dloop_repro::ftl_kit::device::{ReplayMode, SsdDevice};
+use dloop_repro::ftl_kit::device::{ReplayMode, RunConfig, SsdDevice};
 use dloop_repro::ftl_kit::ftl::Ftl;
 use dloop_repro::ftl_kit::metrics::RunReport;
 use dloop_repro::ftl_kit::request::{HostOp, HostRequest};
@@ -121,6 +127,15 @@ enum Mode {
     Ncq(usize),
 }
 
+fn run_config(mode: Mode) -> RunConfig {
+    match mode {
+        Mode::Open => RunConfig::open(),
+        Mode::Gated => RunConfig::gated(),
+        Mode::Closed(depth) => RunConfig::closed(depth),
+        Mode::Ncq(depth) => RunConfig::ncq(depth),
+    }
+}
+
 fn run_mode(
     kind: FtlKind,
     config: &SsdConfig,
@@ -132,12 +147,7 @@ fn run_mode(
     if tracing {
         device.set_tracing(Some(1 << 16));
     }
-    let report = match mode {
-        Mode::Open => device.run_trace(reqs),
-        Mode::Gated => device.run_trace_gated(reqs),
-        Mode::Closed(depth) => device.run_trace_closed(reqs, depth),
-        Mode::Ncq(depth) => device.run_trace_ncq(reqs, depth),
-    };
+    let report = device.run_with(reqs, run_config(mode));
     (device, report)
 }
 
@@ -311,42 +321,272 @@ fn replay_modes_agree_on_served_work_and_flash_state() {
     });
 }
 
-/// The `run_trace*` entry points are thin wrappers over the unified
-/// driver: `run(reqs, mode)` produces bit-identical reports and flash
-/// state for every mode. This is the API contract the redesign keeps.
+/// API-redesign contract: every legacy entry point — the `ReplayMode`
+/// dispatcher and each `#[deprecated]` wrapper — is bit-identical to its
+/// `RunConfig` spelling, and `RunConfig::default()` reproduces
+/// `ReplayMode::Open` exactly.
 #[test]
-fn unified_driver_agrees_with_wrapper_entry_points() {
+#[allow(deprecated)]
+fn legacy_entry_points_match_their_run_config_equivalents() {
     let gen = check::vec_of(op_gen(600), 1..120);
     Checker::new().cases(8).run(&gen, |ops| {
         let reqs = requests(ops);
         let config = SsdConfig::micro_gc_test();
-        let modes = [
-            (Mode::Open, ReplayMode::Open),
-            (Mode::Gated, ReplayMode::Gated),
+        let fresh = || SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
+        let depth = 8usize;
+
+        // (wrapper replay, ReplayMode, RunConfig) triples per mode.
+        type Runner = Box<dyn Fn(&mut SsdDevice) -> RunReport>;
+        let reqs2 = reqs.clone();
+        let reqs3 = reqs.clone();
+        let reqs4 = reqs.clone();
+        let reqs5 = reqs.clone();
+        let modes: Vec<(&str, Runner, ReplayMode, RunConfig)> = vec![
             (
-                Mode::Closed(reqs.len() + 1),
-                ReplayMode::Closed {
-                    queue_depth: reqs.len() + 1,
-                },
+                "open",
+                Box::new(move |d: &mut SsdDevice| d.run_trace(&reqs2)),
+                ReplayMode::Open,
+                RunConfig::open(),
             ),
-            (Mode::Ncq(8), ReplayMode::Ncq { queue_depth: 8 }),
+            (
+                "gated",
+                Box::new(move |d: &mut SsdDevice| d.run_trace_gated(&reqs3)),
+                ReplayMode::Gated,
+                RunConfig::gated(),
+            ),
+            (
+                "closed",
+                Box::new(move |d: &mut SsdDevice| d.run_trace_closed(&reqs4, depth)),
+                ReplayMode::Closed { queue_depth: depth },
+                RunConfig::closed(depth),
+            ),
+            (
+                "ncq",
+                Box::new(move |d: &mut SsdDevice| d.run_trace_ncq(&reqs5, depth)),
+                ReplayMode::Ncq { queue_depth: depth },
+                RunConfig::ncq(depth),
+            ),
         ];
-        for (wrapper_mode, replay_mode) in modes {
-            let (d_w, r_w) = run_mode(FtlKind::Dloop, &config, &reqs, wrapper_mode, false);
-            let mut d_u = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
-            let r_u = d_u.run(&reqs, replay_mode);
+        for (name, wrapper, replay_mode, cfg) in modes {
+            let mut d_w = fresh();
+            let r_w = wrapper(&mut d_w);
+            let mut d_m = fresh();
+            let r_m = d_m.run(&reqs, replay_mode);
+            let mut d_c = fresh();
+            let r_c = d_c.run_with(&reqs, cfg);
             check_assert_eq!(
                 fingerprint(&r_w),
-                fingerprint(&r_u),
-                "wrapper and unified driver disagree ({:?})",
-                replay_mode
+                fingerprint(&r_c),
+                "deprecated wrapper and RunConfig disagree ({})",
+                name
+            );
+            check_assert_eq!(
+                fingerprint(&r_m),
+                fingerprint(&r_c),
+                "ReplayMode dispatch and RunConfig disagree ({})",
+                name
             );
             check_assert_eq!(
                 flash_digest(&d_w),
-                flash_digest(&d_u),
-                "flash state diverged ({:?})",
-                replay_mode
+                flash_digest(&d_c),
+                "flash state diverged ({})",
+                name
             );
+        }
+
+        // The QoS wrapper: run_qos(reqs, depth, &mut policy) must equal
+        // both run_with_policy and the owning RunConfig::qos spelling.
+        let mut d_w = fresh();
+        let mut policy = dloop_repro::ftl_kit::sched::NcqPolicy;
+        let r_w = d_w.run_qos(&reqs, depth, &mut policy);
+        let mut d_p = fresh();
+        let r_p = d_p.run_with_policy(
+            &reqs,
+            RunConfig::default().queue_depth(depth),
+            &mut dloop_repro::ftl_kit::sched::NcqPolicy,
+        );
+        let mut d_c = fresh();
+        let r_c = d_c.run_with(&reqs, RunConfig::qos(QosSpec::Ncq).queue_depth(depth));
+        check_assert_eq!(fingerprint(&r_w), fingerprint(&r_p), "run_qos wrapper");
+        check_assert_eq!(fingerprint(&r_p), fingerprint(&r_c), "qos spellings");
+
+        // Defaults are Open: `run_with(reqs, RunConfig::default())` is
+        // bit-identical to `run(reqs, ReplayMode::Open)`.
+        let mut d_o = fresh();
+        let r_o = d_o.run(&reqs, ReplayMode::Open);
+        let mut d_d = fresh();
+        let r_d = d_d.run_with(&reqs, RunConfig::default());
+        check_assert_eq!(
+            fingerprint(&r_o),
+            fingerprint(&r_d),
+            "RunConfig::default() must reproduce ReplayMode::Open"
+        );
+        check_assert_eq!(flash_digest(&d_o), flash_digest(&d_d));
+        Ok(())
+    });
+}
+
+/// The sharded engine identity (claim C15): for every replay mode and
+/// any shard count — including counts above the channel count, which
+/// clamp — `RunConfig::shards(n)` leaves the full report fingerprint and
+/// the flash digest bit-identical to the sequential engine. The config
+/// here has four channels so a 4-shard run genuinely fans out; the
+/// queueing modes (gated/NCQ/QoS) fall back to the sequential scheduler
+/// by design and must be identical trivially.
+#[test]
+fn sharded_replay_is_bit_identical_to_sequential() {
+    let gen = check::vec_of(op_gen(1200), 1..200);
+    let config = SsdConfig {
+        channels: 4,
+        ..SsdConfig::micro_gc_test()
+    };
+    Checker::new().cases(8).run(&gen, |ops| {
+        let reqs = requests(ops);
+        for kind in [FtlKind::Dloop, FtlKind::Dftl] {
+            let fresh = || SsdDevice::new(config.clone(), build(kind, &config));
+            let configs: [(&str, fn() -> RunConfig); 6] = [
+                ("open", RunConfig::open),
+                ("closed(3)", || RunConfig::closed(3)),
+                ("closed(64)", || RunConfig::closed(64)),
+                ("gated", RunConfig::gated),
+                ("ncq(4)", || RunConfig::ncq(4)),
+                ("qos(fair)", || RunConfig::qos(QosSpec::fair_share())),
+            ];
+            for (name, cfg) in configs {
+                let mut seq_dev = fresh();
+                let seq = seq_dev.run_with(&reqs, cfg());
+                for shards in [2usize, 4, 64] {
+                    let mut par_dev = fresh();
+                    let par = par_dev.run_with(&reqs, cfg().shards(shards));
+                    check_assert_eq!(
+                        fingerprint(&seq),
+                        fingerprint(&par),
+                        "{:?} {} sharded({}) report diverged",
+                        kind,
+                        name,
+                        shards
+                    );
+                    check_assert_eq!(
+                        flash_digest(&seq_dev),
+                        flash_digest(&par_dev),
+                        "{:?} {} sharded({}) flash state diverged",
+                        kind,
+                        name,
+                        shards
+                    );
+                    par_dev
+                        .audit()
+                        .map_err(|e| format!("{kind:?} {name}: {e}"))?;
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// The plane-local fast path (DESIGN.md §3f) must actually *engage* —
+/// not just fall back to the windowed engine — when its preconditions
+/// hold: open arrivals, a fully-resident CMT, no media model, and every
+/// plane at or above the GC threshold. `RunReport::shard_timing` is the
+/// witness (only the fast path records it). The run ages the device
+/// into steady GC first, overwrites a 90 % hot region so collections
+/// keep every plane above threshold, and then checks the served run is
+/// bit-identical to sequential and leaves an auditable device.
+#[test]
+fn plane_local_fast_path_engages_and_is_bit_identical() {
+    use dloop_repro::workloads::synth::{sequential_fill, uniform_random, UniformParams};
+    let base = SsdConfig {
+        channels: 4,
+        ..SsdConfig::micro_gc_test()
+    };
+    let config = SsdConfig {
+        cmt_capacity: base.geometry().user_pages() as usize,
+        ..base
+    };
+    let geometry = config.geometry();
+    let fill = sequential_fill(geometry.user_pages(), 0.9, 16);
+    let trace = uniform_random(
+        &UniformParams {
+            requests: 3_000,
+            write_ratio: 1.0,
+            pages_per_req: 1,
+            space_pages: geometry.user_pages() * 9 / 10,
+            rate_per_sec: 1e9,
+        },
+        7,
+    );
+    let fresh = || {
+        let mut d = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
+        d.run_with(&fill.requests, RunConfig::open());
+        d
+    };
+    let mut seq_dev = fresh();
+    let seq = seq_dev.run_with(&trace.requests, RunConfig::open());
+    assert!(
+        seq.shard_timing.is_none(),
+        "sequential runs must not report shard timing"
+    );
+    for shards in [2usize, 4] {
+        let mut par_dev = fresh();
+        let par = par_dev.run_with(&trace.requests, RunConfig::open().shards(shards));
+        let timing = par
+            .shard_timing
+            .as_ref()
+            .expect("the plane-local fast path must serve this run");
+        assert_eq!(timing.worker_ms.len(), shards);
+        assert!(timing.critical_path_ms() > 0.0);
+        assert_eq!(
+            fingerprint(&seq),
+            fingerprint(&par),
+            "fast-path report diverged at {shards} shards"
+        );
+        assert_eq!(
+            flash_digest(&seq_dev),
+            flash_digest(&par_dev),
+            "fast-path flash state diverged at {shards} shards"
+        );
+        par_dev.audit().unwrap_or_else(|e| panic!("audit: {e}"));
+    }
+}
+
+/// Sharded tracing merges per-shard span buffers back into the exact
+/// sequential span stream — same spans, same order — and tracing stays
+/// pure observation (identical report fingerprint) under sharding.
+#[test]
+fn sharded_tracing_reproduces_the_sequential_span_stream() {
+    use dloop_repro::simkit::trace::{span_jsonl, BufferSink};
+    let gen = check::vec_of(op_gen(900), 1..150);
+    let config = SsdConfig {
+        channels: 4,
+        ..SsdConfig::micro_gc_test()
+    };
+    Checker::new().cases(6).run(&gen, |ops| {
+        let reqs = requests(ops);
+        let spans_of = |shards: usize| {
+            let mut device = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
+            let cfg = RunConfig::closed(6)
+                .shards(shards)
+                .attach_sink(Box::new(BufferSink::new()));
+            let report = device.run_with(&reqs, cfg);
+            let buf = device
+                .detach_sink()
+                .expect("sink attached")
+                .into_any()
+                .downcast::<BufferSink>()
+                .expect("buffer sink type");
+            let stream: Vec<String> = buf.spans().iter().map(span_jsonl).collect();
+            (stream, report)
+        };
+        let (seq_stream, seq_report) = spans_of(1);
+        let (par_stream, par_report) = spans_of(4);
+        check_assert_eq!(
+            fingerprint(&seq_report),
+            fingerprint(&par_report),
+            "tracing must stay pure under sharding"
+        );
+        check_assert_eq!(seq_stream.len(), par_stream.len(), "span counts");
+        for (i, (s, p)) in seq_stream.iter().zip(&par_stream).enumerate() {
+            check_assert_eq!(s, p, "span {} diverged", i);
         }
         Ok(())
     });
@@ -501,6 +741,7 @@ fn unbounded_interleaved_loop_reproduces_the_staged_pipeline() {
             split_pages: 2,
             merge: true,
             drain_cache: true,
+            device_shards: 1,
         };
         let mut d_live = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
         let live = HostStack::new(host_cfg.clone()).run(&mut d_live, &reqs, ReplayMode::Open);
@@ -522,6 +763,68 @@ fn unbounded_interleaved_loop_reproduces_the_staged_pipeline() {
             flash_digest(&d_staged),
             "flash state diverged underneath"
         );
+        Ok(())
+    });
+}
+
+/// `HostConfig::device_shards` is wall-clock-only: a staged host run
+/// whose device plays back on four shards produces a host report
+/// fingerprint (and device report, and flash state) bit-identical to
+/// the sequential `device_shards = 1` run, with the full host pipeline
+/// — cache, split/merge, doorbell batching, interrupt coalescing —
+/// turned on.
+#[test]
+fn staged_host_runs_are_shard_invariant() {
+    use dloop_repro::host::{HostConfig, HostStack};
+
+    let gen = (check::vec_of(op_gen(600), 1..100), check::u8s(1..4));
+    Checker::new().cases(6).run(&gen, |(ops, queues)| {
+        let reqs = tag_tenants(requests(ops), *queues as u16);
+        let config = SsdConfig {
+            channels: 4,
+            ..SsdConfig::micro_gc_test()
+        };
+        let host_cfg = HostConfig {
+            queues: *queues as u32,
+            doorbell_batch: 3,
+            coalesce_threshold: 3,
+            coalesce_timeout: Some(SimDuration::from_micros(60)),
+            cache_pages: 96,
+            dirty_ratio: 0.5,
+            cache_hit_ns: 900,
+            split_pages: 2,
+            merge: true,
+            drain_cache: true,
+            ..HostConfig::passthrough()
+        };
+        for mode in [ReplayMode::Open, ReplayMode::Closed { queue_depth: 6 }] {
+            let mut d_seq = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
+            let seq = HostStack::new(host_cfg.clone()).run_staged(&mut d_seq, &reqs, mode);
+            let mut d_par = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
+            let par = HostStack::new(HostConfig {
+                device_shards: 4,
+                ..host_cfg.clone()
+            })
+            .run_staged(&mut d_par, &reqs, mode);
+            check_assert_eq!(
+                seq.fingerprint(),
+                par.fingerprint(),
+                "host report diverged under device_shards = 4 ({:?})",
+                mode
+            );
+            check_assert_eq!(
+                fingerprint(&seq.device),
+                fingerprint(&par.device),
+                "device reports diverged under device_shards = 4 ({:?})",
+                mode
+            );
+            check_assert_eq!(
+                flash_digest(&d_seq),
+                flash_digest(&d_par),
+                "flash state diverged under device_shards = 4 ({:?})",
+                mode
+            );
+        }
         Ok(())
     });
 }
@@ -798,9 +1101,9 @@ fn non_discriminating_qos_policies_are_bit_identical_to_ncq() {
 
 /// Fair-share token buckets obey an exact integer conservation law per
 /// tenant: `initial + refilled − issued × TOKEN_UNITS == balance`. The
-/// policy instance is handed to [`SsdDevice::run_qos`] directly so the
-/// buckets can be audited after the replay; every tenant that did flash
-/// work must also have been charged for it.
+/// policy instance is handed to `SsdDevice::run_with_policy` directly so
+/// the buckets can be audited after the replay; every tenant that did
+/// flash work must also have been charged for it.
 #[test]
 fn fair_share_token_buckets_conserve_tokens_over_a_replay() {
     let gen = check::vec_of(op_gen(600), 20..150);
@@ -809,7 +1112,8 @@ fn fair_share_token_buckets_conserve_tokens_over_a_replay() {
         let config = SsdConfig::micro_gc_test();
         let mut policy = FairSharePolicy::new(4, 16);
         let mut device = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
-        let report = device.run_qos(&reqs, 8, &mut policy);
+        let report =
+            device.run_with_policy(&reqs, RunConfig::default().queue_depth(8), &mut policy);
         check_assert_eq!(report.requests_completed, reqs.len() as u64);
         device.audit().map_err(|e| format!("audit: {e}"))?;
         let mut charged_total = 0u64;
@@ -879,7 +1183,11 @@ fn edf_issues_same_plane_deadlines_in_deadline_order() {
     }));
     let mut device = SsdDevice::new(config.clone(), build(FtlKind::Dloop, &config));
     let mut policy = DeadlinePolicy;
-    let report = device.run_qos(&reqs, reqs.len(), &mut policy);
+    let report = device.run_with_policy(
+        &reqs,
+        RunConfig::default().queue_depth(reqs.len()),
+        &mut policy,
+    );
     assert_eq!(report.requests_completed, reqs.len() as u64);
     let issue_order: Vec<u16> = report.queue_log.tracked().iter().map(|u| u.0).collect();
     // Blocker first, then deadline order = reverse arrival order.

@@ -7,7 +7,7 @@
 
 use dloop_repro::dloop_ftl::DloopFtl;
 use dloop_repro::ftl_kit::config::SsdConfig;
-use dloop_repro::ftl_kit::device::{ReplayMode, SsdDevice};
+use dloop_repro::ftl_kit::device::{ReplayMode, RunConfig, SsdDevice};
 use dloop_repro::ftl_kit::sched::QosSpec;
 use dloop_repro::host::{HostConfig, HostStack};
 use dloop_repro::simkit::trace::{attribution, QueueDepthProbe, RingSink, SpanPhase};
@@ -30,7 +30,7 @@ fn spc_trace_replays_end_to_end() {
     assert_eq!(stats.writes, 133);
 
     let mut device = SsdDevice::new(config.clone(), Box::new(DloopFtl::new(&config)));
-    let report = device.run_trace(&trace.requests);
+    let report = device.run_with(&trace.requests, RunConfig::open());
     assert_eq!(report.requests_completed, 200);
     device.audit().unwrap();
 }
@@ -48,7 +48,7 @@ fn disksim_trace_replays_end_to_end() {
     assert_eq!(trace.len(), 150);
 
     let mut device = SsdDevice::new(config.clone(), Box::new(DloopFtl::new(&config)));
-    let report = device.run_trace(&trace.requests);
+    let report = device.run_with(&trace.requests, RunConfig::open());
     assert_eq!(report.requests_completed, 150);
     device.audit().unwrap();
 }
