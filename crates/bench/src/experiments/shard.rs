@@ -48,14 +48,25 @@ use dloop_workloads::Trace;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Locked column schema of the sweep table (`shard_0.csv`).
-pub const SHARD_HEADER: [&str; 6] = [
+/// Locked column schema of the sweep table (`shard_0.csv`). New columns
+/// append strictly after the existing ones (EXPERIMENTS.md schema rule):
+/// the four phase columns split `critical_path_ms` into its serial
+/// prefix, the slowest shard's state fork, the slowest shard's replay,
+/// and the serial merge; `cap_saturated` flags rows replayed with more
+/// shards than host cores, whose `wall_ms` time-slices and must not be
+/// read as parallel time.
+pub const SHARD_HEADER: [&str; 11] = [
     "shards",
     "wall_ms",
     "critical_path_ms",
     "speedup",
     "fingerprint_match",
     "pages_played",
+    "partition_ms",
+    "fork_ms",
+    "replay_ms",
+    "merge_ms",
+    "cap_saturated",
 ];
 
 /// Shard counts the sweep replays, in row order. The acceptance gate
@@ -81,6 +92,19 @@ pub struct ShardRow {
     /// Host + GC + translation pages the run played (same for all rows
     /// when the fingerprints match).
     pub pages_played: u64,
+    /// Serial partition phase of the parallel engine (zero when the run
+    /// was served sequentially).
+    pub partition_ms: f64,
+    /// Slowest shard's state-fork time (zero when sequential).
+    pub fork_ms: f64,
+    /// Slowest shard's replay time (zero when sequential).
+    pub replay_ms: f64,
+    /// Serial merge + fold phase (zero when sequential).
+    pub merge_ms: f64,
+    /// `shards > host_cpus`: the worker pool is capped at the host's
+    /// parallelism, so this row's shard tasks time-sliced and `wall_ms`
+    /// is not a parallel measurement (`critical_path_ms` still is).
+    pub cap_saturated: bool,
 }
 
 /// The measured sweep plus the workload description that headlines it.
@@ -129,13 +153,20 @@ impl ShardSweep {
             let _ = write!(
                 s,
                 "    {{\"shards\": {}, \"wall_ms\": {:.3}, \"critical_path_ms\": {:.3}, \
-                 \"speedup\": {:.3}, \"fingerprint_match\": {}, \"pages_played\": {}}}",
+                 \"speedup\": {:.3}, \"fingerprint_match\": {}, \"pages_played\": {}, \
+                 \"partition_ms\": {:.3}, \"fork_ms\": {:.3}, \"replay_ms\": {:.3}, \
+                 \"merge_ms\": {:.3}, \"cap_saturated\": {}}}",
                 r.shards,
                 r.wall_ms,
                 r.critical_path_ms,
                 r.speedup,
                 r.fingerprint_match,
-                r.pages_played
+                r.pages_played,
+                r.partition_ms,
+                r.fork_ms,
+                r.replay_ms,
+                r.merge_ms,
+                r.cap_saturated
             );
             s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
         }
@@ -183,6 +214,11 @@ pub fn sweep_on(opts: &ExpOptions, config: SsdConfig, requests: u64) -> ShardSwe
     let fill = sequential_fill(geometry.user_pages(), 0.9, 64);
     let trace = overwrite_trace(opts.seed, geometry.user_pages(), requests);
 
+    // The same helper the engine sizes its worker pool from — the bench
+    // must not invent its own answer (it used to silently fall back to 1
+    // on platforms where `available_parallelism` errors, misreporting
+    // every row as cap-saturated).
+    let host_cpus = dloop_ftl_kit::host_parallelism();
     let mut rows = Vec::new();
     let mut seq_fp = 0u64;
     let mut baseline_ms = 0.0f64;
@@ -197,11 +233,8 @@ pub fn sweep_on(opts: &ExpOptions, config: SsdConfig, requests: u64) -> ShardSwe
             seq_fp = fp;
             baseline_ms = wall_ms;
         }
-        let critical_path_ms = report
-            .shard_timing
-            .as_ref()
-            .map(|t| t.critical_path_ms())
-            .unwrap_or(wall_ms);
+        let timing = report.shard_timing.as_ref();
+        let critical_path_ms = timing.map(|t| t.critical_path_ms()).unwrap_or(wall_ms);
         rows.push(ShardRow {
             shards,
             wall_ms,
@@ -209,13 +242,16 @@ pub fn sweep_on(opts: &ExpOptions, config: SsdConfig, requests: u64) -> ShardSwe
             speedup: baseline_ms / critical_path_ms.max(1e-9),
             fingerprint_match: fp == seq_fp,
             pages_played: pages_played(&report),
+            partition_ms: timing.map(|t| t.partition_ms).unwrap_or(0.0),
+            fork_ms: timing.map(|t| t.max_fork_ms()).unwrap_or(0.0),
+            replay_ms: timing.map(|t| t.max_worker_ms()).unwrap_or(0.0),
+            merge_ms: timing.map(|t| t.merge_ms).unwrap_or(0.0),
+            cap_saturated: shards > host_cpus,
         });
     }
     ShardSweep {
         requests: trace.len() as u64,
-        host_cpus: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        host_cpus,
         rows,
     }
 }
@@ -237,6 +273,11 @@ pub fn to_table(sweep: &ShardSweep) -> Table {
             f2(r.speedup),
             r.fingerprint_match.to_string(),
             r.pages_played.to_string(),
+            f2(r.partition_ms),
+            f2(r.fork_ms),
+            f2(r.replay_ms),
+            f2(r.merge_ms),
+            r.cap_saturated.to_string(),
         ]);
     }
     table
@@ -307,6 +348,11 @@ mod tests {
             "\"rows\":",
             "\"critical_path_ms\":",
             "\"fingerprint_match\": true",
+            "\"partition_ms\":",
+            "\"fork_ms\":",
+            "\"replay_ms\":",
+            "\"merge_ms\":",
+            "\"cap_saturated\":",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -325,6 +371,11 @@ mod tests {
                 speedup: 1.0,
                 fingerprint_match: true,
                 pages_played: 10,
+                partition_ms: 0.1,
+                fork_ms: 0.1,
+                replay_ms: 0.7,
+                merge_ms: 0.1,
+                cap_saturated: false,
             }],
         };
         let t = to_table(&sweep);

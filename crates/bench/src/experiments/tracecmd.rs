@@ -2,8 +2,10 @@
 //! and dump its artifacts — a Chrome `trace_event` JSON (load it in
 //! `chrome://tracing` or Perfetto: one track per plane, one per channel,
 //! with flow arrows stitching each host request across resources), plane-
-//! and channel-utilization timeline CSVs, the complete span journal as
-//! JSONL, and the aggregated latency-attribution table (plane-wait vs
+//! and channel-utilization timeline CSVs, the per-plane/per-channel power
+//! timeline (`trace_power.csv`, integer femtojoules that sum exactly to
+//! the run report's energy totals), the complete span journal as JSONL,
+//! and the aggregated latency-attribution table (plane-wait vs
 //! channel-wait vs bus vs cell vs retry, split by host/GC/scan phase).
 //!
 //! Tracing runs through a [`TeeSink`]: a bounded [`RingSink`] feeds the
@@ -32,7 +34,7 @@ use dloop_ftl_kit::config::{FtlKind, SsdConfig};
 use dloop_ftl_kit::device::SsdDevice;
 use dloop_simkit::trace::{
     attribution, channel_utilization_csv, chrome_trace_json, json_lint, plane_utilization_csv,
-    QueueDepthProbe, RingSink, StreamSink, TeeSink,
+    power_csv, QueueDepthProbe, RingSink, StreamSink, TeeSink,
 };
 use dloop_simkit::{SpanPhase, TraceSink};
 use dloop_workloads::WorkloadProfile;
@@ -51,7 +53,13 @@ const DEFAULT_REQUESTS: u64 = 20_000;
 
 /// Run the traced workload and emit the artifacts.
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
-    let config = SsdConfig::paper_default().with_capacity_gb(opts.scaled_capacity(4));
+    // Energy accounting on: the power timeline is a tracing artifact, and
+    // outside the PowerCap scheduling mode accounting is observation-only
+    // (the replay schedule is untouched).
+    let energy = dloop_nand::EnergyConfig::paper_default();
+    let config = SsdConfig::paper_default()
+        .with_capacity_gb(opts.scaled_capacity(4))
+        .with_energy(energy);
     let geometry = config.geometry();
     let profile = opts.scaled_profile(WorkloadProfile::financial1());
     let requests = if opts.max_requests == 0 {
@@ -119,6 +127,36 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     json_lint(&chrome).expect("Chrome trace export must be valid JSON");
     let util = plane_utilization_csv(&rec, geometry.total_planes() as usize, UTIL_BUCKETS);
     let chan_util = channel_utilization_csv(&rec, geometry.channels as usize, UTIL_BUCKETS);
+    let power = power_csv(
+        &rec,
+        geometry.total_planes() as usize,
+        geometry.channels as usize,
+        UTIL_BUCKETS,
+        energy.array_active_uw,
+        energy.bus_active_uw,
+    );
+    // The power timeline and the report's energy totals are the same
+    // integer measurement whenever the ring kept every span.
+    if rec.dropped() == 0 {
+        let totals = report
+            .energy
+            .expect("energy accounting was enabled for the traced run");
+        let csv_fj: u64 = power
+            .lines()
+            .skip(1)
+            .map(|l| {
+                l.rsplit(',')
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .expect("power_csv rows end in an integer total")
+            })
+            .sum();
+        assert_eq!(
+            csv_fj,
+            totals.total_fj(),
+            "power timeline must sum exactly to the report's femtojoule totals"
+        );
+    }
 
     // Queue-depth timeline: every replay driver records its probe, so the
     // export is meaningful for all --mode values. Self-check the shape and
@@ -162,6 +200,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
                 ("trace_chrome.json", &chrome),
                 ("trace_plane_util.csv", &util),
                 ("trace_channel_util.csv", &chan_util),
+                ("trace_power.csv", &power),
                 ("trace_queue_depth.csv", &queue_csv),
                 ("trace_spans.jsonl", &jsonl),
             ] {
@@ -224,6 +263,9 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     ]);
     summary.row(vec!["response_sum_ms".into(), f(report.response_ms.sum())]);
     summary.row(vec!["mrt_ms".into(), f(report.mean_response_time_ms())]);
+    if let Some(e) = report.energy {
+        summary.row(vec!["energy_total_mj".into(), f(e.total_mj())]);
+    }
 
     vec![table, summary]
 }

@@ -1,6 +1,6 @@
 //! Experiment configuration: Table I of the paper as a value.
 
-use dloop_nand::{FaultConfig, Geometry, TimingConfig};
+use dloop_nand::{EnergyConfig, FaultConfig, Geometry, TimingConfig};
 
 /// Which FTL scheme to instantiate (construction lives with the scheme
 /// crates; this enum just names them for configs and harnesses).
@@ -88,6 +88,11 @@ pub struct SsdConfig {
     /// FlashSim — performs reclamation synchronously, so this is false by
     /// default and exists as an ablation of a more modern controller.
     pub background_gc: bool,
+    /// Integer-exact energy accounting (see `dloop_nand::energy`). `None`
+    /// (the default) disables accounting entirely: the run report carries
+    /// no energy totals and every fingerprint is bit-identical to a run
+    /// without this field — energy is observation, never perturbation.
+    pub energy: Option<EnergyConfig>,
 }
 
 impl SsdConfig {
@@ -112,6 +117,7 @@ impl SsdConfig {
             erase_limit: None,
             fault: FaultConfig::none(),
             background_gc: false,
+            energy: None,
         }
     }
 
@@ -151,6 +157,13 @@ impl SsdConfig {
     /// Same config with a media-fault plan (reliability experiments).
     pub fn with_fault(mut self, fault: FaultConfig) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Same config with integer energy accounting enabled (power
+    /// experiments and the `PowerCap` scheduling mode).
+    pub fn with_energy(mut self, energy: EnergyConfig) -> Self {
+        self.energy = Some(energy);
         self
     }
 

@@ -892,6 +892,10 @@ impl SsdDevice {
     /// woken, so ops gated on a scanned/collected plane stalled until the
     /// next trace arrival — or tripped the end-of-trace assert when no
     /// arrival came.)
+    ///
+    /// Returns the instant the op's *last* resource hold ends (the
+    /// latest of host completion, scan release, and GC release) — the
+    /// horizon a throttling policy must track the op's power draw until.
     fn issue_queued_op(
         &mut self,
         op: QueuedOp,
@@ -900,7 +904,7 @@ impl SsdDevice {
         req_done: &mut [SimTime],
         req_ops_left: &mut [u32],
         events: &mut EventQueue<Option<usize>>,
-    ) {
+    ) -> SimTime {
         self.hw
             .set_span_context(SpanPhase::Host, Some(op.lpn), Some(op.req as u64));
         let (host_start, host_done) = self.play_chain_spans(&op.host, now, true);
@@ -921,11 +925,13 @@ impl SsdDevice {
         }
         self.hw
             .set_span_context(SpanPhase::Gc, Some(op.lpn), Some(op.req as u64));
+        let mut release = scan_release;
         let done = if self.config.background_gc {
             let gc_release = self.play_chain(&op.gc, host_done, false);
             if gc_release > now {
                 events.push(gc_release, None);
             }
+            release = release.max(gc_release);
             host_done
         } else {
             let gc_done = self.play_chain(&op.gc, host_done, true);
@@ -945,6 +951,34 @@ impl SsdDevice {
         if done > now {
             events.push(done, None);
         }
+        release.max(done)
+    }
+
+    /// Upper bound on one queued op's instantaneous power draw, in µW,
+    /// from its prepared chains — zero when energy accounting is off.
+    ///
+    /// A *chained* sequence (the host chain; synchronous GC) runs its
+    /// steps back-to-back, and every step's internal phases hold at most
+    /// one resource at a time (command/transfer on the channel, then the
+    /// array — see the `exec_*` emitters), so its peak draw is one
+    /// resource's worth: `max(array, bus)`. An *unchained* burst (scan;
+    /// background GC) books all steps concurrently, so it is bounded by
+    /// the per-step sum. The bound is what [`PowerCapPolicy`] admits
+    /// against; actual instantaneous draw never exceeds it, which is what
+    /// makes claim C16's per-bucket budget check sound.
+    fn op_draw_uw(&self, host: &OpChain, gc: &OpChain, scan: &OpChain) -> u64 {
+        let Some(e) = &self.config.energy else {
+            return 0;
+        };
+        let step_uw = e.array_active_uw.max(e.bus_active_uw);
+        let chained = |c: &OpChain| if c.is_empty() { 0 } else { step_uw };
+        let unchained = |c: &OpChain| step_uw * c.len() as u64;
+        let gc_uw = if self.config.background_gc {
+            unchained(gc)
+        } else {
+            chained(gc)
+        };
+        chained(host) + unchained(scan) + gc_uw
     }
 
     /// NCQ-style replay.
@@ -1057,6 +1091,7 @@ impl SsdDevice {
                 for lpn in req.wrapped_page_ops(lpn_space) {
                     let (host, gc, scan) = self.translate_page_op(lpn, req.op);
                     stats.count_page(req.op);
+                    let draw_uw = self.op_draw_uw(&host, &gc, &scan);
                     match host.steps().first() {
                         None => chainless.push_back(next_seq),
                         Some(step) => {
@@ -1067,6 +1102,7 @@ impl SsdDevice {
                                 deadline: req.deadline,
                                 arrival: req.arrival,
                                 plane: step.planes().0,
+                                draw_uw,
                             };
                             let key = policy.lane_key(&cand);
                             let lane = &mut lanes[step.planes().0 as usize];
@@ -1152,6 +1188,9 @@ impl SsdDevice {
                     if !free(p) || !p2.map(free).unwrap_or(true) {
                         continue;
                     }
+                    if !policy.admit(now, &entry.cand) {
+                        continue;
+                    }
                     let (r0, r1) = policy.rank(now, &entry.cand);
                     let key = (r0, r1, self.hw.plane_ready_at(p), entry.cand.seq);
                     if best.map_or(true, |(k, _, _)| key < k) {
@@ -1167,7 +1206,7 @@ impl SsdDevice {
                     .binary_search_by_key(&entry.cand.seq, |o| o.seq)
                     .expect("selected op is pending");
                 let op = pending.remove_at(idx).expect("index in bounds").op;
-                self.issue_queued_op(
+                let release = self.issue_queued_op(
                     op,
                     now,
                     &mut stats,
@@ -1175,6 +1214,10 @@ impl SsdDevice {
                     &mut req_ops_left,
                     &mut events,
                 );
+                // Throttling policies track the committed draw until its
+                // last resource hold ends (the release wake scheduled by
+                // `issue_queued_op` guarantees a `tick` retires it).
+                policy.note_release(now, &entry.cand, release);
             }
         }
         assert!(pending.is_empty(), "ops left unissued at end of trace");
@@ -1246,6 +1289,11 @@ impl SsdDevice {
             completions: stats.completions,
             queue_log: stats.queue,
             shard_timing: None,
+            energy: self
+                .config
+                .energy
+                .as_ref()
+                .map(|e| self.hw.energy_totals(e)),
         }
     }
 

@@ -28,6 +28,8 @@ pub mod request;
 pub mod sched;
 mod shard;
 
+pub use shard::host_parallelism;
+
 pub use cmt::{CachedMappingTable, Evicted};
 pub use config::{FtlKind, SsdConfig};
 pub use demand::{DemandCounters, DemandMap, UNMAPPED};

@@ -11,7 +11,7 @@
 //!   scale in the paper, so [`RunReport::ln_sdrpp`] matches the figures.
 
 use crate::ftl::FtlCounters;
-use dloop_nand::{MediaCounters, OpCounters};
+use dloop_nand::{EnergyTotals, MediaCounters, OpCounters};
 use dloop_simkit::stats::std_dev_of_counts;
 use dloop_simkit::{Histogram, OnlineStats, QueueDepthProbe, SimTime};
 
@@ -80,6 +80,12 @@ pub struct RunReport {
     /// every fingerprint and CSV: wall time measures the machine, not
     /// the simulation.
     pub shard_timing: Option<ShardTiming>,
+    /// Integer energy totals, when [`crate::SsdConfig::energy`] enabled
+    /// accounting (`None` otherwise). Folded into the CSV row — and so
+    /// into every report fingerprint — as exact femtojoule integers; the
+    /// shard merge recomputes them from the absorbed busy counters, so
+    /// sharded and sequential totals are bit-identical (claim C15).
+    pub energy: Option<EnergyTotals>,
 }
 
 /// Wall-clock phases of a plane-sharded run, recorded by the parallel
@@ -92,8 +98,15 @@ pub struct RunReport {
 pub struct ShardTiming {
     /// Serial prefix: canonical sort and routing of page operations.
     pub partition_ms: f64,
-    /// Per-shard task time (fork + translate + play), indexed by shard;
-    /// zero for shards that received no operations.
+    /// Per-shard state-fork time (flash fork + directory range fork +
+    /// FTL fork), indexed by shard; zero for shards that received no
+    /// operations. Reported separately from `worker_ms` so regressions
+    /// in fork cost — pure overhead that grows with device size, not
+    /// with work — are visible in `shard_0.csv` instead of hiding
+    /// inside the replay time.
+    pub fork_ms: Vec<f64>,
+    /// Per-shard replay time (translate + play), indexed by shard; zero
+    /// for shards that received no operations.
     pub worker_ms: Vec<f64>,
     /// Serial suffix: state merge, span forwarding, and the canonical
     /// statistics fold.
@@ -102,9 +115,26 @@ pub struct ShardTiming {
 
 impl ShardTiming {
     /// The modeled parallel wall time: serial sections plus the slowest
-    /// shard task.
+    /// shard task (its fork plus its replay — both run on the worker
+    /// thread).
     pub fn critical_path_ms(&self) -> f64 {
-        self.partition_ms + self.worker_ms.iter().cloned().fold(0.0, f64::max) + self.merge_ms
+        let slowest = self
+            .fork_ms
+            .iter()
+            .zip(&self.worker_ms)
+            .map(|(f, w)| f + w)
+            .fold(0.0, f64::max);
+        self.partition_ms + slowest + self.merge_ms
+    }
+
+    /// The slowest shard's fork time, for table rendering.
+    pub fn max_fork_ms(&self) -> f64 {
+        self.fork_ms.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// The slowest shard's replay time, for table rendering.
+    pub fn max_worker_ms(&self) -> f64 {
+        self.worker_ms.iter().cloned().fold(0.0, f64::max)
     }
 }
 
@@ -158,14 +188,19 @@ impl RunReport {
     }
 
     /// Total energy of the run's flash operations under an energy model,
-    /// in millijoules.
+    /// in display millijoules. Prefers the run's own integer totals when
+    /// accounting was enabled; otherwise reconstructs them from the
+    /// operation counters (a thin converter over the integer core).
     pub fn energy_mj(
         &self,
         energy: &dloop_nand::EnergyConfig,
         timing: &dloop_nand::TimingConfig,
         page_size: u32,
     ) -> f64 {
-        energy.total_mj(timing, page_size, &self.hw)
+        match &self.energy {
+            Some(totals) => totals.total_mj(),
+            None => energy.total_mj(timing, page_size, &self.hw),
+        }
     }
 
     /// Mean plane utilisation over the run.
@@ -235,7 +270,8 @@ impl RunReport {
     /// length follows the fault plan's ladder depth. The latency
     /// attribution columns (mean queueing wait, mean service span, mean
     /// synchronous-GC blocking) append after the reliability block under
-    /// the same rule.
+    /// the same rule, and the integer energy columns (femtojoules; both
+    /// zero when accounting is disabled) append after those.
     pub fn csv_header() -> &'static str {
         "ftl,requests,pages_read,pages_written,mrt_ms,p99_ms,ln_sdrpp,waf,\
          gc_invocations,copyback_moves,external_moves,parity_skips,\
@@ -244,7 +280,8 @@ impl RunReport {
          wear_min,wear_mean,wear_max,sim_end_ms,\
          recovered_programs,grown_bad_blocks,factory_bad_blocks,\
          uncorrectable_reads,read_retry_steps,retry_ms,retry_hist,\
-         wait_mean_ms,service_mean_ms,gc_block_mean_ms"
+         wait_mean_ms,service_mean_ms,gc_block_mean_ms,\
+         energy_array_fj,energy_bus_fj"
     }
 
     /// One CSV row matching [`RunReport::csv_header`] column for column.
@@ -256,8 +293,9 @@ impl RunReport {
             .map(|c| c.to_string())
             .collect::<Vec<_>>()
             .join("|");
+        let energy = self.energy.unwrap_or_default();
         format!(
-            "{},{},{},{},{:.6},{:.6},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{:.3},{},{},{},{},{},{:.6},{},{:.6},{:.6},{:.6}",
+            "{},{},{},{},{:.6},{:.6},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{:.3},{},{},{},{},{},{:.6},{},{:.6},{:.6},{:.6},{},{}",
             self.ftl_name,
             self.requests_completed,
             self.pages_read,
@@ -292,6 +330,8 @@ impl RunReport {
             self.wait_ms.mean(),
             self.service_ms.mean(),
             self.gc_block_ms.mean(),
+            energy.array_fj,
+            energy.bus_fj,
         )
     }
 
@@ -373,6 +413,7 @@ mod tests {
             completions: vec![(0, SimTime::ZERO, SimTime::from_micros(100))],
             queue_log: QueueDepthProbe::new(),
             shard_timing: None,
+            energy: None,
         }
     }
 
@@ -432,7 +473,8 @@ mod tests {
              wear_min,wear_mean,wear_max,sim_end_ms,\
              recovered_programs,grown_bad_blocks,factory_bad_blocks,\
              uncorrectable_reads,read_retry_steps,retry_ms,retry_hist,\
-             wait_mean_ms,service_mean_ms,gc_block_mean_ms"
+             wait_mean_ms,service_mean_ms,gc_block_mean_ms,\
+             energy_array_fj,energy_bus_fj"
         );
         let header_cols = RunReport::csv_header().split(',').count();
         let row = report().csv_row();
@@ -447,5 +489,23 @@ mod tests {
         assert_eq!(cols[31], "0.125000"); // wait_mean_ms
         assert_eq!(cols[32], "0.250000"); // service_mean_ms
         assert_eq!(cols[33], "0.000000"); // gc_block_mean_ms (no samples)
+                                          // Energy columns append last and are zero when disabled.
+        assert_eq!(cols[34], "0"); // energy_array_fj
+        assert_eq!(cols[35], "0"); // energy_bus_fj
+    }
+
+    /// Enabled energy accounting lands in the appended integer columns
+    /// exactly; disabled accounting leaves the row byte-identical to the
+    /// pre-energy schema plus two zero columns.
+    #[test]
+    fn energy_columns_are_exact_integers() {
+        let mut r = report();
+        r.energy = Some(EnergyTotals {
+            array_fj: 123_456_789_000,
+            bus_fj: 42,
+        });
+        let cols: Vec<String> = r.csv_row().split(',').map(str::to_string).collect();
+        assert_eq!(cols[34], "123456789000");
+        assert_eq!(cols[35], "42");
     }
 }

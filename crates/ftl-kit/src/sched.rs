@@ -52,6 +52,7 @@
 //! | [`PriorityPolicy`] | reads before writes | read-latency-sensitive mixes |
 //! | [`DeadlinePolicy`] | earliest absolute deadline | per-request deadlines (EDF) |
 //! | [`FairSharePolicy`] | token-bucket deficit | per-tenant fair sharing |
+//! | [`PowerCapPolicy`] | constant (gates *admission* instead) | power budgets (claim C16) |
 
 use crate::request::{HostOp, TenantId};
 use dloop_simkit::SimTime;
@@ -73,6 +74,13 @@ pub struct QosCandidate {
     pub arrival: SimTime,
     /// Primary plane of the operation's first flash step.
     pub plane: u32,
+    /// Upper bound on the operation's instantaneous power draw in µW,
+    /// computed by the driver from the operation's prepared flash chains
+    /// (see `dloop_nand::energy`): a chained sequence holds at most one
+    /// resource at a time, so its bound is `array + bus`; an unchained
+    /// burst is bounded by the sum of its steps' draws. Zero when energy
+    /// accounting is disabled — the [`PowerCapPolicy`] then admits freely.
+    pub draw_uw: u64,
 }
 
 /// A scheduling policy for the NCQ reorder window. See the
@@ -108,6 +116,26 @@ pub trait QosPolicy {
     /// here).
     fn on_issue(&mut self, now: SimTime, c: &QosCandidate) {
         let _ = (now, c);
+    }
+
+    /// May `c` be issued at all right now? Checked by the driver alongside
+    /// plane readiness when collecting each lane's first in-window
+    /// candidate; a `false` leaves the operation queued in its lane for a
+    /// later wake. The default admits everything — only throttling
+    /// policies ([`PowerCapPolicy`]) override this. Like `rank`, this must
+    /// be a pure function of `(now, candidate, policy state)`.
+    fn admit(&mut self, now: SimTime, c: &QosCandidate) -> bool {
+        let _ = (now, c);
+        true
+    }
+
+    /// Called right after an issued operation's flash work is booked,
+    /// with the simulated instant its last resource hold ends. Throttling
+    /// policies track `(candidate, release)` pairs here to know the load
+    /// they have committed; paired with [`QosPolicy::tick`] retiring
+    /// entries whose release has passed.
+    fn note_release(&mut self, now: SimTime, c: &QosCandidate, release: SimTime) {
+        let _ = (now, c, release);
     }
 }
 
@@ -393,6 +421,124 @@ impl QosPolicy for FairSharePolicy {
     }
 }
 
+/// Power-cap admission control over the readiness lanes.
+///
+/// The policy tracks every in-flight operation's declared draw bound
+/// ([`QosCandidate::draw_uw`]) until its release instant and refuses to
+/// admit a candidate that would push the committed total above
+/// `budget_uw` — with one work-conserving exception: when *nothing* is in
+/// flight the head candidate is always admitted, so a budget below a
+/// single operation's draw throttles to serial execution instead of
+/// deadlocking. The bound this enforces is therefore exact: at every
+/// simulated instant the summed draw of in-flight operations is at most
+/// `max(budget_uw, largest single admitted draw)`, and because per-op
+/// instantaneous power never exceeds its declared bound, no power-timeline
+/// bucket can average above that either (claim C16's integer check).
+///
+/// Ranking is the NCQ no-op — the cap changes *when* work may start, never
+/// *which* ready work is preferred — so an unlimited budget reproduces
+/// plain NCQ bit-identically.
+///
+/// Determinism: in-flight entries live in an insertion-ordered `Vec`,
+/// retired by [`QosPolicy::tick`] with a stable `retain`; no unordered
+/// containers, no clocks.
+#[derive(Debug, Clone)]
+pub struct PowerCapPolicy {
+    budget_uw: u64,
+    /// Committed operations: `(release instant, draw bound µW)`.
+    inflight: Vec<(SimTime, u64)>,
+    /// Sum of the in-flight draw bounds (kept incrementally).
+    inflight_uw: u64,
+    admitted: u64,
+    deferrals: u64,
+}
+
+impl PowerCapPolicy {
+    /// A cap enforcing `budget_uw` (µW) over concurrent admissions.
+    pub fn new(budget_uw: u64) -> Self {
+        assert!(budget_uw >= 1, "power budget must be at least 1 µW");
+        PowerCapPolicy {
+            budget_uw,
+            inflight: Vec::new(),
+            inflight_uw: 0,
+            admitted: 0,
+            deferrals: 0,
+        }
+    }
+
+    /// The configured budget in µW.
+    pub fn budget_uw(&self) -> u64 {
+        self.budget_uw
+    }
+
+    /// Summed draw bound of operations currently committed (as of the
+    /// last `tick`).
+    pub fn inflight_uw(&self) -> u64 {
+        self.inflight_uw
+    }
+
+    /// Operations issued under this policy.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Admission refusals (one per *offer*, not per operation — a queued
+    /// op deferred across `n` scheduling rounds counts `n` times). A
+    /// nonzero value is the witness that the cap actually throttled.
+    pub fn deferrals(&self) -> u64 {
+        self.deferrals
+    }
+}
+
+impl QosPolicy for PowerCapPolicy {
+    fn name(&self) -> &'static str {
+        "power-cap"
+    }
+
+    fn rank(&mut self, _now: SimTime, _c: &QosCandidate) -> (u64, u64) {
+        (0, 0)
+    }
+
+    fn tick(&mut self, now: SimTime) {
+        // Retire releases that have passed; an op releasing exactly at
+        // `now` no longer draws (holds are end-exclusive).
+        self.inflight.retain(|&(release, draw)| {
+            if release > now {
+                true
+            } else {
+                self.inflight_uw -= draw;
+                false
+            }
+        });
+    }
+
+    fn admit(&mut self, _now: SimTime, c: &QosCandidate) -> bool {
+        let fits = self.inflight_uw == 0
+            || self
+                .inflight_uw
+                .checked_add(c.draw_uw)
+                .is_some_and(|sum| sum <= self.budget_uw);
+        if !fits {
+            self.deferrals += 1;
+        }
+        fits
+    }
+
+    fn on_issue(&mut self, _now: SimTime, _c: &QosCandidate) {
+        self.admitted += 1;
+    }
+
+    fn note_release(&mut self, now: SimTime, c: &QosCandidate, release: SimTime) {
+        if release > now {
+            self.inflight.push((release, c.draw_uw));
+            self.inflight_uw = self
+                .inflight_uw
+                .checked_add(c.draw_uw)
+                .expect("power-cap overflow: in-flight µW sum exceeds u64");
+        }
+    }
+}
+
 /// A `Copy` description of a QoS policy, embeddable in
 /// [`ReplayMode::Qos`](crate::device::ReplayMode::Qos) (which must stay
 /// `Copy + Eq` like every other replay mode). [`QosSpec::build`] turns it
@@ -416,6 +562,14 @@ pub enum QosSpec {
         /// Bucket capacity in tokens.
         burst: u32,
     },
+    /// Concurrent-admission throttling under a power budget
+    /// ([`PowerCapPolicy`]). Requires [`crate::SsdConfig::energy`] to be
+    /// set for candidates to carry nonzero draw bounds; without it every
+    /// bound is zero and the cap admits freely.
+    PowerCap {
+        /// Admission budget in µW.
+        budget_uw: u64,
+    },
 }
 
 impl QosSpec {
@@ -429,8 +583,25 @@ impl QosSpec {
         }
     }
 
+    /// The conventional power-cap budget: 250 mW — comfortably above any
+    /// single operation's ~99 mW draw bound (so the work-conserving floor
+    /// never lifts the enforced ceiling) yet far below the paper device's
+    /// ~5.4 W all-planes-busy worst case, so the cap genuinely throttles.
+    pub const POWER_CAP_BUDGET_UW: u64 = 250_000;
+
+    /// The [`QosSpec::PowerCap`] spec at the conventional budget
+    /// ([`QosSpec::POWER_CAP_BUDGET_UW`]).
+    pub fn power_cap() -> QosSpec {
+        QosSpec::PowerCap {
+            budget_uw: Self::POWER_CAP_BUDGET_UW,
+        }
+    }
+
     /// All specs worth sweeping, in presentation order (the `qos`
-    /// experiment iterates this).
+    /// experiment iterates this). [`QosSpec::PowerCap`] is deliberately
+    /// absent: the C12 bounds quantify over this set, and a power cap
+    /// trades response time away *on purpose* — sweep it via the `power`
+    /// experiment instead.
     pub fn all() -> [QosSpec; 5] {
         [
             QosSpec::WindowFifo,
@@ -449,6 +620,7 @@ impl QosSpec {
             QosSpec::Priority => "priority",
             QosSpec::Deadline => "deadline",
             QosSpec::FairShare { .. } => "fair-share",
+            QosSpec::PowerCap { .. } => "power-cap",
         }
     }
 
@@ -461,6 +633,7 @@ impl QosSpec {
             "priority" => Some(QosSpec::Priority),
             "deadline" | "edf" => Some(QosSpec::Deadline),
             "fair-share" | "fair" => Some(QosSpec::fair_share()),
+            "power-cap" | "cap" => Some(QosSpec::power_cap()),
             _ => None,
         }
     }
@@ -476,6 +649,7 @@ impl QosSpec {
                 refill_per_ms,
                 burst,
             } => Box::new(FairSharePolicy::new(refill_per_ms, burst)),
+            QosSpec::PowerCap { budget_uw } => Box::new(PowerCapPolicy::new(budget_uw)),
         }
     }
 }
@@ -493,6 +667,14 @@ mod tests {
             deadline,
             arrival: SimTime::ZERO,
             plane: 0,
+            draw_uw: 0,
+        }
+    }
+
+    fn drawing(seq: u64, draw_uw: u64) -> QosCandidate {
+        QosCandidate {
+            draw_uw,
+            ..cand(seq, 0, HostOp::Write, None)
         }
     }
 
@@ -596,5 +778,73 @@ mod tests {
         }
         assert_eq!(QosSpec::parse("edf"), Some(QosSpec::Deadline));
         assert_eq!(QosSpec::parse("nope"), None);
+    }
+
+    /// PowerCap is not swept by `QosSpec::all` (it degrades MRT on
+    /// purpose), so its round trip is pinned separately.
+    #[test]
+    fn power_cap_spec_round_trips() {
+        let spec = QosSpec::power_cap();
+        assert_eq!(spec.name(), "power-cap");
+        assert_eq!(QosSpec::parse("power-cap"), Some(spec));
+        assert_eq!(QosSpec::parse("cap"), Some(spec));
+        assert_eq!(spec.build().name(), "power-cap");
+        assert!(!QosSpec::all().contains(&spec));
+    }
+
+    #[test]
+    fn power_cap_admits_within_budget_and_defers_above() {
+        let mut cap = PowerCapPolicy::new(100);
+        let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
+        // First op (60 µW) fits outright; book it until t=10 µs.
+        let a = drawing(0, 60);
+        assert!(cap.admit(t(0), &a));
+        cap.on_issue(t(0), &a);
+        cap.note_release(t(0), &a, t(10));
+        assert_eq!(cap.inflight_uw(), 60);
+        // 50 µW would overshoot (110 > 100): deferred. 40 µW fits exactly.
+        assert!(!cap.admit(t(0), &drawing(1, 50)));
+        assert_eq!(cap.deferrals(), 1);
+        let b = drawing(2, 40);
+        assert!(cap.admit(t(0), &b));
+        cap.note_release(t(0), &b, t(8));
+        assert_eq!(cap.inflight_uw(), 100);
+        assert!(!cap.admit(t(0), &drawing(3, 1)));
+        // Ticking past b's release frees its 40 µW; past both frees all.
+        cap.tick(t(8));
+        assert_eq!(cap.inflight_uw(), 60);
+        assert!(cap.admit(t(8), &drawing(4, 40)));
+        cap.tick(t(10));
+        assert_eq!(cap.inflight_uw(), 0);
+    }
+
+    #[test]
+    fn power_cap_is_work_conserving_when_idle() {
+        // A candidate drawing more than the whole budget still runs when
+        // nothing is in flight — throttled to serial, never deadlocked.
+        let mut cap = PowerCapPolicy::new(100);
+        let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
+        let huge = drawing(0, 5_000);
+        assert!(cap.admit(t(0), &huge));
+        cap.note_release(t(0), &huge, t(50));
+        // ...but it blocks everything else until it releases.
+        assert!(!cap.admit(t(0), &drawing(1, 1)));
+        cap.tick(t(50));
+        assert!(cap.admit(t(50), &drawing(1, 1)));
+    }
+
+    #[test]
+    fn power_cap_ignores_zero_duration_and_zero_draw() {
+        let mut cap = PowerCapPolicy::new(100);
+        let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
+        // A release at-or-before `now` never occupies the budget.
+        let a = drawing(0, 60);
+        cap.note_release(t(5), &a, t(5));
+        assert_eq!(cap.inflight_uw(), 0);
+        // Zero-draw candidates (energy accounting disabled) always fit.
+        let b = drawing(1, 0);
+        assert!(cap.admit(t(5), &b));
+        cap.note_release(t(5), &b, t(20));
+        assert!(cap.admit(t(5), &drawing(2, 100)));
     }
 }

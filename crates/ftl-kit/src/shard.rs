@@ -101,6 +101,20 @@ use dloop_simkit::SimTime;
 /// buffer cache-resident.
 const WINDOW_JOB_CAP: usize = 8192;
 
+/// Host threads worth running at once: `available_parallelism`, or 1 when
+/// the platform cannot report it (single-threaded is always safe).
+///
+/// This is the *one* place the host core count is consulted. The engine
+/// sizes its task pool from it, and the bench harness reports the same
+/// number as `host_cpus` — so a speedup table row where `shards >
+/// host_parallelism()` is visibly cap-saturated rather than silently
+/// pretending one core (the old bench fallback) or N cores exist.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Segments smaller than this play inline on the coordinator: the result
 /// is identical (same models, same order), the thread spawn is not worth
 /// it.
@@ -791,16 +805,14 @@ fn run_plane_local(
             }))
         })
         .collect();
-    let pool = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(tasks.len())
-        .max(1);
+    let pool = host_parallelism().min(tasks.len()).max(1);
 
+    let ppp = dev.flash.geometry().pages_per_plane();
     let flash_src = &dev.flash;
     let dir_src = &dev.dir;
     let ftl_src: &dyn Ftl = dev.ftl.as_ref();
     let mut runs: Vec<Option<ShardRun>> = (0..nshards).map(|_| None).collect();
+    let mut fork_ms = vec![0.0f64; nshards];
     let mut worker_ms = vec![0.0f64; nshards];
     {
         let next = std::sync::atomic::AtomicUsize::new(0);
@@ -811,12 +823,21 @@ fn run_plane_local(
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(slot) = tasks.get(i) else { break };
                     let task = slot.lock().unwrap().take().expect("task claimed twice");
-                    let tw = std::time::Instant::now();
+                    // Fork and replay are timed separately: fork cost is
+                    // pure overhead that scales with device size, replay
+                    // with work. The directory fork copies only the
+                    // shard's owned plane-major PPN range — the purity
+                    // attestation guarantees nothing else is read, and
+                    // the merge absorbs only that range back.
+                    let tf = std::time::Instant::now();
                     let flash = flash_src.shard_fork();
-                    let dir = dir_src.clone();
+                    let dir = dir_src
+                        .shard_fork(task.planes.start as u64 * ppp..task.planes.end as u64 * ppp);
                     let ftl = ftl_src
                         .shard_fork(task.planes.start as PlaneId..task.planes.end as PlaneId)
                         .expect("a ready FTL must fork");
+                    let forked = tf.elapsed().as_secs_f64() * 1e3;
+                    let tw = std::time::Instant::now();
                     let run = run_plane_worker(
                         flash,
                         dir,
@@ -827,12 +848,13 @@ fn run_plane_local(
                         background_gc,
                     );
                     let ms = tw.elapsed().as_secs_f64() * 1e3;
-                    done.lock().unwrap().push((task.s, run, ms));
+                    done.lock().unwrap().push((task.s, run, forked, ms));
                 });
             }
         });
-        for (s, run, ms) in done.into_inner().unwrap() {
+        for (s, run, forked, ms) in done.into_inner().unwrap() {
             runs[s] = Some(run);
+            fork_ms[s] = forked;
             worker_ms[s] = ms;
         }
     }
@@ -846,7 +868,6 @@ fn run_plane_local(
     // (plane-major PPN layout makes the directory range contiguous), and
     // add activity deltas — forks were counter-zeroed, so each op is
     // counted exactly once.
-    let ppp = dev.flash.geometry().pages_per_plane();
     for (s, run) in runs.iter().enumerate() {
         let Some(run) = run else { continue };
         let (lo, hi) = (map.plane_lo[s], map.plane_hi[s]);
@@ -931,6 +952,7 @@ fn run_plane_local(
     let mut report = dev.finish_report(requests.len() as u64, stats);
     report.shard_timing = Some(ShardTiming {
         partition_ms,
+        fork_ms,
         worker_ms,
         merge_ms: t_merge.elapsed().as_secs_f64() * 1e3,
     });

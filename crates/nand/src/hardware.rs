@@ -564,6 +564,23 @@ impl HardwareModel {
     pub fn channel_busy_ns(&self) -> &[u64] {
         &self.channel_busy_ns
     }
+
+    /// Integer energy totals implied by the busy timelines under `energy`.
+    ///
+    /// Every plane reservation is array-active (reads, programs, erases,
+    /// copy-backs, and the retry ladder all run inside the private
+    /// `hold_plane` reservation helper) and every channel reservation is
+    /// bus-active, so the busy counters
+    /// *are* the energy accumulators: no separate accrual exists to drift.
+    /// Because [`Self::shard_clone`] zeroes the busy counters and
+    /// [`Self::absorb_activity`] adds them back as integer deltas, sharded
+    /// and sequential replays produce bit-identical totals (claim C15).
+    pub fn energy_totals(
+        &self,
+        energy: &crate::energy::EnergyConfig,
+    ) -> crate::energy::EnergyTotals {
+        energy.busy_totals(&self.plane_busy_ns, &self.channel_busy_ns)
+    }
 }
 
 #[cfg(test)]
@@ -849,6 +866,15 @@ mod tests {
         assert_eq!(merged.plane_ready_at(8), seq.plane_ready_at(8));
         assert_eq!(merged.channel_ready_at(0), seq.channel_ready_at(0));
         assert_eq!(merged.channel_ready_at(8), seq.channel_ready_at(8));
+
+        // Energy is a pure function of the busy counters, so the shard
+        // fold reproduces the sequential totals bit-for-bit — and summing
+        // the per-shard totals in either order matches too.
+        let e = crate::energy::EnergyConfig::paper_default();
+        assert_eq!(merged.energy_totals(&e), seq.energy_totals(&e));
+        let mut folded = a.energy_totals(&e);
+        folded.absorb(&b.energy_totals(&e));
+        assert_eq!(folded, seq.energy_totals(&e));
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod timing;
 
 pub use block::PageState;
 pub use dloop_faults::{FaultConfig, FaultPlan, MediaCounters, MediaModel, MediaOutcome};
-pub use energy::EnergyConfig;
+pub use energy::{EnergyConfig, EnergyTotals};
 pub use error::{MediaError, NandError};
 pub use geometry::{BlockAddr, ChannelId, DieId, Geometry, Lpn, PageAddr, PlaneId, Ppn};
 pub use hardware::{Completion, HardwareModel, OpCounters};

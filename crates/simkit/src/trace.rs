@@ -1125,6 +1125,140 @@ pub fn channel_utilization_csv(rec: &FlightRecorder, channels: usize, buckets: u
     })
 }
 
+/// Multiply a power draw (µW) by a duration (ns) into femtojoules,
+/// panicking on overflow rather than wrapping — the same fixed-point rule
+/// as `dloop-nand`'s energy module (which this crate cannot depend on).
+fn power_fj(uw: u64, ns: u64) -> u64 {
+    uw.checked_mul(ns)
+        .expect("power timeline overflow: uW * ns exceeds u64 femtojoules")
+}
+
+/// Export a per-plane/per-channel power timeline as CSV, the energy twin
+/// of [`plane_utilization_csv`] / [`channel_utilization_csv`].
+///
+/// The covered simulated time is divided into `buckets` windows of equal
+/// width — except the **last**, which extends to the final segment release
+/// so the windows tile the covered time *exactly* (the utilization CSVs
+/// may truncate a sub-width tail; a power timeline must not, because its
+/// buckets carry an integer-identity contract). Every retained plane
+/// segment charges `array_active_uw`, every channel segment
+/// `bus_active_uw`, and each row reports integer femtojoules per resource
+/// plus a row total. Columns:
+/// `bucket_start_ms,bucket_end_ms,plane_0_fj,…,channel_0_fj,…,total_fj`.
+///
+/// **Integer identity:** provided the recorder dropped nothing, summing any
+/// column over all rows reproduces `draw × busy-ns` for that resource
+/// bit-exactly, and the `total_fj` column sums to the run's total energy —
+/// the same integers a `RunReport` carries. All arithmetic is
+/// overflow-checked; nothing is rounded.
+pub fn power_csv(
+    rec: &FlightRecorder,
+    planes: usize,
+    channels: usize,
+    buckets: usize,
+    array_active_uw: u64,
+    bus_active_uw: u64,
+) -> String {
+    let buckets = buckets.max(1);
+    let end_ns = rec
+        .spans()
+        .flat_map(|s| s.segments())
+        .map(|seg| seg.end.as_nanos())
+        .max()
+        .unwrap_or(0);
+    let width = (end_ns / buckets as u64).max(1);
+    // Window i covers [i*width, (i+1)*width), except the last which
+    // stretches to end_ns so no tail nanosecond escapes the grid.
+    let window_end = |i: usize| -> u64 {
+        let nominal = (i as u64 + 1) * width;
+        if i + 1 == buckets {
+            nominal.max(end_ns)
+        } else {
+            nominal
+        }
+    };
+    let cols = planes + channels;
+    let mut grid = vec![vec![0u64; cols]; buckets];
+    for s in rec.spans() {
+        for seg in s.segments() {
+            let (col, uw) = match seg.resource {
+                Resource::Plane(p) if (p as usize) < planes => (p as usize, array_active_uw),
+                Resource::Channel(c) if (c as usize) < channels => {
+                    (planes + c as usize, bus_active_uw)
+                }
+                _ => continue,
+            };
+            let (a, b) = (seg.start.as_nanos(), seg.end.as_nanos());
+            let first = (a / width).min(buckets as u64 - 1) as usize;
+            let last = (b.saturating_sub(1) / width).min(buckets as u64 - 1) as usize;
+            for (i, row) in grid.iter_mut().enumerate().take(last + 1).skip(first) {
+                let w_start = i as u64 * width;
+                let overlap = b.min(window_end(i)).saturating_sub(a.max(w_start));
+                row[col] = row[col]
+                    .checked_add(power_fj(uw, overlap))
+                    .expect("power timeline overflow: bucket femtojoule sum exceeds u64");
+            }
+        }
+    }
+    let mut out = String::from("bucket_start_ms,bucket_end_ms");
+    for p in 0..planes {
+        let _ = write!(out, ",plane_{p}_fj");
+    }
+    for c in 0..channels {
+        let _ = write!(out, ",channel_{c}_fj");
+    }
+    out.push_str(",total_fj\n");
+    for (i, row) in grid.iter().enumerate() {
+        let w_start = i as u64 * width;
+        let _ = write!(
+            out,
+            "{:.6},{:.6}",
+            w_start as f64 / 1e6,
+            window_end(i) as f64 / 1e6
+        );
+        let mut total = 0u64;
+        for &fj in row {
+            total = total
+                .checked_add(fj)
+                .expect("power timeline overflow: row total exceeds u64");
+            let _ = write!(out, ",{fj}");
+        }
+        let _ = write!(out, ",{total}");
+        out.push('\n');
+    }
+    out
+}
+
+/// The exact `(array_fj, bus_fj)` energy the retained segments imply —
+/// the reference value [`power_csv`]'s bucket grid must sum to, and (when
+/// the recorder saw every span of a run) the run report's energy totals.
+pub fn power_totals_fj(
+    rec: &FlightRecorder,
+    array_active_uw: u64,
+    bus_active_uw: u64,
+) -> (u64, u64) {
+    let mut array = 0u64;
+    let mut bus = 0u64;
+    for s in rec.spans() {
+        for seg in s.segments() {
+            let ns = seg.end.saturating_since(seg.start).as_nanos();
+            match seg.resource {
+                Resource::Plane(_) => {
+                    array = array
+                        .checked_add(power_fj(array_active_uw, ns))
+                        .expect("power totals overflow")
+                }
+                Resource::Channel(_) => {
+                    bus = bus
+                        .checked_add(power_fj(bus_active_uw, ns))
+                        .expect("power totals overflow")
+                }
+            }
+        }
+    }
+    (array, bus)
+}
+
 /// Host-queue occupancy probe: one `(tenant, arrival, issue, done)` record
 /// per tracked unit of work (a host request in the closed-loop driver, a
 /// page operation in the gated and NCQ/QoS drivers).
@@ -1745,6 +1879,61 @@ mod tests {
     fn buckets_tile_residence() {
         let s = span(2, 5, 17, SpanPhase::Host);
         assert_eq!(s.buckets_ns(), s.residence_ns());
+    }
+
+    /// The power timeline's integer-identity contract: every column (and
+    /// the row totals) sums over all buckets to exactly `draw × busy-ns`,
+    /// even when the covered time does not divide evenly into windows —
+    /// the last window stretches to the final release instead of
+    /// truncating the tail like the utilization CSVs do.
+    #[test]
+    fn power_csv_buckets_sum_exactly_to_totals() {
+        let mut rec = FlightRecorder::new(16);
+        rec.push(span(0, 0, 13, SpanPhase::Host));
+        rec.push(span(1, 5, 29, SpanPhase::Gc));
+        let mut with_bus = span(2, 3, 7, SpanPhase::Host);
+        with_bus.segs[1] = Some(Seg {
+            resource: Resource::Channel(1),
+            start: SimTime::from_micros(7),
+            end: SimTime::from_micros(11),
+        });
+        with_bus.bus_ns = 4_000;
+        with_bus.end = SimTime::from_micros(11);
+        rec.push(with_bus);
+        let (array_uw, bus_uw) = (82_500, 16_500);
+        // 29 000 ns over 7 buckets: width 4142 ns, 7×4142 = 28 994 — the
+        // 6 ns tail must land in the stretched last window.
+        let csv = power_csv(&rec, 4, 2, 7, array_uw, bus_uw);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "bucket_start_ms,bucket_end_ms,plane_0_fj,plane_1_fj,plane_2_fj,plane_3_fj,\
+             channel_0_fj,channel_1_fj,total_fj"
+        );
+        assert_eq!(lines.len(), 1 + 7);
+        let mut sums = vec![0u64; 7];
+        for row in &lines[1..] {
+            for (i, v) in row.split(',').skip(2).enumerate() {
+                sums[i] += v.parse::<u64>().unwrap();
+            }
+        }
+        // Row totals are the sum of their resource columns.
+        assert_eq!(sums[6], sums[..6].iter().sum::<u64>());
+        // Column identities: plane 0 held 13 µs, plane 1 24 µs, plane 2
+        // 4 µs, channel 1 4 µs; nothing else ran.
+        assert_eq!(sums[0], 13_000 * array_uw);
+        assert_eq!(sums[1], 24_000 * array_uw);
+        assert_eq!(sums[2], 4_000 * array_uw);
+        assert_eq!(sums[3], 0);
+        assert_eq!(sums[4], 0);
+        assert_eq!(sums[5], 4_000 * bus_uw);
+        // And the grid total equals the reference seg-sum totals exactly.
+        let (array_fj, bus_fj) = power_totals_fj(&rec, array_uw, bus_uw);
+        assert_eq!(sums[6], array_fj + bus_fj);
+        // The last window's end is the final release, not a truncation.
+        let last = lines.last().unwrap();
+        let end_ms: f64 = last.split(',').nth(1).unwrap().parse().unwrap();
+        assert!((end_ms - 0.029).abs() < 1e-9, "last window end: {end_ms}");
     }
 
     #[test]

@@ -40,7 +40,7 @@ trace_out="$(mktemp -d)"
 cargo run --release --offline -q -p dloop-bench --bin dloop-experiments -- \
     trace --scale 8 --requests 2000 --out "$trace_out" >/dev/null
 for artifact in trace_chrome.json trace_plane_util.csv trace_channel_util.csv \
-    trace_spans.jsonl trace_0.csv; do
+    trace_power.csv trace_spans.jsonl trace_0.csv; do
     [[ -s "$trace_out/$artifact" ]] || {
         echo "error: trace smoke did not produce $artifact" >&2
         exit 1
@@ -169,8 +169,9 @@ echo "==> shard sweep (BENCH_shard.json perf trajectory)"
 # overwrite trace at 1/2/4/8 shards, requires every sharded fingerprint
 # to equal the sequential one, and emits the BENCH_shard.json perf
 # trajectory (speedup measured on the engine's critical path — serial
-# partition + slowest shard task + serial merge — with raw wall_ms and
-# host_cpus recorded alongside; see crates/bench/src/experiments/shard.rs).
+# partition + slowest shard's fork + replay + serial merge — with raw
+# wall_ms, host_cpus and the per-phase breakdown recorded alongside;
+# see crates/bench/src/experiments/shard.rs).
 # The committed repo-root BENCH_shard.json comes from the full
 # multi-million-op run (`dloop-experiments shard`, 2M requests).
 shard_out="$(mktemp -d)"
@@ -191,11 +192,55 @@ grep -q '"pass": true' "$shard_out/BENCH_shard.json" || {
     exit 1
 }
 shard_header="$(head -n 1 "$shard_out/shard_0.csv")"
-[[ "$shard_header" == "shards,wall_ms,critical_path_ms,speedup,fingerprint_match,pages_played" ]] || {
+[[ "$shard_header" == "shards,wall_ms,critical_path_ms,speedup,fingerprint_match,pages_played,partition_ms,fork_ms,replay_ms,merge_ms,cap_saturated" ]] || {
     echo "error: shard_0.csv header drifted: $shard_header" >&2
     exit 1
 }
 rm -rf "$shard_out"
+
+echo "==> power-cap sweep smoke (BENCH_power.json budget + energy-invariance gates)"
+# A reduced-size pass of the `power` experiment (DESIGN.md §3g): replays
+# one write-heavy burst under a descending power-budget ladder with
+# integer femtojoule accounting, requires every capped run to respect
+# its budget in every power-timeline bucket (exact integer check) and
+# every run — capped or not — to consume the identical femtojoule
+# total. The in-process asserts additionally reconcile each run's
+# trace_power.csv timeline against the report's energy totals.
+power_out="$(mktemp -d)"
+cargo run --release --offline -q -p dloop-bench --bin dloop-experiments -- \
+    power --scale 8 --requests 4000 --out "$power_out" >/dev/null
+for artifact in BENCH_power.json power_0.csv trace_power.csv; do
+    [[ -s "$power_out/$artifact" ]] || {
+        echo "error: power sweep did not produce $artifact" >&2
+        exit 1
+    }
+done
+grep -q '"all_budgets_respected": true' "$power_out/BENCH_power.json" || {
+    echo "error: a capped run exceeded its power budget:" >&2
+    cat "$power_out/BENCH_power.json" >&2
+    exit 1
+}
+grep -q '"energy_invariant": true' "$power_out/BENCH_power.json" || {
+    echo "error: the power cap changed total energy:" >&2
+    cat "$power_out/BENCH_power.json" >&2
+    exit 1
+}
+grep -q '"pass": true' "$power_out/BENCH_power.json" || {
+    echo "error: power sweep gate failed:" >&2
+    cat "$power_out/BENCH_power.json" >&2
+    exit 1
+}
+power_header="$(head -n 1 "$power_out/power_0.csv")"
+[[ "$power_header" == "budget_uw,mrt_ms,makespan_ms,energy_array_fj,energy_bus_fj,energy_total_fj,mean_power_mw,peak_bucket_mw,budget_respected" ]] || {
+    echo "error: power_0.csv header drifted: $power_header" >&2
+    exit 1
+}
+power_trace_header="$(head -n 1 "$power_out/trace_power.csv")"
+[[ "$power_trace_header" == bucket_start_ms,bucket_end_ms,plane_0_fj,*,total_fj ]] || {
+    echo "error: trace_power.csv header drifted: $power_trace_header" >&2
+    exit 1
+}
+rm -rf "$power_out"
 
 echo "==> cargo doc --no-deps (every workspace crate, must be warning-free)"
 for crate in dloop-simkit dloop-faults dloop-nand dloop-ftl-kit dloop \

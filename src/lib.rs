@@ -70,6 +70,7 @@ pub mod prelude {
         QosSpec, WindowFifoPolicy,
     };
     pub use dloop_host::{HostConfig, HostRunReport, HostStack};
+    pub use dloop_nand::energy::{EnergyConfig, EnergyTotals};
     pub use dloop_nand::geometry::Geometry;
     pub use dloop_nand::timing::TimingConfig;
     pub use dloop_simkit::{
